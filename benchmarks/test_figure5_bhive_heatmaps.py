@@ -1,0 +1,42 @@
+"""Figure 5: GRANITE heatmaps when trained and tested on the BHive dataset.
+
+Paper claim: the behaviour observed on the Ithemal dataset carries over to
+BHive — GRANITE's predictions stay concentrated along the diagonal, with a
+balanced split between over- and under-estimation, on the 5x smaller
+dataset (hence sparser heatmaps).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import TARGET_MICROARCHITECTURES
+from repro.eval.figures import compute_error_distributions, compute_heatmaps, render_heatmap_ascii
+
+
+def test_figure5_bhive_heatmaps(benchmark, quick_scale, shared_harness):
+    trained = shared_harness.train_standard_model("granite", splits=shared_harness.bhive_splits)
+    models = {"granite": trained.model}
+    test_split = shared_harness.bhive_splits.test
+
+    result = benchmark.pedantic(
+        lambda: compute_heatmaps(models, test_split), rounds=1, iterations=1
+    )
+    errors = compute_error_distributions(models, test_split)
+
+    print()
+    for microarchitecture in TARGET_MICROARCHITECTURES:
+        mass = result.diagonal_mass["granite"][microarchitecture]
+        fraction = errors.underestimation["granite"][microarchitecture]
+        print(f"granite/BHive {microarchitecture:<11} diagonal mass {mass:.3f}  "
+              f"underestimated {fraction:.3f}")
+    print("\nGRANITE Skylake heatmap on BHive (measured →, predicted ↑):")
+    print(render_heatmap_ascii(result.histograms["granite"]["skylake"]))
+
+    for microarchitecture in TARGET_MICROARCHITECTURES:
+        histogram = result.histograms["granite"][microarchitecture]
+        # The BHive-like test split is small (sparser heatmaps, as in the
+        # paper), but a meaningful share of blocks must land in the plot.
+        assert histogram.sum() > 0.15 * len(test_split)
+        # Predictions are neither all-over nor all-under the measurement.
+        fraction = errors.underestimation["granite"][microarchitecture]
+        assert 0.01 < fraction < 0.99

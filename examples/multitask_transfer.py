@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Multi-task learning across microarchitectures (Section 5.3 of the paper).
+
+The paper's multi-task contribution: one shared graph network with a small
+dedicated decoder head per microarchitecture learns from all targets at
+once, costs roughly as much as a single single-task model to train, and is
+usually *more* accurate than per-microarchitecture models.
+
+This example demonstrates exactly that trade-off:
+
+1. it trains three single-task GRANITE models (one per microarchitecture),
+2. it trains one multi-task GRANITE model with three heads,
+3. it compares test MAPE and wall-clock training cost per microarchitecture,
+   reproducing the shape of Table 8 and the cost argument of Section 5.4.
+
+Run with::
+
+    python examples/multitask_transfer.py [--steps 150]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.data import TARGET_MICROARCHITECTURES, build_ithemal_like_dataset
+from repro.models import GraniteConfig, GraniteModel, TrainingConfig
+from repro.training import Trainer, evaluate_model
+
+
+def train_granite(tasks, steps: int, splits, seed: int = 0):
+    """Trains a GRANITE model for the given tasks; returns (model, seconds)."""
+    model = GraniteModel(GraniteConfig.small(tasks=tasks, seed=seed))
+    trainer = Trainer(
+        model,
+        TrainingConfig(num_steps=steps, batch_size=32,
+                       validation_interval=max(steps // 4, 10), seed=seed),
+    )
+    start = time.perf_counter()
+    trainer.train(splits.train, splits.validation)
+    return model, time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=150)
+    parser.add_argument("--blocks", type=int, default=600)
+    args = parser.parse_args()
+
+    dataset = build_ithemal_like_dataset(args.blocks, seed=1)
+    splits = dataset.paper_splits(seed=0)
+    print(f"dataset: {len(splits.train)} train / {len(splits.test)} test blocks\n")
+
+    print("== Training one single-task model per microarchitecture ==")
+    single_task_mape: Dict[str, float] = {}
+    single_task_seconds = 0.0
+    for microarchitecture in TARGET_MICROARCHITECTURES:
+        model, seconds = train_granite((microarchitecture,), args.steps, splits)
+        metrics = evaluate_model(model, splits.test)
+        single_task_mape[microarchitecture] = metrics[microarchitecture].mape
+        single_task_seconds += seconds
+        print(f"   {microarchitecture:<11} MAPE {metrics[microarchitecture].mape * 100:6.2f}%  "
+              f"({seconds:.1f}s)")
+
+    print("\n== Training one multi-task model with three heads ==")
+    multi_model, multi_seconds = train_granite(TARGET_MICROARCHITECTURES, args.steps, splits)
+    multi_metrics = evaluate_model(multi_model, splits.test)
+    for microarchitecture in TARGET_MICROARCHITECTURES:
+        print(f"   {microarchitecture:<11} MAPE {multi_metrics[microarchitecture].mape * 100:6.2f}%")
+
+    print("\n== Comparison (Table 8 layout) ==")
+    print(f"{'Microarchitecture':<14} {'single-task':>12} {'multi-task':>11}")
+    for microarchitecture in TARGET_MICROARCHITECTURES:
+        print(f"{microarchitecture:<14} {single_task_mape[microarchitecture] * 100:11.2f}% "
+              f"{multi_metrics[microarchitecture].mape * 100:10.2f}%")
+    single_mean = float(np.mean(list(single_task_mape.values())))
+    multi_mean = float(np.mean([multi_metrics[m].mape for m in TARGET_MICROARCHITECTURES]))
+    print(f"{'mean':<14} {single_mean * 100:11.2f}% {multi_mean * 100:10.2f}%")
+
+    print("\n== Training-cost argument (Section 5.4) ==")
+    print(f"   three single-task models: {single_task_seconds:6.1f}s total")
+    print(f"   one multi-task model:     {multi_seconds:6.1f}s total "
+          f"({multi_seconds / 3:.1f}s per microarchitecture)")
+    print(f"   -> multi-task cost per microarchitecture is "
+          f"{multi_seconds / 3 / (single_task_seconds / 3):.2f}x of a single-task model")
+
+
+if __name__ == "__main__":
+    main()

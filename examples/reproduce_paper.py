@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Regenerate any table or figure of the paper from the command line.
+
+This is the command-line front end to :mod:`repro.eval`.  Each experiment
+trains the models it needs at the requested scale and prints the result next
+to the values reported in the paper.
+
+Run with::
+
+    python examples/reproduce_paper.py --experiment table5
+    python examples/reproduce_paper.py --experiment table7 --scale smoke
+    python examples/reproduce_paper.py --experiment all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.eval import (
+    ExperimentScale,
+    render_heatmap_ascii,
+    run_decoder_ablation,
+    run_edge_ablation,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_layernorm_ablation,
+    run_readout_ablation,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+    run_table9,
+    run_table10,
+)
+
+
+def _print_heatmap_result(result) -> None:
+    for model_name, per_uarch in result.diagonal_mass.items():
+        for microarchitecture, mass in per_uarch.items():
+            print(f"  {model_name:<10} {microarchitecture:<11} diagonal mass (±25%): {mass:.3f}")
+    first_model = next(iter(result.histograms))
+    print(f"\n  {first_model} / haswell heatmap (measured →, predicted ↑):")
+    print(render_heatmap_ascii(result.histograms[first_model]["haswell"]))
+
+
+def _print_error_result(result) -> None:
+    for model_name, per_uarch in result.underestimation.items():
+        for microarchitecture, fraction in per_uarch.items():
+            print(f"  {model_name:<10} {microarchitecture:<11} underestimated fraction: {fraction:.3f}")
+
+
+EXPERIMENTS = {
+    "table5": lambda scale: run_table5(scale, evaluate_cross_dataset=True).format_table(),
+    "table6": lambda scale: run_table6(scale).format_table(),
+    "table7": lambda scale: run_table7(scale).format_table(),
+    "table8": lambda scale: run_table8(scale).format_table(),
+    "table9": lambda scale: run_table9(scale).format_table(),
+    "table10": lambda scale: run_table10(scale).format_table(),
+    "figure3": lambda scale: run_figure3(scale),
+    "figure4": lambda scale: run_figure4(scale),
+    "figure5": lambda scale: run_figure5(scale),
+    "ablation-decoder": lambda scale: run_decoder_ablation(scale).format_table(),
+    "ablation-layernorm": lambda scale: run_layernorm_ablation(scale).format_table(),
+    "ablation-edges": lambda scale: run_edge_ablation(scale).format_table(),
+    "ablation-readout": lambda scale: run_readout_ablation(scale).format_table(),
+}
+
+SCALES = {
+    "smoke": ExperimentScale.smoke,
+    "quick": ExperimentScale.quick,
+    "full": ExperimentScale.full,
+}
+
+
+def run_experiment(name: str, scale: ExperimentScale) -> None:
+    print(f"\n=== {name} ===")
+    start = time.perf_counter()
+    result = EXPERIMENTS[name](scale)
+    elapsed = time.perf_counter() - start
+    if isinstance(result, str):
+        print(result)
+    elif hasattr(result, "diagonal_mass"):
+        _print_heatmap_result(result)
+    elif hasattr(result, "underestimation"):
+        _print_error_result(result)
+    print(f"({elapsed:.1f}s)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiment",
+        default="table5",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    scale = SCALES[args.scale](seed=args.seed)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_experiment(name, scale)
+
+
+if __name__ == "__main__":
+    main()

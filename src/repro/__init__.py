@@ -1,0 +1,60 @@
+"""GRANITE reproduction: GNN-based basic-block throughput estimation.
+
+This package reproduces "GRANITE: A Graph Neural Network Model for Basic
+Block Throughput Estimation" (IISWC 2022).  The most commonly used entry
+points are re-exported here:
+
+* :class:`repro.isa.BasicBlock` — parse and analyse x86-64 basic blocks.
+* :class:`repro.models.GraniteModel` / :class:`repro.models.IthemalModel` —
+  the paper's learned models.
+* :func:`repro.data.build_ithemal_like_dataset` /
+  :func:`repro.data.build_bhive_like_dataset` — synthetic datasets labelled
+  by the analytical throughput oracle.
+* :class:`repro.training.Trainer` — the training loop.
+* :class:`repro.uarch.ThroughputOracle` — the analytical port-based model
+  used as ground truth and baseline.
+"""
+
+from repro.data import (
+    build_bhive_like_dataset,
+    build_ithemal_like_dataset,
+    TARGET_MICROARCHITECTURES,
+    ThroughputDataset,
+)
+from repro.graph import build_block_graph
+from repro.isa import BasicBlock, Instruction, parse_block_text
+from repro.models import (
+    GraniteConfig,
+    GraniteModel,
+    IthemalConfig,
+    IthemalModel,
+    TrainingConfig,
+    create_model,
+)
+from repro.training import Trainer, compute_metrics, evaluate_model
+from repro.uarch import MICROARCHITECTURES, ThroughputOracle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_bhive_like_dataset",
+    "build_ithemal_like_dataset",
+    "TARGET_MICROARCHITECTURES",
+    "ThroughputDataset",
+    "build_block_graph",
+    "BasicBlock",
+    "Instruction",
+    "parse_block_text",
+    "GraniteConfig",
+    "GraniteModel",
+    "IthemalConfig",
+    "IthemalModel",
+    "TrainingConfig",
+    "create_model",
+    "Trainer",
+    "compute_metrics",
+    "evaluate_model",
+    "MICROARCHITECTURES",
+    "ThroughputOracle",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Datasets: synthetic block generation, measurement models, CSV I/O."""
+
+from repro.data.bhive_format import (
+    dataset_from_csv_text,
+    dataset_to_csv_text,
+    read_dataset_csv,
+    write_dataset_csv,
+)
+from repro.data.datasets import (
+    DatasetSplits,
+    LabeledBlock,
+    TARGET_MICROARCHITECTURES,
+    ThroughputDataset,
+    build_bhive_like_dataset,
+    build_ithemal_like_dataset,
+)
+from repro.data.measurement import (
+    BHIVE_MEASUREMENT,
+    ITERATIONS_PER_MEASUREMENT,
+    ITHEMAL_MEASUREMENT,
+    MeasurementModel,
+)
+from repro.data.synthetic import BlockGenerator, GeneratorConfig, WorkloadProfile
+
+__all__ = [
+    "dataset_from_csv_text",
+    "dataset_to_csv_text",
+    "read_dataset_csv",
+    "write_dataset_csv",
+    "DatasetSplits",
+    "LabeledBlock",
+    "TARGET_MICROARCHITECTURES",
+    "ThroughputDataset",
+    "build_bhive_like_dataset",
+    "build_ithemal_like_dataset",
+    "BHIVE_MEASUREMENT",
+    "ITERATIONS_PER_MEASUREMENT",
+    "ITHEMAL_MEASUREMENT",
+    "MeasurementModel",
+    "BlockGenerator",
+    "GeneratorConfig",
+    "WorkloadProfile",
+]

@@ -1,0 +1,99 @@
+"""Reading and writing datasets in a BHive-style CSV format.
+
+The real BHive suite distributes one CSV per microarchitecture with rows of
+``<hex machine code>,<measured throughput>``.  Decoding raw machine code is
+out of scope here, so this module defines a close, text-based cousin that
+carries the assembly instead of machine code::
+
+    identifier,assembly,ivy_bridge,haswell,skylake
+    bhive-0,"MOV RAX, 12345; ADD DWORD PTR [RAX + 16], EBX",412.0,399.0,371.0
+
+Instructions are joined with ``"; "`` on one line.  The format is loss-less
+with respect to everything the models consume (mnemonics, operands,
+prefixes) and allows users with access to the real datasets to convert and
+load them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.data.datasets import LabeledBlock, TARGET_MICROARCHITECTURES, ThroughputDataset
+from repro.isa.basic_block import BasicBlock
+
+__all__ = ["write_dataset_csv", "read_dataset_csv", "dataset_to_csv_text", "dataset_from_csv_text"]
+
+_INSTRUCTION_SEPARATOR = "; "
+
+
+def _block_to_field(block: BasicBlock) -> str:
+    return _INSTRUCTION_SEPARATOR.join(
+        instruction.render() for instruction in block.instructions
+    )
+
+
+def _block_from_field(field: str, identifier: str) -> BasicBlock:
+    text = field.replace(_INSTRUCTION_SEPARATOR, "\n").replace(";", "\n")
+    return BasicBlock.from_text(text, identifier=identifier)
+
+
+def dataset_to_csv_text(dataset: ThroughputDataset) -> str:
+    """Serialises a dataset to CSV text."""
+    buffer = io.StringIO()
+    microarchitectures = list(dataset.microarchitectures)
+    writer = csv.writer(buffer)
+    writer.writerow(["identifier", "assembly"] + microarchitectures)
+    for index, sample in enumerate(dataset.samples):
+        identifier = sample.block.identifier or f"{dataset.name}-{index}"
+        row: List[str] = [identifier, _block_to_field(sample.block)]
+        for key in microarchitectures:
+            value = sample.throughputs.get(key)
+            row.append("" if value is None else f"{value:.4f}")
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def dataset_from_csv_text(text: str, name: str = "dataset") -> ThroughputDataset:
+    """Parses CSV text produced by :func:`dataset_to_csv_text`."""
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        raise ValueError("empty CSV input")
+    header = rows[0]
+    if len(header) < 3 or header[0] != "identifier" or header[1] != "assembly":
+        raise ValueError(
+            "CSV header must be 'identifier,assembly,<microarchitecture>...'"
+        )
+    microarchitectures = header[2:]
+    samples: List[LabeledBlock] = []
+    for row in rows[1:]:
+        if not row:
+            continue
+        identifier, assembly = row[0], row[1]
+        block = _block_from_field(assembly, identifier)
+        throughputs: Dict[str, float] = {}
+        for key, value in zip(microarchitectures, row[2:]):
+            if value.strip():
+                throughputs[key] = float(value)
+        samples.append(LabeledBlock(block=block, throughputs=throughputs))
+    return ThroughputDataset(samples, name=name, microarchitectures=tuple(microarchitectures))
+
+
+def write_dataset_csv(dataset: ThroughputDataset, path: str) -> None:
+    """Writes a dataset to a CSV file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        handle.write(dataset_to_csv_text(dataset))
+
+
+def read_dataset_csv(path: str, name: Optional[str] = None) -> ThroughputDataset:
+    """Reads a dataset from a CSV file written by :func:`write_dataset_csv`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"dataset file not found: {path}")
+    with open(path, "r", newline="") as handle:
+        text = handle.read()
+    return dataset_from_csv_text(text, name=name or os.path.basename(path))

@@ -1,0 +1,231 @@
+"""Labelled datasets of basic blocks.
+
+A :class:`ThroughputDataset` holds basic blocks together with their measured
+throughput on each target microarchitecture (Ivy Bridge, Haswell, Skylake in
+the paper).  Two builder functions produce the synthetic substitutes of the
+paper's datasets:
+
+* :func:`build_ithemal_like_dataset` — the larger dataset, labelled with the
+  Ithemal measurement methodology.
+* :func:`build_bhive_like_dataset` — roughly five times smaller (the paper
+  notes the 5× ratio), labelled with the BHive measurement methodology.
+
+The splitting helpers reproduce the paper's protocol: 83 % / 17 % train/test
+split, and a further 98 % / 2 % train/validation split of the training part
+(Section 4, "Dataset").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.measurement import (
+    BHIVE_MEASUREMENT,
+    ITHEMAL_MEASUREMENT,
+    MeasurementModel,
+)
+from repro.data.synthetic import BlockGenerator, GeneratorConfig
+from repro.isa.basic_block import BasicBlock
+from repro.uarch.ports import MICROARCHITECTURES, MicroArchitecture
+from repro.uarch.scheduler import ThroughputOracle
+
+__all__ = [
+    "LabeledBlock",
+    "ThroughputDataset",
+    "DatasetSplits",
+    "TARGET_MICROARCHITECTURES",
+    "build_ithemal_like_dataset",
+    "build_bhive_like_dataset",
+]
+
+#: The microarchitecture keys used in every experiment of the paper.
+TARGET_MICROARCHITECTURES: Tuple[str, ...] = ("ivy_bridge", "haswell", "skylake")
+
+
+@dataclass(frozen=True)
+class LabeledBlock:
+    """One basic block with its measured throughput per microarchitecture.
+
+    Attributes:
+        block: The basic block.
+        throughputs: Mapping from microarchitecture key to the measured
+            throughput value (cycles per 100 iterations).
+    """
+
+    block: BasicBlock
+    throughputs: Dict[str, float]
+
+    def throughput(self, microarchitecture: str) -> float:
+        """Returns the measured value for one microarchitecture."""
+        key = microarchitecture.lower().replace(" ", "_")
+        if key not in self.throughputs:
+            raise KeyError(
+                f"block {self.block.identifier!r} has no label for {microarchitecture!r}"
+            )
+        return self.throughputs[key]
+
+
+@dataclass
+class DatasetSplits:
+    """The train / validation / test partition of a dataset."""
+
+    train: "ThroughputDataset"
+    validation: "ThroughputDataset"
+    test: "ThroughputDataset"
+
+
+class ThroughputDataset:
+    """An ordered collection of labelled basic blocks."""
+
+    def __init__(
+        self,
+        samples: Sequence[LabeledBlock],
+        name: str = "dataset",
+        microarchitectures: Sequence[str] = TARGET_MICROARCHITECTURES,
+    ) -> None:
+        self.samples: List[LabeledBlock] = list(samples)
+        self.name = name
+        self.microarchitectures: Tuple[str, ...] = tuple(microarchitectures)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[LabeledBlock]:
+        return iter(self.samples)
+
+    def __getitem__(self, index: int) -> LabeledBlock:
+        return self.samples[index]
+
+    def blocks(self) -> List[BasicBlock]:
+        """Returns the basic blocks without their labels."""
+        return [sample.block for sample in self.samples]
+
+    def throughputs(self, microarchitecture: str) -> np.ndarray:
+        """Returns the label vector for one microarchitecture."""
+        return np.array(
+            [sample.throughput(microarchitecture) for sample in self.samples], dtype=np.float64
+        )
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "ThroughputDataset":
+        """Returns a new dataset containing the samples at ``indices``."""
+        return ThroughputDataset(
+            [self.samples[index] for index in indices],
+            name=name or self.name,
+            microarchitectures=self.microarchitectures,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Splits (Section 4: 83/17 test split, then 98/2 validation split).
+    # ------------------------------------------------------------------ #
+    def train_test_split(
+        self, test_fraction: float = 0.17, seed: int = 0
+    ) -> Tuple["ThroughputDataset", "ThroughputDataset"]:
+        """Random train/test split with the paper's 83 %/17 % default."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        permutation = rng.permutation(len(self.samples))
+        num_test = max(1, int(round(len(self.samples) * test_fraction)))
+        test_indices = permutation[:num_test]
+        train_indices = permutation[num_test:]
+        return (
+            self.subset(train_indices, name=f"{self.name}-train"),
+            self.subset(test_indices, name=f"{self.name}-test"),
+        )
+
+    def paper_splits(
+        self,
+        test_fraction: float = 0.17,
+        validation_fraction: float = 0.02,
+        seed: int = 0,
+    ) -> DatasetSplits:
+        """Returns the paper's train / validation / test partition."""
+        train_and_validation, test = self.train_test_split(test_fraction, seed)
+        rng = np.random.default_rng(seed + 1)
+        permutation = rng.permutation(len(train_and_validation))
+        num_validation = max(1, int(round(len(train_and_validation) * validation_fraction)))
+        validation_indices = permutation[:num_validation]
+        train_indices = permutation[num_validation:]
+        return DatasetSplits(
+            train=train_and_validation.subset(train_indices, name=f"{self.name}-train"),
+            validation=train_and_validation.subset(
+                validation_indices, name=f"{self.name}-validation"
+            ),
+            test=test,
+        )
+
+    def multi_task_subset(self) -> "ThroughputDataset":
+        """Returns the samples that are labelled for *all* microarchitectures.
+
+        The paper's multi-task training "selected basic blocks where we had
+        ground truth data for all target microarchitectures" (Section 5.3).
+        """
+        complete = [
+            sample
+            for sample in self.samples
+            if all(key in sample.throughputs for key in self.microarchitectures)
+        ]
+        return ThroughputDataset(
+            complete, name=f"{self.name}-multitask", microarchitectures=self.microarchitectures
+        )
+
+
+def _label_blocks(
+    blocks: Sequence[BasicBlock],
+    measurement: MeasurementModel,
+    microarchitectures: Sequence[str],
+    seed: int,
+) -> List[LabeledBlock]:
+    oracles = {
+        key: ThroughputOracle(MICROARCHITECTURES[key]) for key in microarchitectures
+    }
+    rng = np.random.default_rng(seed)
+    samples: List[LabeledBlock] = []
+    for block in blocks:
+        labels: Dict[str, float] = {}
+        for key, oracle in oracles.items():
+            cycles = oracle.throughput(block)
+            labels[key] = measurement.measure(cycles, rng)
+        samples.append(LabeledBlock(block=block, throughputs=labels))
+    return samples
+
+
+def build_ithemal_like_dataset(
+    num_blocks: int,
+    seed: int = 0,
+    generator_config: Optional[GeneratorConfig] = None,
+    microarchitectures: Sequence[str] = TARGET_MICROARCHITECTURES,
+) -> ThroughputDataset:
+    """Builds the synthetic substitute of the Ithemal dataset.
+
+    Args:
+        num_blocks: Number of basic blocks to generate.
+        seed: Seed controlling both block generation and measurement noise.
+        generator_config: Optional override of the block generator settings.
+        microarchitectures: Which microarchitectures to label.
+    """
+    generator = BlockGenerator(generator_config, seed=seed)
+    blocks = generator.generate_blocks(num_blocks, prefix="ithemal")
+    samples = _label_blocks(blocks, ITHEMAL_MEASUREMENT, microarchitectures, seed + 17)
+    return ThroughputDataset(samples, name="ithemal", microarchitectures=microarchitectures)
+
+
+def build_bhive_like_dataset(
+    num_blocks: int,
+    seed: int = 1000,
+    generator_config: Optional[GeneratorConfig] = None,
+    microarchitectures: Sequence[str] = TARGET_MICROARCHITECTURES,
+) -> ThroughputDataset:
+    """Builds the synthetic substitute of the BHive dataset.
+
+    BHive is roughly five times smaller than the Ithemal dataset and uses a
+    different measurement methodology; callers typically pass
+    ``num_blocks = ithemal_size // 5``.
+    """
+    generator = BlockGenerator(generator_config, seed=seed)
+    blocks = generator.generate_blocks(num_blocks, prefix="bhive")
+    samples = _label_blocks(blocks, BHIVE_MEASUREMENT, microarchitectures, seed + 17)
+    return ThroughputDataset(samples, name="bhive", microarchitectures=microarchitectures)

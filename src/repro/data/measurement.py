@@ -1,0 +1,110 @@
+"""Measurement-methodology models.
+
+The paper uses two datasets whose throughput values were collected with
+*different measurement tools*: the Ithemal dataset and BHive.  Section 5.1
+points out that models trained on one dataset degrade noticeably when tested
+on the other precisely because of this methodological difference.
+
+This module models each methodology as a transformation of the oracle's
+"true" cycle count into a measured value: a fixed harness overhead, a
+multiplicative calibration bias, quantisation of the counter readings, and
+zero-mean measurement noise.  The two concrete models below use different
+constants, which reproduces the cross-dataset degradation without changing
+the underlying blocks.
+
+Throughput values are reported *per 100 iterations* of the basic block,
+matching the note under Table 9 of the paper ("throughput values are per 100
+iterations of each basic block").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "MeasurementModel",
+    "ITHEMAL_MEASUREMENT",
+    "BHIVE_MEASUREMENT",
+    "ITERATIONS_PER_MEASUREMENT",
+]
+
+#: Both datasets report the cost of 100 back-to-back executions of the block.
+ITERATIONS_PER_MEASUREMENT = 100
+
+
+@dataclass(frozen=True)
+class MeasurementModel:
+    """Transforms true cycles/iteration into a measured throughput value.
+
+    Attributes:
+        name: Identifier of the methodology ("ithemal" or "bhive").
+        harness_overhead_cycles: Fixed overhead added to every measurement
+            (timer reads, loop bookkeeping), in cycles per 100 iterations.
+        calibration_bias: Multiplicative bias of the methodology (for
+            example a slightly different handling of frequency scaling).
+        noise_fraction: Standard deviation of the multiplicative measurement
+            noise.
+        quantization_cycles: Measurements are rounded to a multiple of this
+            value (cycle counters have limited resolution).
+    """
+
+    name: str
+    harness_overhead_cycles: float
+    calibration_bias: float
+    noise_fraction: float
+    quantization_cycles: float
+
+    def measure(
+        self,
+        cycles_per_iteration: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Returns the measured throughput for 100 iterations of the block.
+
+        Args:
+            cycles_per_iteration: The oracle's steady-state estimate.
+            rng: Random generator for the measurement noise; when omitted
+                the measurement is deterministic (no noise).
+        """
+        if cycles_per_iteration < 0:
+            raise ValueError("cycles_per_iteration must be non-negative")
+        value = cycles_per_iteration * ITERATIONS_PER_MEASUREMENT * self.calibration_bias
+        value += self.harness_overhead_cycles
+        if rng is not None and self.noise_fraction > 0:
+            value *= 1.0 + rng.normal(0.0, self.noise_fraction)
+        if self.quantization_cycles > 0:
+            value = round(value / self.quantization_cycles) * self.quantization_cycles
+        return float(max(value, 1.0))
+
+    def normalize_to_single_iteration(self, measured_value: float) -> float:
+        """Converts a measured value back to cycles per single iteration.
+
+        This is the normalisation the paper applies before plotting the
+        heatmaps in Figures 3 and 5 ("we normalize the throughput values to
+        a single run of each basic block").
+        """
+        return measured_value / ITERATIONS_PER_MEASUREMENT
+
+
+#: Measurement model of the (privately shared) Ithemal dataset.
+ITHEMAL_MEASUREMENT = MeasurementModel(
+    name="ithemal",
+    harness_overhead_cycles=35.0,
+    calibration_bias=1.00,
+    noise_fraction=0.02,
+    quantization_cycles=1.0,
+)
+
+#: Measurement model of the BHive benchmark suite, which uses a different
+#: harness (performance counters sampled around an unrolled loop) and hence
+#: different overhead/bias constants.
+BHIVE_MEASUREMENT = MeasurementModel(
+    name="bhive",
+    harness_overhead_cycles=8.0,
+    calibration_bias=1.12,
+    noise_fraction=0.03,
+    quantization_cycles=1.0,
+)

@@ -1,0 +1,460 @@
+"""Synthetic basic-block generator.
+
+The paper trains on 1.4M basic blocks from the Ithemal dataset and 300K
+blocks from BHive, both harvested from real applications (databases,
+compilers, SPEC CPU, scientific computing, ML frameworks).  Those datasets
+are not available offline, so this module generates synthetic blocks whose
+structure mimics the populations those suites produce:
+
+* short address-computation and spill/fill heavy blocks (compiler output),
+* integer ALU blocks with comparison/branch idioms (control-heavy code),
+* scalar and packed floating-point kernels with long dependency chains
+  (scientific computing),
+* memory-copy / string-manipulation blocks,
+* reduction loops whose loop-carried dependency limits throughput.
+
+Each *profile* below is a small probabilistic grammar over the instruction
+set in :mod:`repro.isa.semantics`.  The mixture of profiles, the block length
+distribution and the register-reuse behaviour are all configurable, and every
+generator is fully deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.isa.instructions import Instruction
+from repro.isa.operands import MemoryReference, Operand
+
+__all__ = ["WorkloadProfile", "GeneratorConfig", "BlockGenerator"]
+
+
+class WorkloadProfile(enum.Enum):
+    """The families of synthetic basic blocks."""
+
+    INTEGER_ALU = "integer_alu"
+    ADDRESS_HEAVY = "address_heavy"
+    FLOATING_POINT = "floating_point"
+    VECTOR_KERNEL = "vector_kernel"
+    MEMORY_COPY = "memory_copy"
+    DEPENDENCY_CHAIN = "dependency_chain"
+    CONTROL_IDIOM = "control_idiom"
+
+
+_GPR64 = ("RAX", "RBX", "RCX", "RDX", "RSI", "RDI", "R8", "R9", "R10", "R11",
+          "R12", "R13", "R14", "R15")
+_GPR32 = ("EAX", "EBX", "ECX", "EDX", "ESI", "EDI", "R8D", "R9D", "R10D",
+          "R11D", "R12D", "R13D", "R14D", "R15D")
+_BASE_REGISTERS = ("RAX", "RBX", "RCX", "RDX", "RSI", "RDI", "RBP", "RSP",
+                   "R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15")
+_XMM = tuple(f"XMM{i}" for i in range(16))
+
+_INT_ALU_MNEMONICS = ("ADD", "SUB", "AND", "OR", "XOR", "ADC", "SBB")
+_INT_UNARY_MNEMONICS = ("INC", "DEC", "NEG", "NOT")
+_SHIFT_MNEMONICS = ("SHL", "SHR", "SAR", "ROL", "ROR")
+_SCALAR_FP_MNEMONICS = ("ADDSS", "ADDSD", "SUBSS", "SUBSD", "MULSS", "MULSD")
+_SCALAR_FP_DIV_MNEMONICS = ("DIVSS", "DIVSD", "SQRTSS", "SQRTSD")
+_PACKED_FP_MNEMONICS = ("ADDPS", "ADDPD", "SUBPS", "MULPS", "MULPD")
+_VECTOR_INT_MNEMONICS = ("PADDD", "PADDQ", "PSUBD", "PXOR", "PAND", "POR")
+_CONDITION_SUFFIXES = ("E", "NE", "L", "LE", "G", "GE", "B", "BE", "A", "AE", "S", "NS")
+
+
+@dataclass
+class GeneratorConfig:
+    """Configuration of the synthetic block generator.
+
+    Attributes:
+        min_instructions / max_instructions: Bounds of the block length
+            distribution (geometric-ish, clipped to the bounds; the BHive
+            population is dominated by blocks of 1-10 instructions).
+        mean_instructions: Mean of the length distribution.
+        profile_weights: Sampling weight of each workload profile.
+        register_reuse_probability: Probability that an operand reuses a
+            recently written register instead of a fresh one, which controls
+            how deep the dependency chains are.
+        memory_operand_probability: Probability that a source operand of an
+            integer instruction is a memory operand.
+        lock_prefix_probability: Probability of a LOCK prefix on
+            read-modify-write memory instructions.
+    """
+
+    min_instructions: int = 1
+    max_instructions: int = 40
+    mean_instructions: float = 7.0
+    profile_weights: Dict[WorkloadProfile, float] = field(
+        default_factory=lambda: {
+            WorkloadProfile.INTEGER_ALU: 0.26,
+            WorkloadProfile.ADDRESS_HEAVY: 0.20,
+            WorkloadProfile.FLOATING_POINT: 0.14,
+            WorkloadProfile.VECTOR_KERNEL: 0.10,
+            WorkloadProfile.MEMORY_COPY: 0.08,
+            WorkloadProfile.DEPENDENCY_CHAIN: 0.12,
+            WorkloadProfile.CONTROL_IDIOM: 0.10,
+        }
+    )
+    register_reuse_probability: float = 0.55
+    memory_operand_probability: float = 0.30
+    lock_prefix_probability: float = 0.03
+
+
+class BlockGenerator:
+    """Generates synthetic basic blocks from a mixture of workload profiles."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None, seed: int = 0) -> None:
+        self.config = config or GeneratorConfig()
+        self.rng = np.random.default_rng(seed)
+        weights = self.config.profile_weights
+        self._profiles = list(weights.keys())
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("profile weights must sum to a positive value")
+        self._profile_probabilities = np.array(
+            [weights[profile] / total for profile in self._profiles]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Public API.
+    # ------------------------------------------------------------------ #
+    def generate_block(self, identifier: Optional[str] = None) -> BasicBlock:
+        """Generates a single basic block."""
+        profile = self._profiles[
+            self.rng.choice(len(self._profiles), p=self._profile_probabilities)
+        ]
+        length = self._sample_length()
+        instructions = self._generate_profile(profile, length)
+        return BasicBlock(instructions, identifier=identifier)
+
+    def generate_blocks(self, count: int, prefix: str = "synthetic") -> List[BasicBlock]:
+        """Generates ``count`` basic blocks with stable identifiers."""
+        return [self.generate_block(identifier=f"{prefix}-{index}") for index in range(count)]
+
+    # ------------------------------------------------------------------ #
+    # Length and operand sampling.
+    # ------------------------------------------------------------------ #
+    def _sample_length(self) -> int:
+        mean = max(self.config.mean_instructions, 1.1)
+        length = 1 + self.rng.geometric(1.0 / mean)
+        return int(np.clip(length, self.config.min_instructions, self.config.max_instructions))
+
+    def _pick_register(self, pool: Sequence[str], recent: List[str]) -> str:
+        reusable = [register for register in recent if register in pool]
+        if reusable and self.rng.random() < self.config.register_reuse_probability:
+            return reusable[self.rng.integers(0, len(reusable))]
+        return pool[self.rng.integers(0, len(pool))]
+
+    def _memory_operand(self, recent: List[str], width_bits: int = 64) -> Operand:
+        base = self._pick_register(_BASE_REGISTERS, recent)
+        use_index = self.rng.random() < 0.35
+        index = None
+        scale = 1
+        if use_index:
+            index = self._pick_register(tuple(r for r in _BASE_REGISTERS if r != "RSP"), recent)
+            scale = int(self.rng.choice([1, 2, 4, 8]))
+        displacement = int(self.rng.choice([0, 4, 8, 16, 24, 32, 64, 128, -8, -16, -64]))
+        return Operand.from_memory(
+            MemoryReference(
+                base=base, index=index, scale=scale,
+                displacement=displacement, width_bits=width_bits,
+            )
+        )
+
+    def _immediate(self) -> Operand:
+        magnitude = int(self.rng.choice([1, 2, 4, 8, 10, 16, 32, 100, 255, 4096, 65535]))
+        return Operand.from_immediate(magnitude)
+
+    # ------------------------------------------------------------------ #
+    # Profile grammars.
+    # ------------------------------------------------------------------ #
+    def _generate_profile(self, profile: WorkloadProfile, length: int) -> List[Instruction]:
+        generators: Dict[WorkloadProfile, Callable[[int], List[Instruction]]] = {
+            WorkloadProfile.INTEGER_ALU: self._integer_alu_block,
+            WorkloadProfile.ADDRESS_HEAVY: self._address_heavy_block,
+            WorkloadProfile.FLOATING_POINT: self._floating_point_block,
+            WorkloadProfile.VECTOR_KERNEL: self._vector_kernel_block,
+            WorkloadProfile.MEMORY_COPY: self._memory_copy_block,
+            WorkloadProfile.DEPENDENCY_CHAIN: self._dependency_chain_block,
+            WorkloadProfile.CONTROL_IDIOM: self._control_idiom_block,
+        }
+        instructions = generators[profile](length)
+        return instructions[: self.config.max_instructions]
+
+    def _integer_alu_block(self, length: int) -> List[Instruction]:
+        instructions: List[Instruction] = []
+        recent: List[str] = []
+        use32 = self.rng.random() < 0.5
+        pool = _GPR32 if use32 else _GPR64
+        for _ in range(length):
+            roll = self.rng.random()
+            destination = self._pick_register(pool, recent)
+            if roll < 0.55:
+                mnemonic = str(self.rng.choice(_INT_ALU_MNEMONICS))
+                if self.rng.random() < self.config.memory_operand_probability:
+                    source = self._memory_operand(recent, 32 if use32 else 64)
+                else:
+                    source = (
+                        Operand.from_register(self._pick_register(pool, recent))
+                        if self.rng.random() < 0.7
+                        else self._immediate()
+                    )
+                prefixes: Tuple[str, ...] = ()
+                instructions.append(
+                    Instruction.create(mnemonic, (Operand.from_register(destination), source), prefixes)
+                )
+            elif roll < 0.70:
+                mnemonic = str(self.rng.choice(_SHIFT_MNEMONICS))
+                instructions.append(
+                    Instruction.create(
+                        mnemonic,
+                        (Operand.from_register(destination), Operand.from_immediate(int(self.rng.integers(1, 32)))),
+                    )
+                )
+            elif roll < 0.82:
+                mnemonic = str(self.rng.choice(_INT_UNARY_MNEMONICS))
+                instructions.append(Instruction.create(mnemonic, (Operand.from_register(destination),)))
+            elif roll < 0.92:
+                source = Operand.from_register(self._pick_register(pool, recent))
+                instructions.append(
+                    Instruction.create("MOV", (Operand.from_register(destination), source))
+                )
+            else:
+                mnemonic = str(self.rng.choice(["IMUL", "POPCNT", "LZCNT", "TZCNT"]))
+                source = Operand.from_register(self._pick_register(pool, recent))
+                instructions.append(
+                    Instruction.create(mnemonic, (Operand.from_register(destination), source))
+                )
+            recent.append(destination)
+            recent = recent[-4:]
+        return instructions
+
+    def _address_heavy_block(self, length: int) -> List[Instruction]:
+        instructions: List[Instruction] = []
+        recent: List[str] = []
+        for step in range(length):
+            destination = self._pick_register(_GPR64, recent)
+            roll = self.rng.random()
+            if roll < 0.35:
+                instructions.append(
+                    Instruction.create(
+                        "MOV", (Operand.from_register(destination), self._memory_operand(recent))
+                    )
+                )
+            elif roll < 0.55:
+                instructions.append(
+                    Instruction.create(
+                        "MOV",
+                        (self._memory_operand(recent), Operand.from_register(
+                            self._pick_register(_GPR64, recent))),
+                    )
+                )
+            elif roll < 0.80:
+                instructions.append(
+                    Instruction.create(
+                        "LEA", (Operand.from_register(destination), self._memory_operand(recent, 0))
+                    )
+                )
+            else:
+                prefixes = ()
+                if self.rng.random() < self.config.lock_prefix_probability:
+                    prefixes = ("LOCK",)
+                instructions.append(
+                    Instruction.create(
+                        "ADD",
+                        (self._memory_operand(recent, 64), Operand.from_register(
+                            self._pick_register(_GPR64, recent))),
+                        prefixes,
+                    )
+                )
+            recent.append(destination)
+            recent = recent[-4:]
+        return instructions
+
+    def _floating_point_block(self, length: int) -> List[Instruction]:
+        instructions: List[Instruction] = []
+        recent: List[str] = []
+        for _ in range(length):
+            destination = self._pick_register(_XMM, recent)
+            roll = self.rng.random()
+            if roll < 0.15:
+                instructions.append(
+                    Instruction.create(
+                        "MOVSD",
+                        (Operand.from_register(destination), self._memory_operand(recent, 64)),
+                    )
+                )
+            elif roll < 0.75:
+                mnemonic = str(self.rng.choice(_SCALAR_FP_MNEMONICS))
+                source = Operand.from_register(self._pick_register(_XMM, recent))
+                instructions.append(
+                    Instruction.create(mnemonic, (Operand.from_register(destination), source))
+                )
+            elif roll < 0.88:
+                mnemonic = str(self.rng.choice(_SCALAR_FP_DIV_MNEMONICS))
+                source = Operand.from_register(self._pick_register(_XMM, recent))
+                instructions.append(
+                    Instruction.create(mnemonic, (Operand.from_register(destination), source))
+                )
+            else:
+                mnemonic = str(self.rng.choice(["CVTSI2SD", "CVTTSD2SI", "UCOMISD"]))
+                if mnemonic == "CVTTSD2SI":
+                    operands = (
+                        Operand.from_register(self._pick_register(_GPR64, [])),
+                        Operand.from_register(destination),
+                    )
+                elif mnemonic == "UCOMISD":
+                    operands = (
+                        Operand.from_register(destination),
+                        Operand.from_register(self._pick_register(_XMM, recent)),
+                    )
+                else:
+                    operands = (
+                        Operand.from_register(destination),
+                        Operand.from_register(self._pick_register(_GPR64, [])),
+                    )
+                instructions.append(Instruction.create(mnemonic, operands))
+            recent.append(destination)
+            recent = recent[-3:]
+        return instructions
+
+    def _vector_kernel_block(self, length: int) -> List[Instruction]:
+        instructions: List[Instruction] = []
+        recent: List[str] = []
+        for _ in range(length):
+            destination = self._pick_register(_XMM, recent)
+            roll = self.rng.random()
+            if roll < 0.25:
+                instructions.append(
+                    Instruction.create(
+                        "MOVDQU",
+                        (Operand.from_register(destination), self._memory_operand(recent, 128)),
+                    )
+                )
+            elif roll < 0.55:
+                mnemonic = str(self.rng.choice(_PACKED_FP_MNEMONICS))
+                source = Operand.from_register(self._pick_register(_XMM, recent))
+                instructions.append(
+                    Instruction.create(mnemonic, (Operand.from_register(destination), source))
+                )
+            elif roll < 0.85:
+                mnemonic = str(self.rng.choice(_VECTOR_INT_MNEMONICS))
+                source = Operand.from_register(self._pick_register(_XMM, recent))
+                instructions.append(
+                    Instruction.create(mnemonic, (Operand.from_register(destination), source))
+                )
+            else:
+                instructions.append(
+                    Instruction.create(
+                        "MOVDQU",
+                        (self._memory_operand(recent, 128), Operand.from_register(destination)),
+                    )
+                )
+            recent.append(destination)
+            recent = recent[-3:]
+        return instructions
+
+    def _memory_copy_block(self, length: int) -> List[Instruction]:
+        instructions: List[Instruction] = []
+        recent: List[str] = ["RSI", "RDI"]
+        scratch = list(_GPR64[:6])
+        for step in range(length):
+            register = scratch[step % len(scratch)]
+            if step % 2 == 0:
+                instructions.append(
+                    Instruction.create(
+                        "MOV", (Operand.from_register(register), self._memory_operand(["RSI"], 64))
+                    )
+                )
+            else:
+                instructions.append(
+                    Instruction.create(
+                        "MOV", (self._memory_operand(["RDI"], 64), Operand.from_register(register))
+                    )
+                )
+        if self.rng.random() < 0.3 and length >= 2:
+            instructions[-1] = Instruction.create("STOSQ", (), ("REP",))
+        return instructions
+
+    def _dependency_chain_block(self, length: int) -> List[Instruction]:
+        """A single long dependency chain, typically latency bound."""
+        instructions: List[Instruction] = []
+        use_fp = self.rng.random() < 0.5
+        if use_fp:
+            accumulator = str(self.rng.choice(_XMM[:8]))
+            chain_ops = _SCALAR_FP_MNEMONICS + _SCALAR_FP_DIV_MNEMONICS[:2]
+            for _ in range(length):
+                mnemonic = str(self.rng.choice(chain_ops))
+                source = Operand.from_register(str(self.rng.choice(_XMM[8:])))
+                instructions.append(
+                    Instruction.create(mnemonic, (Operand.from_register(accumulator), source))
+                )
+        else:
+            accumulator = str(self.rng.choice(_GPR64[:8]))
+            for _ in range(length):
+                roll = self.rng.random()
+                if roll < 0.6:
+                    mnemonic = str(self.rng.choice(_INT_ALU_MNEMONICS[:5]))
+                    source = Operand.from_register(str(self.rng.choice(_GPR64[8:])))
+                elif roll < 0.85:
+                    mnemonic = "IMUL"
+                    source = Operand.from_register(str(self.rng.choice(_GPR64[8:])))
+                else:
+                    mnemonic = "MOV"
+                    source = self._memory_operand([accumulator], 64)
+                instructions.append(
+                    Instruction.create(mnemonic, (Operand.from_register(accumulator), source))
+                )
+        return instructions
+
+    def _control_idiom_block(self, length: int) -> List[Instruction]:
+        """Comparison / flag / conditional-move idioms like Table 1."""
+        instructions: List[Instruction] = []
+        recent: List[str] = []
+        for step in range(length):
+            destination = self._pick_register(_GPR32, recent)
+            roll = self.rng.random()
+            if roll < 0.30:
+                source = (
+                    self._immediate()
+                    if self.rng.random() < 0.5
+                    else Operand.from_register(self._pick_register(_GPR32, recent))
+                )
+                mnemonic = "CMP" if self.rng.random() < 0.6 else "TEST"
+                instructions.append(
+                    Instruction.create(mnemonic, (Operand.from_register(destination), source))
+                )
+            elif roll < 0.50:
+                suffix = str(self.rng.choice(_CONDITION_SUFFIXES))
+                source = Operand.from_register(self._pick_register(_GPR32, recent))
+                instructions.append(
+                    Instruction.create(f"CMOV{suffix}", (Operand.from_register(destination), source))
+                )
+            elif roll < 0.62:
+                suffix = str(self.rng.choice(_CONDITION_SUFFIXES))
+                byte_register = str(self.rng.choice(("AL", "BL", "CL", "DL")))
+                instructions.append(
+                    Instruction.create(f"SET{suffix}", (Operand.from_register(byte_register),))
+                )
+            elif roll < 0.80:
+                mnemonic = str(self.rng.choice(("SBB", "ADC", "AND", "OR")))
+                source = (
+                    self._immediate()
+                    if self.rng.random() < 0.4
+                    else Operand.from_register(self._pick_register(_GPR32, recent))
+                )
+                instructions.append(
+                    Instruction.create(mnemonic, (Operand.from_register(destination), source))
+                )
+            else:
+                instructions.append(
+                    Instruction.create(
+                        "MOV",
+                        (Operand.from_register(destination), self._immediate()),
+                    )
+                )
+            recent.append(destination)
+            recent = recent[-4:]
+        return instructions

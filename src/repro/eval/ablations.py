@@ -1,0 +1,290 @@
+"""Ablation studies.
+
+The paper's Section 5.2 ablates the decoder network and layer normalisation;
+DESIGN.md additionally calls out two ablations of the graph encoding that the
+paper motivates but does not isolate: the per-instruction decoding (vs a
+global readout) and the data-dependency edges (vs a purely sequential graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.datasets import TARGET_MICROARCHITECTURES
+from repro.eval import paper_reference as paper
+from repro.eval.harness import ExperimentHarness, ExperimentScale, TrainedModel
+from repro.graph.builder import GraphBuilderConfig
+from repro.models.config import GraniteConfig, IthemalConfig
+from repro.models.granite import GraniteModel
+from repro.models.ithemal import IthemalModel
+
+__all__ = [
+    "DecoderAblationResult",
+    "run_decoder_ablation",
+    "LayerNormAblationResult",
+    "run_layernorm_ablation",
+    "EdgeAblationResult",
+    "run_edge_ablation",
+    "ReadoutAblationResult",
+    "run_readout_ablation",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Decoder ablation (Section 5.2, "Impact of the decoder network").
+# ---------------------------------------------------------------------- #
+@dataclass
+class DecoderAblationResult:
+    """MAPE of Ithemal with and without the MLP decoder extension."""
+
+    dot_product_mape: Dict[str, float]
+    mlp_decoder_mape: Dict[str, float]
+    paper_improvement: Dict[str, float]
+
+    def improvement(self, microarchitecture: str) -> float:
+        """MAPE reduction from adding the MLP decoder (positive = better)."""
+        return self.dot_product_mape[microarchitecture] - self.mlp_decoder_mape[microarchitecture]
+
+    def average_improvement(self) -> float:
+        return float(
+            np.mean([self.improvement(key) for key in self.dot_product_mape])
+        )
+
+    def format_table(self) -> str:
+        lines = [f"{'Microarchitecture':<14} {'dot-product':>12} {'MLP decoder':>12} {'delta':>8}"]
+        for key in self.dot_product_mape:
+            lines.append(
+                f"{paper.MICROARCHITECTURE_DISPLAY_NAMES.get(key, key):<14} "
+                f"{self.dot_product_mape[key] * 100:11.2f}% "
+                f"{self.mlp_decoder_mape[key] * 100:11.2f}% "
+                f"{self.improvement(key) * 100:7.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def run_decoder_ablation(scale: Optional[ExperimentScale] = None) -> DecoderAblationResult:
+    """Compares the dot-product decoder (Ithemal) with the MLP decoder (Ithemal+)."""
+    harness = ExperimentHarness(scale)
+    vanilla = harness.train_standard_model("ithemal")
+    extended = harness.train_standard_model("ithemal+")
+    return DecoderAblationResult(
+        dot_product_mape={
+            key: vanilla.mape(key) for key in TARGET_MICROARCHITECTURES
+        },
+        mlp_decoder_mape={
+            key: extended.mape(key) for key in TARGET_MICROARCHITECTURES
+        },
+        paper_improvement=paper.DECODER_ABLATION_IMPROVEMENT,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Layer normalisation ablation (Section 5.2).
+# ---------------------------------------------------------------------- #
+@dataclass
+class LayerNormAblationResult:
+    """MAPE of GRANITE with and without layer normalisation."""
+
+    with_layernorm_mape: Dict[str, float]
+    without_layernorm_mape: Dict[str, float]
+    without_layernorm_diverged: bool
+    paper_error_increase: Dict[str, float]
+
+    def error_increase(self, microarchitecture: str) -> float:
+        """Absolute MAPE increase when layer normalisation is removed."""
+        return (
+            self.without_layernorm_mape[microarchitecture]
+            - self.with_layernorm_mape[microarchitecture]
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"{'Microarchitecture':<14} {'with LN':>9} {'without LN':>11} "
+            f"{'increase':>9} {'paper increase':>15}"
+        ]
+        for key in self.with_layernorm_mape:
+            lines.append(
+                f"{paper.MICROARCHITECTURE_DISPLAY_NAMES.get(key, key):<14} "
+                f"{self.with_layernorm_mape[key] * 100:8.2f}% "
+                f"{self.without_layernorm_mape[key] * 100:10.2f}% "
+                f"{self.error_increase(key) * 100:8.2f}% "
+                f"{self.paper_error_increase.get(key, float('nan')) * 100:14.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def run_layernorm_ablation(scale: Optional[ExperimentScale] = None) -> LayerNormAblationResult:
+    """Trains GRANITE with and without layer normalisation.
+
+    The variant without layer normalisation uses gradient clipping, exactly
+    as the paper had to ("we had to counter by using gradient clipping").
+    """
+    harness = ExperimentHarness(scale)
+    splits = harness.ithemal_splits
+
+    base_config = (
+        GraniteConfig.small(seed=harness.scale.seed)
+        if harness.scale.small_models
+        else GraniteConfig.paper_defaults()
+    )
+    with_layernorm = harness.train_and_evaluate(
+        GraniteModel(base_config), splits, name="granite-layernorm"
+    )
+    without_config = replace(base_config, use_layer_norm=False)
+    without_layernorm = harness.train_and_evaluate(
+        GraniteModel(without_config),
+        splits,
+        name="granite-no-layernorm",
+        gradient_clip_norm=1.0,
+    )
+    return LayerNormAblationResult(
+        with_layernorm_mape={
+            key: with_layernorm.mape(key) for key in TARGET_MICROARCHITECTURES
+        },
+        without_layernorm_mape={
+            key: without_layernorm.mape(key) for key in TARGET_MICROARCHITECTURES
+        },
+        without_layernorm_diverged=without_layernorm.history.diverged(),
+        paper_error_increase=paper.LAYER_NORM_ABLATION_ERROR_INCREASE,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Graph-edge ablation (DESIGN.md extension).
+# ---------------------------------------------------------------------- #
+@dataclass
+class EdgeAblationResult:
+    """MAPE of GRANITE with the full graph vs structural-only edges."""
+
+    full_graph_mape: Dict[str, float]
+    structural_only_mape: Dict[str, float]
+
+    def dependency_edge_benefit(self) -> float:
+        """Average MAPE reduction from the data-dependency edges."""
+        full = np.mean(list(self.full_graph_mape.values()))
+        structural = np.mean(list(self.structural_only_mape.values()))
+        return float(structural - full)
+
+    def format_table(self) -> str:
+        lines = [f"{'Microarchitecture':<14} {'full graph':>11} {'structural only':>16}"]
+        for key in self.full_graph_mape:
+            lines.append(
+                f"{paper.MICROARCHITECTURE_DISPLAY_NAMES.get(key, key):<14} "
+                f"{self.full_graph_mape[key] * 100:10.2f}% "
+                f"{self.structural_only_mape[key] * 100:15.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def run_edge_ablation(scale: Optional[ExperimentScale] = None) -> EdgeAblationResult:
+    """Quantifies the value of the data-dependency edges in the graph.
+
+    The ablated model keeps the node set and the structural (sequence) edges
+    but removes the operand / address edges, i.e. it sees roughly the same
+    information as a sequence model.
+    """
+    harness = ExperimentHarness(scale)
+    splits = harness.ithemal_splits
+    config = (
+        GraniteConfig.small(seed=harness.scale.seed)
+        if harness.scale.small_models
+        else GraniteConfig.paper_defaults()
+    )
+    full = harness.train_and_evaluate(GraniteModel(config), splits, name="granite-full")
+    structural_config = GraphBuilderConfig(
+        include_structural_edges=True,
+        include_data_edges=False,
+        include_address_edges=False,
+        include_implicit_operands=False,
+    )
+    structural = harness.train_and_evaluate(
+        GraniteModel(config, graph_config=structural_config),
+        splits,
+        name="granite-structural-only",
+    )
+    return EdgeAblationResult(
+        full_graph_mape={key: full.mape(key) for key in TARGET_MICROARCHITECTURES},
+        structural_only_mape={
+            key: structural.mape(key) for key in TARGET_MICROARCHITECTURES
+        },
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Readout ablation (DESIGN.md extension).
+# ---------------------------------------------------------------------- #
+@dataclass
+class ReadoutAblationResult:
+    """MAPE and error balance of the two readout strategies.
+
+    ``per_instruction`` is the paper's design (decode each instruction
+    mnemonic node, sum contributions); ``global`` decodes the graph-level
+    feature directly.  The paper conjectures the per-instruction decoding is
+    the reason GRANITE's errors are balanced rather than biased (Section
+    5.1), so the underestimation fractions are recorded as well.
+    """
+
+    per_instruction_mape: Dict[str, float]
+    global_readout_mape: Dict[str, float]
+    per_instruction_underestimation: Dict[str, float]
+    global_readout_underestimation: Dict[str, float]
+
+    def per_instruction_benefit(self) -> float:
+        """Average MAPE reduction of per-instruction decoding (positive = better)."""
+        per_instruction = np.mean(list(self.per_instruction_mape.values()))
+        global_readout = np.mean(list(self.global_readout_mape.values()))
+        return float(global_readout - per_instruction)
+
+    def format_table(self) -> str:
+        lines = [
+            f"{'Microarchitecture':<14} {'per-instruction':>16} {'global readout':>15}"
+        ]
+        for key in self.per_instruction_mape:
+            lines.append(
+                f"{paper.MICROARCHITECTURE_DISPLAY_NAMES.get(key, key):<14} "
+                f"{self.per_instruction_mape[key] * 100:15.2f}% "
+                f"{self.global_readout_mape[key] * 100:14.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def run_readout_ablation(scale: Optional[ExperimentScale] = None) -> ReadoutAblationResult:
+    """Compares per-instruction decoding against a global-feature readout."""
+    from repro.training.metrics import underestimation_fraction
+
+    harness = ExperimentHarness(scale)
+    splits = harness.ithemal_splits
+    base_config = (
+        GraniteConfig.small(seed=harness.scale.seed)
+        if harness.scale.small_models
+        else GraniteConfig.paper_defaults()
+    )
+
+    per_instruction = harness.train_and_evaluate(
+        GraniteModel(base_config), splits, name="granite-per-instruction"
+    )
+    global_config = replace(base_config, readout="global")
+    global_readout = harness.train_and_evaluate(
+        GraniteModel(global_config), splits, name="granite-global-readout"
+    )
+
+    def underestimation(trained: TrainedModel) -> Dict[str, float]:
+        predictions = trained.model.predict(splits.test.blocks())
+        return {
+            key: underestimation_fraction(predictions[key], splits.test.throughputs(key))
+            for key in TARGET_MICROARCHITECTURES
+        }
+
+    return ReadoutAblationResult(
+        per_instruction_mape={
+            key: per_instruction.mape(key) for key in TARGET_MICROARCHITECTURES
+        },
+        global_readout_mape={
+            key: global_readout.mape(key) for key in TARGET_MICROARCHITECTURES
+        },
+        per_instruction_underestimation=underestimation(per_instruction),
+        global_readout_underestimation=underestimation(global_readout),
+    )

@@ -1,0 +1,194 @@
+"""Shared experiment harness.
+
+Every table and figure reproduction goes through the same three phases:
+build the datasets, train the relevant models, evaluate them.  This module
+factors out those phases so the per-experiment code in
+:mod:`repro.eval.tables`, :mod:`repro.eval.figures` and
+:mod:`repro.eval.ablations` stays declarative.
+
+The :class:`ExperimentScale` controls how big the reproduction run is.  The
+default ("quick") scale finishes each experiment in tens of seconds on a CPU,
+which is what the benchmark suite uses; the "full" scale approaches the
+paper's hyper-parameters (Table 4) and is meant for long offline runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.datasets import (
+    DatasetSplits,
+    TARGET_MICROARCHITECTURES,
+    ThroughputDataset,
+    build_bhive_like_dataset,
+    build_ithemal_like_dataset,
+)
+from repro.models import create_model
+from repro.models.base import ThroughputModel
+from repro.models.config import GraniteConfig, IthemalConfig, TrainingConfig
+from repro.models.granite import GraniteModel
+from repro.models.ithemal import IthemalModel
+from repro.training.metrics import RegressionMetrics
+from repro.training.trainer import Trainer, TrainingHistory, evaluate_model
+
+__all__ = ["ExperimentScale", "TrainedModel", "ExperimentHarness"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size of an experiment run.
+
+    Attributes:
+        ithemal_dataset_size: Number of blocks in the Ithemal-like dataset.
+        bhive_dataset_size: Number of blocks in the BHive-like dataset
+            (the paper notes BHive is ~5x smaller).
+        num_training_steps: Optimisation steps per trained model.
+        batch_size: Blocks per training batch (100 in the paper).
+        small_models: Use the reduced model configuration.
+        seed: Master seed; model seeds are derived from it.
+    """
+
+    ithemal_dataset_size: int = 1000
+    bhive_dataset_size: int = 250
+    num_training_steps: int = 200
+    batch_size: int = 32
+    small_models: bool = True
+    seed: int = 0
+
+    @staticmethod
+    def quick(seed: int = 0) -> "ExperimentScale":
+        """The default CPU-friendly scale used by the benchmark suite."""
+        return ExperimentScale(seed=seed)
+
+    @staticmethod
+    def smoke(seed: int = 0) -> "ExperimentScale":
+        """A tiny scale for unit tests of the harness itself."""
+        return ExperimentScale(
+            ithemal_dataset_size=80,
+            bhive_dataset_size=40,
+            num_training_steps=12,
+            batch_size=16,
+            seed=seed,
+        )
+
+    @staticmethod
+    def full(seed: int = 0) -> "ExperimentScale":
+        """A scale approaching the paper's setup (hours of CPU time)."""
+        return ExperimentScale(
+            ithemal_dataset_size=50_000,
+            bhive_dataset_size=10_000,
+            num_training_steps=20_000,
+            batch_size=100,
+            small_models=False,
+            seed=seed,
+        )
+
+
+@dataclass
+class TrainedModel:
+    """A model together with its training history and evaluation results."""
+
+    name: str
+    model: ThroughputModel
+    history: TrainingHistory
+    test_metrics: Dict[str, RegressionMetrics]
+
+    def mape(self, microarchitecture: str) -> float:
+        return self.test_metrics[microarchitecture].mape
+
+    def average_mape(self) -> float:
+        return float(np.mean([metric.mape for metric in self.test_metrics.values()]))
+
+
+class ExperimentHarness:
+    """Builds datasets and trains models at a given :class:`ExperimentScale`."""
+
+    def __init__(self, scale: Optional[ExperimentScale] = None) -> None:
+        self.scale = scale or ExperimentScale.quick()
+        self._ithemal_splits: Optional[DatasetSplits] = None
+        self._bhive_splits: Optional[DatasetSplits] = None
+
+    # ------------------------------------------------------------------ #
+    # Datasets (built lazily and cached).
+    # ------------------------------------------------------------------ #
+    @property
+    def ithemal_splits(self) -> DatasetSplits:
+        """Train/validation/test splits of the Ithemal-like dataset."""
+        if self._ithemal_splits is None:
+            dataset = build_ithemal_like_dataset(
+                self.scale.ithemal_dataset_size, seed=self.scale.seed
+            )
+            self._ithemal_splits = dataset.paper_splits(seed=self.scale.seed)
+        return self._ithemal_splits
+
+    @property
+    def bhive_splits(self) -> DatasetSplits:
+        """Train/validation/test splits of the BHive-like dataset."""
+        if self._bhive_splits is None:
+            dataset = build_bhive_like_dataset(
+                self.scale.bhive_dataset_size, seed=self.scale.seed + 1000
+            )
+            self._bhive_splits = dataset.paper_splits(seed=self.scale.seed)
+        return self._bhive_splits
+
+    # ------------------------------------------------------------------ #
+    # Model construction and training.
+    # ------------------------------------------------------------------ #
+    def make_model(
+        self,
+        name: str,
+        tasks: Sequence[str] = TARGET_MICROARCHITECTURES,
+        num_message_passing_iterations: Optional[int] = None,
+        seed_offset: int = 0,
+    ) -> ThroughputModel:
+        """Creates a model ("granite", "ithemal", "ithemal+") for this run."""
+        return create_model(
+            name,
+            tasks=tasks,
+            small=self.scale.small_models,
+            seed=self.scale.seed + seed_offset,
+            num_message_passing_iterations=num_message_passing_iterations,
+        )
+
+    def training_config(self, loss: str = "mape", **overrides) -> TrainingConfig:
+        """Returns the training configuration for this scale."""
+        config = TrainingConfig(
+            learning_rate=1e-3,
+            batch_size=self.scale.batch_size,
+            num_steps=self.scale.num_training_steps,
+            loss=loss,
+            validation_interval=max(10, self.scale.num_training_steps // 4),
+            seed=self.scale.seed,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    def train_and_evaluate(
+        self,
+        model: ThroughputModel,
+        splits: DatasetSplits,
+        name: str,
+        loss: str = "mape",
+        test_dataset: Optional[ThroughputDataset] = None,
+        **training_overrides,
+    ) -> TrainedModel:
+        """Trains ``model`` on ``splits`` and evaluates it on the test split."""
+        trainer = Trainer(model, self.training_config(loss=loss, **training_overrides))
+        history = trainer.train(splits.train, splits.validation)
+        evaluation_dataset = test_dataset if test_dataset is not None else splits.test
+        metrics = evaluate_model(model, evaluation_dataset)
+        return TrainedModel(name=name, model=model, history=history, test_metrics=metrics)
+
+    def train_standard_model(
+        self,
+        name: str,
+        splits: Optional[DatasetSplits] = None,
+        tasks: Sequence[str] = TARGET_MICROARCHITECTURES,
+        **kwargs,
+    ) -> TrainedModel:
+        """Creates, trains and evaluates one of the paper's models."""
+        splits = splits if splits is not None else self.ithemal_splits
+        model = self.make_model(name, tasks=tasks)
+        return self.train_and_evaluate(model, splits, name=name, **kwargs)

@@ -1,0 +1,153 @@
+"""Computational-efficiency measurements (Table 10).
+
+The paper measures the average run time per batch of 100 basic blocks for
+training and inference of every model, on a GPU for training and on both GPU
+and CPU for inference.  This reproduction runs on a CPU-only numpy backend,
+so the absolute numbers are incomparable, but the *relative* claims are
+checked by the benchmark suite:
+
+* GRANITE's per-batch cost on the accelerator-style batched path is lower
+  than Ithemal's, because the graph network runs a fixed small number of
+  dense operations per message-passing iteration while the hierarchical
+  LSTM must step through every token sequentially.
+* The overhead of multi-task heads is negligible for both families: the per
+  microarchitecture cost of a three-headed model is roughly one third of
+  training three single-task models.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.datasets import TARGET_MICROARCHITECTURES, ThroughputDataset, build_bhive_like_dataset
+from repro.eval import paper_reference as paper
+from repro.eval.harness import ExperimentHarness, ExperimentScale
+from repro.models.base import ThroughputModel
+from repro.models.config import TrainingConfig
+from repro.training.trainer import Trainer
+
+__all__ = ["TimingResult", "measure_model_timing", "run_table10"]
+
+
+@dataclass
+class TimingResult:
+    """Per-batch timing of one model configuration.
+
+    Attributes:
+        model_name: "granite", "ithemal" or "ithemal+".
+        tasks: The microarchitecture heads of the timed model.
+        training_seconds_per_batch: Average wall-clock time of one training
+            step (forward + backward + optimiser update) on a batch.
+        inference_seconds_per_batch: Average wall-clock time of predicting a
+            batch.
+        batch_size: Number of blocks per batch.
+    """
+
+    model_name: str
+    tasks: Tuple[str, ...]
+    training_seconds_per_batch: float
+    inference_seconds_per_batch: float
+    batch_size: int
+
+    @property
+    def training_seconds_per_task(self) -> float:
+        """Training cost divided by the number of heads (the paper's
+        "training cost per microarchitecture" argument)."""
+        return self.training_seconds_per_batch / max(len(self.tasks), 1)
+
+
+def measure_model_timing(
+    model: ThroughputModel,
+    dataset: ThroughputDataset,
+    batch_size: int = 100,
+    num_training_batches: int = 5,
+    num_inference_batches: int = 10,
+    seed: int = 0,
+) -> TimingResult:
+    """Measures average per-batch training and inference time of a model."""
+    if len(dataset) < batch_size:
+        batch_size = len(dataset)
+    trainer = Trainer(
+        model,
+        TrainingConfig(batch_size=batch_size, num_steps=num_training_batches, seed=seed),
+    )
+    # Warm-up step excluded from the measurement (first-call overheads).
+    trainer.train_step(dataset, step=0)
+    training_times = []
+    for step in range(num_training_batches):
+        result = trainer.train_step(dataset, step=step + 1)
+        training_times.append(result.seconds)
+
+    rng = np.random.default_rng(seed)
+    blocks = dataset.blocks()
+    inference_times = []
+    model.predict(blocks[:batch_size])  # warm-up
+    for _ in range(num_inference_batches):
+        indices = rng.choice(len(blocks), size=batch_size, replace=False)
+        batch = [blocks[int(index)] for index in indices]
+        start = time.perf_counter()
+        model.predict(batch)
+        inference_times.append(time.perf_counter() - start)
+
+    return TimingResult(
+        model_name=type(model).__name__,
+        tasks=tuple(model.tasks),
+        training_seconds_per_batch=float(np.mean(training_times)),
+        inference_seconds_per_batch=float(np.mean(inference_times)),
+        batch_size=batch_size,
+    )
+
+
+@dataclass
+class Table10Result:
+    """All timings of Table 10, keyed like the paper's rows."""
+
+    timings: Dict[str, TimingResult]
+    paper_seconds: Dict[Tuple[str, str], float]
+
+    def format_table(self) -> str:
+        lines = [
+            f"{'Configuration':<18} {'train s/batch':>14} {'infer s/batch':>14} "
+            f"{'train s/batch/task':>19}"
+        ]
+        for name, timing in self.timings.items():
+            lines.append(
+                f"{name:<18} {timing.training_seconds_per_batch:14.4f} "
+                f"{timing.inference_seconds_per_batch:14.4f} "
+                f"{timing.training_seconds_per_task:19.4f}"
+            )
+        return "\n".join(lines)
+
+
+def run_table10(
+    scale: Optional[ExperimentScale] = None,
+    batch_size: int = 100,
+    num_blocks: int = 400,
+) -> Table10Result:
+    """Table 10: run time per batch of training and inference.
+
+    Times GRANITE and Ithemal+ in single-task and multi-task configurations
+    (vanilla Ithemal shares Ithemal+'s encoder, which dominates its run
+    time, so it is folded into the Ithemal+ row as in the discussion of the
+    paper's results).
+    """
+    harness = ExperimentHarness(scale)
+    dataset = build_bhive_like_dataset(num_blocks, seed=harness.scale.seed + 7)
+
+    configurations = {
+        "granite_single": ("granite", (TARGET_MICROARCHITECTURES[0],)),
+        "granite_multi": ("granite", TARGET_MICROARCHITECTURES),
+        "ithemal+_single": ("ithemal+", (TARGET_MICROARCHITECTURES[0],)),
+        "ithemal+_multi": ("ithemal+", TARGET_MICROARCHITECTURES),
+    }
+    timings: Dict[str, TimingResult] = {}
+    for name, (model_name, tasks) in configurations.items():
+        model = harness.make_model(model_name, tasks=tasks)
+        timings[name] = measure_model_timing(
+            model, dataset, batch_size=batch_size, seed=harness.scale.seed
+        )
+    return Table10Result(timings=timings, paper_seconds=paper.TABLE10_RUNTIME_SECONDS)

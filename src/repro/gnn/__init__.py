@@ -1,0 +1,21 @@
+"""Graph neural network blocks (full GN block, Battaglia et al. 2018)."""
+
+from repro.gnn.blocks import (
+    EdgeBlock,
+    FullGNBlock,
+    GlobalBlock,
+    GraphNetwork,
+    GraphState,
+    GraphTopology,
+    NodeBlock,
+)
+
+__all__ = [
+    "EdgeBlock",
+    "FullGNBlock",
+    "GlobalBlock",
+    "GraphNetwork",
+    "GraphState",
+    "GraphTopology",
+    "NodeBlock",
+]

@@ -1,0 +1,34 @@
+"""GRANITE graph encoding of basic blocks (Section 3.1 of the paper)."""
+
+from repro.graph.builder import GraphBuilder, GraphBuilderConfig, build_block_graph
+from repro.graph.graph import BlockGraph, GraphEdge, GraphNode, GraphsTuple, pack_graphs
+from repro.graph.types import (
+    EDGE_TYPE_INDEX,
+    NODE_TYPE_INDEX,
+    EdgeType,
+    INSTRUCTION_NODE_TYPES,
+    NodeType,
+    SpecialToken,
+    VALUE_NODE_TYPES,
+)
+from repro.graph.vocabulary import Vocabulary, build_default_vocabulary
+
+__all__ = [
+    "GraphBuilder",
+    "GraphBuilderConfig",
+    "build_block_graph",
+    "BlockGraph",
+    "GraphEdge",
+    "GraphNode",
+    "GraphsTuple",
+    "pack_graphs",
+    "EDGE_TYPE_INDEX",
+    "NODE_TYPE_INDEX",
+    "EdgeType",
+    "INSTRUCTION_NODE_TYPES",
+    "NodeType",
+    "SpecialToken",
+    "VALUE_NODE_TYPES",
+    "Vocabulary",
+    "build_default_vocabulary",
+]

@@ -1,0 +1,93 @@
+"""Node and edge type definitions of the GRANITE graph encoding.
+
+Tables 2 and 3 of the paper define the vocabulary of the graph: two families
+of nodes (instruction nodes and value nodes) and seven directed edge types.
+This module mirrors those tables exactly and provides the special tokens
+shared by all immediate values, all memory values and all address
+computations.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+__all__ = [
+    "NodeType",
+    "EdgeType",
+    "SpecialToken",
+    "INSTRUCTION_NODE_TYPES",
+    "VALUE_NODE_TYPES",
+]
+
+
+class NodeType(enum.Enum):
+    """Node types of the GRANITE graph (Table 2)."""
+
+    #: The mnemonic of an instruction (e.g. ``ADD``).
+    MNEMONIC = "mnemonic"
+    #: An instruction prefix (e.g. ``LOCK``).
+    PREFIX = "prefix"
+    #: A value stored in a register; the token is the register name.
+    REGISTER = "register"
+    #: A floating-point immediate value (shared special token).
+    FP_IMMEDIATE = "fp_immediate"
+    #: An integer immediate value (shared special token).
+    IMMEDIATE = "immediate"
+    #: The result of an address computation (shared special token).
+    ADDRESS_COMPUTATION = "address_computation"
+    #: A value stored in memory (shared special token).
+    MEMORY_VALUE = "memory_value"
+
+
+class EdgeType(enum.Enum):
+    """Edge types of the GRANITE graph (Table 3).  All edges are directed."""
+
+    #: From an instruction mnemonic node to the mnemonic node of the
+    #: following instruction.
+    STRUCTURAL_DEPENDENCY = "structural_dependency"
+    #: From a value node to the instruction mnemonic node consuming it.
+    INPUT_OPERAND = "input_operand"
+    #: From an instruction mnemonic node to the register or memory value
+    #: node it produces.
+    OUTPUT_OPERAND = "output_operand"
+    #: From a register node to an address computation node (base register).
+    ADDRESS_BASE = "address_base"
+    #: From a register node to an address computation node (index register).
+    ADDRESS_INDEX = "address_index"
+    #: From a register node to an address computation node (segment register).
+    ADDRESS_SEGMENT = "address_segment"
+    #: From an immediate value node to an address computation node.
+    ADDRESS_DISPLACEMENT = "address_displacement"
+    #: From an instruction prefix node to its instruction mnemonic node.
+    #: (The paper connects prefix nodes to the mnemonic node by an edge;
+    #: the edge type is not named in Table 3, so it gets its own type here.)
+    PREFIX = "prefix"
+
+
+class SpecialToken(enum.Enum):
+    """Tokens shared by whole classes of value nodes (Table 2)."""
+
+    IMMEDIATE = "<IMM>"
+    FP_IMMEDIATE = "<FPIMM>"
+    ADDRESS_COMPUTATION = "<ADDR>"
+    MEMORY_VALUE = "<MEM>"
+    UNKNOWN = "<UNK>"
+
+
+#: Node types that represent instructions (as opposed to values).
+INSTRUCTION_NODE_TYPES: Tuple[NodeType, ...] = (NodeType.MNEMONIC, NodeType.PREFIX)
+
+#: Node types that represent values passed between instructions.
+VALUE_NODE_TYPES: Tuple[NodeType, ...] = (
+    NodeType.REGISTER,
+    NodeType.FP_IMMEDIATE,
+    NodeType.IMMEDIATE,
+    NodeType.ADDRESS_COMPUTATION,
+    NodeType.MEMORY_VALUE,
+)
+
+#: Stable integer ids for edge types, used for edge embeddings and for the
+#: edge-type histogram in the global feature vector.
+EDGE_TYPE_INDEX = {edge_type: index for index, edge_type in enumerate(EdgeType)}
+NODE_TYPE_INDEX = {node_type: index for index, node_type in enumerate(NodeType)}

@@ -1,0 +1,105 @@
+"""Token vocabulary for graph nodes.
+
+Every graph node carries an assembly-language token (Table 2): the mnemonic
+for instruction nodes, the register name for register value nodes, and a
+shared special token for immediates, floating point immediates, memory
+values and address computations.  The vocabulary maps those tokens to dense
+integer ids used to index the learned node-token embedding table.
+
+A canonical vocabulary covering every mnemonic known to
+:mod:`repro.isa.semantics`, every register name, every prefix and the special
+tokens is built by :func:`build_default_vocabulary`; unknown tokens map to a
+dedicated ``<UNK>`` id so models never fail on unseen instructions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import KNOWN_PREFIXES
+from repro.isa.registers import REGISTER_FILE
+from repro.isa.semantics import known_mnemonics
+from repro.graph.types import SpecialToken
+
+__all__ = ["Vocabulary", "build_default_vocabulary"]
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """An immutable token-to-id mapping.
+
+    Attributes:
+        tokens: Token strings in id order; ``tokens[id]`` is the token.
+    """
+
+    tokens: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.tokens)) != len(self.tokens):
+            raise ValueError("vocabulary contains duplicate tokens")
+        object.__setattr__(
+            self, "_index", {token: index for index, token in enumerate(self.tokens)}
+        )
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    @property
+    def unknown_id(self) -> int:
+        """Id of the ``<UNK>`` token."""
+        return self._index[SpecialToken.UNKNOWN.value]
+
+    def id_of(self, token: str) -> int:
+        """Returns the id of ``token``, falling back to the unknown id."""
+        return self._index.get(token, self.unknown_id)
+
+    def token_of(self, token_id: int) -> str:
+        """Returns the token string for an id."""
+        return self.tokens[token_id]
+
+    def encode(self, tokens: Sequence[str]) -> List[int]:
+        """Encodes a sequence of token strings to ids."""
+        return [self.id_of(token) for token in tokens]
+
+    def to_json(self) -> str:
+        """Serialises the vocabulary to a JSON string."""
+        return json.dumps({"tokens": list(self.tokens)})
+
+    @staticmethod
+    def from_json(text: str) -> "Vocabulary":
+        """Restores a vocabulary serialised by :meth:`to_json`."""
+        payload = json.loads(text)
+        return Vocabulary(tokens=tuple(payload["tokens"]))
+
+    @staticmethod
+    def from_tokens(tokens: Iterable[str]) -> "Vocabulary":
+        """Builds a vocabulary from arbitrary tokens, adding special tokens."""
+        ordered: List[str] = [special.value for special in SpecialToken]
+        seen = set(ordered)
+        for token in tokens:
+            if token not in seen:
+                ordered.append(token)
+                seen.add(token)
+        return Vocabulary(tokens=tuple(ordered))
+
+
+def build_default_vocabulary(extra_tokens: Optional[Sequence[str]] = None) -> Vocabulary:
+    """Builds the canonical vocabulary used across all experiments.
+
+    The vocabulary contains, in a deterministic order: the special tokens,
+    every known mnemonic, every instruction prefix, and every register name
+    known to the register file.  ``extra_tokens`` can add dataset specific
+    tokens (e.g. mnemonics that only appear in a particular trace).
+    """
+    tokens: List[str] = []
+    tokens.extend(sorted(known_mnemonics()))
+    tokens.extend(KNOWN_PREFIXES)
+    tokens.extend(sorted(REGISTER_FILE.names()))
+    if extra_tokens:
+        tokens.extend(extra_tokens)
+    return Vocabulary.from_tokens(tokens)

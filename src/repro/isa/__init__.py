@@ -1,0 +1,63 @@
+"""x86-64 instruction set substrate.
+
+This subpackage provides the assembly-language data model that the rest of
+the library builds on: registers with aliasing families, operands (register,
+immediate, memory), instructions, an Intel-syntax parser, architectural
+read/write semantics, and the :class:`BasicBlock` container with def-use
+dependency analysis.
+"""
+
+from repro.isa.basic_block import (
+    BasicBlock,
+    DataDependency,
+    InstructionAccesses,
+    instruction_accesses,
+)
+from repro.isa.instructions import KNOWN_PREFIXES, Instruction
+from repro.isa.operands import MemoryReference, Operand, OperandKind
+from repro.isa.parser import AssemblyParseError, parse_block_text, parse_instruction
+from repro.isa.registers import (
+    REGISTER_FILE,
+    Register,
+    RegisterClass,
+    RegisterFile,
+    canonical_register,
+    is_register_name,
+    registers_alias,
+)
+from repro.isa.semantics import (
+    CONDITION_CODES,
+    InstructionCategory,
+    InstructionSemantics,
+    OperandAction,
+    known_mnemonics,
+    semantics_for,
+)
+
+__all__ = [
+    "BasicBlock",
+    "DataDependency",
+    "InstructionAccesses",
+    "instruction_accesses",
+    "Instruction",
+    "KNOWN_PREFIXES",
+    "MemoryReference",
+    "Operand",
+    "OperandKind",
+    "AssemblyParseError",
+    "parse_block_text",
+    "parse_instruction",
+    "REGISTER_FILE",
+    "Register",
+    "RegisterClass",
+    "RegisterFile",
+    "canonical_register",
+    "is_register_name",
+    "registers_alias",
+    "CONDITION_CODES",
+    "InstructionCategory",
+    "InstructionSemantics",
+    "OperandAction",
+    "known_mnemonics",
+    "semantics_for",
+]

@@ -1,0 +1,90 @@
+"""Instruction and basic-block data model.
+
+Instructions are immutable records of a mnemonic, optional prefixes and a
+list of operands.  The *semantics* of an instruction (which operands it
+reads/writes, whether it touches EFLAGS, its functional category) live in
+:mod:`repro.isa.semantics`; latency and port usage for specific
+microarchitectures live in :mod:`repro.uarch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.isa.operands import Operand
+
+__all__ = ["Instruction", "KNOWN_PREFIXES"]
+
+#: Instruction prefixes that modify the behaviour of the instruction and are
+#: represented by dedicated prefix nodes in the GRANITE graph.
+KNOWN_PREFIXES: Tuple[str, ...] = ("LOCK", "REP", "REPE", "REPZ", "REPNE", "REPNZ")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single x86-64 instruction.
+
+    Attributes:
+        mnemonic: Upper-case instruction mnemonic, e.g. ``"ADD"``.
+        operands: Explicit operands in Intel order (destination first).
+        prefixes: Instruction prefixes such as ``"LOCK"`` in source order.
+    """
+
+    mnemonic: str
+    operands: Tuple[Operand, ...] = field(default_factory=tuple)
+    prefixes: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mnemonic", self.mnemonic.upper())
+        object.__setattr__(self, "operands", tuple(self.operands))
+        object.__setattr__(
+            self, "prefixes", tuple(prefix.upper() for prefix in self.prefixes)
+        )
+        for prefix in self.prefixes:
+            if prefix not in KNOWN_PREFIXES:
+                raise ValueError(f"unknown instruction prefix: {prefix!r}")
+
+    @staticmethod
+    def create(
+        mnemonic: str,
+        operands: Sequence[Operand] = (),
+        prefixes: Sequence[str] = (),
+    ) -> "Instruction":
+        """Convenience constructor accepting any operand/prefix sequences."""
+        return Instruction(
+            mnemonic=mnemonic, operands=tuple(operands), prefixes=tuple(prefixes)
+        )
+
+    @property
+    def num_operands(self) -> int:
+        return len(self.operands)
+
+    @property
+    def has_memory_operand(self) -> bool:
+        return any(operand.is_memory for operand in self.operands)
+
+    @property
+    def memory_operands(self) -> List[Operand]:
+        return [operand for operand in self.operands if operand.is_memory]
+
+    @property
+    def register_operands(self) -> List[Operand]:
+        return [operand for operand in self.operands if operand.is_register]
+
+    def render(self) -> str:
+        """Renders the instruction in Intel syntax."""
+        parts: List[str] = list(self.prefixes)
+        parts.append(self.mnemonic)
+        text = " ".join(parts)
+        if self.operands:
+            text += " " + ", ".join(operand.render() for operand in self.operands)
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.render()
+
+
+def render_instructions(instructions: Iterable[Instruction]) -> str:
+    """Renders a sequence of instructions, one per line, in Intel syntax."""
+    return "\n".join(instruction.render() for instruction in instructions)

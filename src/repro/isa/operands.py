@@ -1,0 +1,187 @@
+"""Operand data model for x86-64 instructions.
+
+An operand is either a register, an immediate value, a floating point
+immediate, or a memory reference.  Memory references carry the full x86
+addressing expression ``segment:[base + index * scale + displacement]`` which
+the GRANITE graph encoding turns into an *address computation* node with
+dedicated edge types for the base, index, segment and displacement inputs
+(Table 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.registers import REGISTER_FILE, canonical_register
+
+__all__ = [
+    "OperandKind",
+    "MemoryReference",
+    "Operand",
+]
+
+
+class OperandKind(enum.Enum):
+    """The kind of an instruction operand."""
+
+    REGISTER = "register"
+    IMMEDIATE = "immediate"
+    FP_IMMEDIATE = "fp_immediate"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class MemoryReference:
+    """An x86 memory addressing expression.
+
+    Attributes:
+        base: Optional base register name.
+        index: Optional index register name.
+        scale: Scale applied to the index register (1, 2, 4 or 8).
+        displacement: Constant displacement added to the address.
+        segment: Optional segment override register name.
+        width_bits: Access width in bits when known (0 when unknown).
+    """
+
+    base: Optional[str] = None
+    index: Optional[str] = None
+    scale: int = 1
+    displacement: int = 0
+    segment: Optional[str] = None
+    width_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid scale {self.scale}; must be 1, 2, 4 or 8")
+        for register_name in (self.base, self.index, self.segment):
+            if register_name is not None and register_name.upper() not in REGISTER_FILE:
+                raise ValueError(f"unknown register in memory reference: {register_name!r}")
+        # Canonical form: an index register with scale 1 and no base is the
+        # same addressing expression as a plain base register; normalising
+        # here makes rendering/parsing round-trip exactly.
+        if self.base is None and self.index is not None and self.scale == 1:
+            object.__setattr__(self, "base", self.index)
+            object.__setattr__(self, "index", None)
+
+    @property
+    def address_registers(self) -> tuple[str, ...]:
+        """Canonical families of all registers participating in the address."""
+        names = []
+        for register_name in (self.base, self.index, self.segment):
+            if register_name is not None:
+                names.append(canonical_register(register_name))
+        return tuple(names)
+
+    def render(self) -> str:
+        """Renders the memory reference in Intel syntax."""
+        parts = []
+        if self.base:
+            parts.append(self.base.upper())
+        if self.index:
+            index_text = self.index.upper()
+            if self.scale != 1:
+                index_text = f"{index_text}*{self.scale}"
+            parts.append(index_text)
+        inner = " + ".join(parts)
+        if self.displacement or not parts:
+            magnitude = abs(self.displacement)
+            text = f"{magnitude:#x}" if magnitude > 9 else str(magnitude)
+            if not parts:
+                inner = text if self.displacement >= 0 else f"-{text}"
+            elif self.displacement >= 0:
+                inner = f"{inner} + {text}"
+            else:
+                inner = f"{inner} - {text}"
+        prefix = ""
+        if self.width_bits:
+            prefix = {
+                8: "BYTE PTR ",
+                16: "WORD PTR ",
+                32: "DWORD PTR ",
+                64: "QWORD PTR ",
+                80: "TBYTE PTR ",
+                128: "XMMWORD PTR ",
+                256: "YMMWORD PTR ",
+                512: "ZMMWORD PTR ",
+            }.get(self.width_bits, "")
+        segment_prefix = f"{self.segment.upper()}:" if self.segment else ""
+        return f"{prefix}{segment_prefix}[{inner}]"
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A single instruction operand.
+
+    Exactly one of :attr:`register`, :attr:`immediate`, :attr:`fp_immediate`
+    or :attr:`memory` is populated, matching :attr:`kind`.
+    """
+
+    kind: OperandKind
+    register: Optional[str] = None
+    immediate: Optional[int] = None
+    fp_immediate: Optional[float] = None
+    memory: Optional[MemoryReference] = field(default=None)
+
+    def __post_init__(self) -> None:
+        populated = {
+            OperandKind.REGISTER: self.register is not None,
+            OperandKind.IMMEDIATE: self.immediate is not None,
+            OperandKind.FP_IMMEDIATE: self.fp_immediate is not None,
+            OperandKind.MEMORY: self.memory is not None,
+        }
+        if not populated[self.kind]:
+            raise ValueError(f"operand of kind {self.kind} is missing its payload")
+        if self.kind is OperandKind.REGISTER and self.register.upper() not in REGISTER_FILE:
+            raise ValueError(f"unknown register operand: {self.register!r}")
+
+    @staticmethod
+    def from_register(name: str) -> "Operand":
+        """Creates a register operand."""
+        return Operand(kind=OperandKind.REGISTER, register=name.upper())
+
+    @staticmethod
+    def from_immediate(value: int) -> "Operand":
+        """Creates an integer immediate operand."""
+        return Operand(kind=OperandKind.IMMEDIATE, immediate=int(value))
+
+    @staticmethod
+    def from_fp_immediate(value: float) -> "Operand":
+        """Creates a floating point immediate operand."""
+        return Operand(kind=OperandKind.FP_IMMEDIATE, fp_immediate=float(value))
+
+    @staticmethod
+    def from_memory(memory: MemoryReference) -> "Operand":
+        """Creates a memory operand."""
+        return Operand(kind=OperandKind.MEMORY, memory=memory)
+
+    @property
+    def is_register(self) -> bool:
+        return self.kind is OperandKind.REGISTER
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind is OperandKind.MEMORY
+
+    @property
+    def is_immediate(self) -> bool:
+        return self.kind in (OperandKind.IMMEDIATE, OperandKind.FP_IMMEDIATE)
+
+    @property
+    def register_family(self) -> Optional[str]:
+        """Canonical family of the register operand, None for other kinds."""
+        if self.register is None:
+            return None
+        return canonical_register(self.register)
+
+    def render(self) -> str:
+        """Renders the operand in Intel syntax."""
+        if self.kind is OperandKind.REGISTER:
+            return self.register.upper()
+        if self.kind is OperandKind.IMMEDIATE:
+            value = self.immediate
+            return f"{value:#x}" if abs(value) > 9 else str(value)
+        if self.kind is OperandKind.FP_IMMEDIATE:
+            return repr(self.fp_immediate)
+        return self.memory.render()

@@ -1,0 +1,217 @@
+"""x86-64 register model.
+
+The GRANITE graph encoding needs to know, for every operand of an
+instruction, *which architectural value* it reads or writes.  On x86-64 the
+same architectural value can be named in several ways (``RAX``, ``EAX``,
+``AX``, ``AL`` and ``AH`` all alias the same 64-bit register), so the data
+dependency analysis used by :mod:`repro.graph.builder` works on *register
+families*: two operands touch the same value if and only if their registers
+belong to the same family.
+
+This module defines the register families for the general purpose registers,
+the SSE/AVX vector registers, the x87/MMX stack, segment registers, the
+instruction pointer and the flags register, together with a few helpers used
+throughout the code base.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "RegisterClass",
+    "Register",
+    "RegisterFile",
+    "REGISTERS",
+    "canonical_register",
+    "is_register_name",
+    "registers_alias",
+]
+
+
+class RegisterClass(enum.Enum):
+    """Coarse classification of architectural registers."""
+
+    GENERAL_PURPOSE = "gpr"
+    VECTOR = "vector"
+    X87 = "x87"
+    MMX = "mmx"
+    MASK = "mask"
+    SEGMENT = "segment"
+    FLAGS = "flags"
+    INSTRUCTION_POINTER = "ip"
+
+
+@dataclass(frozen=True)
+class Register:
+    """A single architectural register name.
+
+    Attributes:
+        name: The canonical upper-case assembly name (e.g. ``"EAX"``).
+        family: Name of the widest register in the same aliasing family
+            (e.g. ``"RAX"`` for ``"EAX"``).
+        width_bits: Width of this particular name in bits.
+        reg_class: The :class:`RegisterClass` of the register.
+    """
+
+    name: str
+    family: str
+    width_bits: int
+    reg_class: RegisterClass
+
+    @property
+    def is_general_purpose(self) -> bool:
+        return self.reg_class is RegisterClass.GENERAL_PURPOSE
+
+    @property
+    def is_vector(self) -> bool:
+        return self.reg_class is RegisterClass.VECTOR
+
+    @property
+    def is_flags(self) -> bool:
+        return self.reg_class is RegisterClass.FLAGS
+
+
+def _gpr_family(
+    name64: str, name32: str, name16: str, name8: str, name8h: Optional[str] = None
+) -> List[Register]:
+    regs = [
+        Register(name64, name64, 64, RegisterClass.GENERAL_PURPOSE),
+        Register(name32, name64, 32, RegisterClass.GENERAL_PURPOSE),
+        Register(name16, name64, 16, RegisterClass.GENERAL_PURPOSE),
+        Register(name8, name64, 8, RegisterClass.GENERAL_PURPOSE),
+    ]
+    if name8h is not None:
+        regs.append(Register(name8h, name64, 8, RegisterClass.GENERAL_PURPOSE))
+    return regs
+
+
+def _build_registers() -> Dict[str, Register]:
+    registers: List[Register] = []
+
+    registers += _gpr_family("RAX", "EAX", "AX", "AL", "AH")
+    registers += _gpr_family("RBX", "EBX", "BX", "BL", "BH")
+    registers += _gpr_family("RCX", "ECX", "CX", "CL", "CH")
+    registers += _gpr_family("RDX", "EDX", "DX", "DL", "DH")
+    registers += _gpr_family("RSI", "ESI", "SI", "SIL")
+    registers += _gpr_family("RDI", "EDI", "DI", "DIL")
+    registers += _gpr_family("RBP", "EBP", "BP", "BPL")
+    registers += _gpr_family("RSP", "ESP", "SP", "SPL")
+    for index in range(8, 16):
+        base = f"R{index}"
+        registers += [
+            Register(base, base, 64, RegisterClass.GENERAL_PURPOSE),
+            Register(f"{base}D", base, 32, RegisterClass.GENERAL_PURPOSE),
+            Register(f"{base}W", base, 16, RegisterClass.GENERAL_PURPOSE),
+            Register(f"{base}B", base, 8, RegisterClass.GENERAL_PURPOSE),
+        ]
+
+    for index in range(32):
+        family = f"ZMM{index}"
+        registers.append(Register(family, family, 512, RegisterClass.VECTOR))
+        if index < 16:
+            registers.append(Register(f"YMM{index}", family, 256, RegisterClass.VECTOR))
+            registers.append(Register(f"XMM{index}", family, 128, RegisterClass.VECTOR))
+
+    for index in range(8):
+        registers.append(Register(f"ST{index}", f"ST{index}", 80, RegisterClass.X87))
+        registers.append(Register(f"ST({index})", f"ST{index}", 80, RegisterClass.X87))
+        registers.append(Register(f"MM{index}", f"MM{index}", 64, RegisterClass.MMX))
+        registers.append(Register(f"K{index}", f"K{index}", 64, RegisterClass.MASK))
+
+    for name in ("CS", "DS", "ES", "FS", "GS", "SS"):
+        registers.append(Register(name, name, 16, RegisterClass.SEGMENT))
+
+    registers.append(Register("RIP", "RIP", 64, RegisterClass.INSTRUCTION_POINTER))
+    registers.append(Register("EIP", "RIP", 32, RegisterClass.INSTRUCTION_POINTER))
+    registers.append(Register("EFLAGS", "EFLAGS", 32, RegisterClass.FLAGS))
+    registers.append(Register("RFLAGS", "EFLAGS", 64, RegisterClass.FLAGS))
+    registers.append(Register("MXCSR", "MXCSR", 32, RegisterClass.FLAGS))
+
+    return {register.name: register for register in registers}
+
+
+REGISTERS: Dict[str, Register] = _build_registers()
+
+
+class RegisterFile:
+    """Queries over the set of known architectural registers.
+
+    The register file is immutable; a module level singleton is exposed as
+    :data:`REGISTER_FILE` and used by the parser and the graph builder.
+    """
+
+    def __init__(self, registers: Optional[Dict[str, Register]] = None) -> None:
+        self._registers = dict(registers if registers is not None else REGISTERS)
+        self._families: Dict[str, Tuple[str, ...]] = {}
+        for register in self._registers.values():
+            members = self._families.setdefault(register.family, ())
+            self._families[register.family] = members + (register.name,)
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self._registers
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+    def get(self, name: str) -> Register:
+        """Returns the :class:`Register` for ``name`` (case insensitive)."""
+        key = name.upper()
+        if key not in self._registers:
+            raise KeyError(f"unknown register name: {name!r}")
+        return self._registers[key]
+
+    def family_of(self, name: str) -> str:
+        """Returns the canonical family name for a register name."""
+        return self.get(name).family
+
+    def family_members(self, family: str) -> FrozenSet[str]:
+        """Returns all register names aliasing the given family."""
+        key = family.upper()
+        if key not in self._families:
+            raise KeyError(f"unknown register family: {family!r}")
+        return frozenset(self._families[key])
+
+    def alias(self, first: str, second: str) -> bool:
+        """Returns True when two register names alias the same value."""
+        return self.family_of(first) == self.family_of(second)
+
+    def names(self) -> Iterable[str]:
+        return self._registers.keys()
+
+    def general_purpose_families(self) -> List[str]:
+        """Returns the 16 canonical 64-bit general purpose register names."""
+        families = {
+            register.family
+            for register in self._registers.values()
+            if register.reg_class is RegisterClass.GENERAL_PURPOSE
+        }
+        return sorted(families)
+
+    def vector_families(self) -> List[str]:
+        families = {
+            register.family
+            for register in self._registers.values()
+            if register.reg_class is RegisterClass.VECTOR
+        }
+        return sorted(families, key=lambda name: (len(name), name))
+
+
+REGISTER_FILE = RegisterFile()
+
+
+def canonical_register(name: str) -> str:
+    """Returns the canonical family name (widest alias) of a register."""
+    return REGISTER_FILE.family_of(name)
+
+
+def is_register_name(token: str) -> bool:
+    """Returns True when ``token`` names an architectural register."""
+    return token.upper() in REGISTER_FILE
+
+
+def registers_alias(first: str, second: str) -> bool:
+    """Returns True when the two register names refer to the same value."""
+    return REGISTER_FILE.alias(first, second)

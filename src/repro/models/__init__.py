@@ -1,0 +1,77 @@
+"""The paper's models: GRANITE, Ithemal and Ithemal+.
+
+Factory helpers are provided so experiments and examples can create any of
+the three models from a single string name.
+"""
+
+from typing import Optional, Sequence
+
+from repro.data.datasets import TARGET_MICROARCHITECTURES
+from repro.models.base import ThroughputModel
+from repro.models.config import GraniteConfig, IthemalConfig, TrainingConfig
+from repro.models.granite import GraniteBatch, GraniteModel
+from repro.models.ithemal import IthemalBatch, IthemalModel
+from repro.models.tokenizer import (
+    build_ithemal_vocabulary,
+    tokenize_block,
+    tokenize_instruction,
+)
+
+__all__ = [
+    "ThroughputModel",
+    "GraniteConfig",
+    "IthemalConfig",
+    "TrainingConfig",
+    "GraniteBatch",
+    "GraniteModel",
+    "IthemalBatch",
+    "IthemalModel",
+    "build_ithemal_vocabulary",
+    "tokenize_block",
+    "tokenize_instruction",
+    "create_model",
+    "MODEL_NAMES",
+]
+
+#: Names accepted by :func:`create_model`, matching the rows of Table 5.
+MODEL_NAMES = ("granite", "ithemal", "ithemal+")
+
+
+def create_model(
+    name: str,
+    tasks: Sequence[str] = TARGET_MICROARCHITECTURES,
+    small: bool = True,
+    seed: int = 0,
+    num_message_passing_iterations: Optional[int] = None,
+) -> ThroughputModel:
+    """Creates one of the paper's models by name.
+
+    Args:
+        name: ``"granite"``, ``"ithemal"`` or ``"ithemal+"``.
+        tasks: Target microarchitecture keys (one decoder head per task).
+        small: Use the reduced CPU-friendly configuration (default) instead
+            of the paper-scale Table 4 configuration.
+        seed: Seed for weight initialisation.
+        num_message_passing_iterations: Optional override for GRANITE.
+    """
+    key = name.lower()
+    if key == "granite":
+        if small:
+            config = GraniteConfig.small(tasks=tasks, seed=seed)
+        else:
+            config = GraniteConfig.paper_defaults(tasks=tasks)
+        if num_message_passing_iterations is not None:
+            from dataclasses import replace
+
+            config = replace(
+                config, num_message_passing_iterations=num_message_passing_iterations
+            )
+        return GraniteModel(config)
+    if key in ("ithemal", "ithemal+"):
+        plus = key == "ithemal+"
+        if small:
+            config = IthemalConfig.small(tasks=tasks, plus=plus, seed=seed)
+        else:
+            config = IthemalConfig.paper_defaults(tasks=tasks, plus=plus)
+        return IthemalModel(config)
+    raise ValueError(f"unknown model {name!r}; expected one of {MODEL_NAMES}")

@@ -1,0 +1,56 @@
+"""Common interface of throughput-estimation models.
+
+The training and evaluation harness only relies on this small interface, so
+GRANITE, Ithemal and Ithemal+ (and any future model) are interchangeable in
+every experiment:
+
+* :meth:`ThroughputModel.encode_blocks` turns a list of basic blocks into a
+  model-specific batch object (a packed graph for GRANITE, padded token
+  sequences for Ithemal).  Encoding is separated from the forward pass so it
+  can be cached across epochs.
+* :meth:`ThroughputModel.forward` maps the encoded batch to one predicted
+  throughput tensor per task (microarchitecture).
+* :meth:`ThroughputModel.predict` is the inference-mode convenience wrapper
+  returning plain numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = ["ThroughputModel"]
+
+
+class ThroughputModel(Module):
+    """Base class of all basic-block throughput models."""
+
+    #: Target microarchitecture keys, one prediction head per entry.
+    tasks: Tuple[str, ...]
+
+    def encode_blocks(self, blocks: Sequence[BasicBlock]):
+        """Encodes basic blocks into the model's batch representation."""
+        raise NotImplementedError
+
+    def forward(self, batch) -> Dict[str, Tensor]:
+        """Returns per-task predicted throughputs of shape ``[num_blocks]``."""
+        raise NotImplementedError
+
+    def predict(self, blocks: Sequence[BasicBlock]) -> Dict[str, np.ndarray]:
+        """Inference: predicts throughputs for ``blocks`` without gradients."""
+        if not blocks:
+            return {task: np.zeros(0) for task in self.tasks}
+        with no_grad():
+            batch = self.encode_blocks(blocks)
+            predictions = self.forward(batch)
+        return {task: predictions[task].numpy().reshape(-1).copy() for task in self.tasks}
+
+    def predict_single(self, block: BasicBlock) -> Dict[str, float]:
+        """Predicts the throughput of a single basic block."""
+        predictions = self.predict([block])
+        return {task: float(values[0]) for task, values in predictions.items()}

@@ -1,0 +1,195 @@
+"""The Ithemal and Ithemal+ baseline models.
+
+Ithemal (Mendis et al. 2019) is the learned baseline the paper compares
+against.  It is a hierarchical LSTM:
+
+1. each instruction is tokenized (:mod:`repro.models.tokenizer`) and its
+   tokens run through a first LSTM whose final state is the *instruction
+   embedding*;
+2. the instruction embeddings of a block run through a second LSTM whose
+   final state is the *block embedding*;
+3. the decoder maps the block embedding to the predicted throughput — a
+   single dot product with a learned weight vector in vanilla Ithemal.
+
+"Ithemal+" is the paper's extended baseline (Section 4, "Extensions to the
+Ithemal model"): the dot-product decoder is replaced by the same multi-layer
+residual MLP decoder used by GRANITE, and multi-task heads are supported.
+Selecting between the two is a configuration switch
+(:attr:`IthemalConfig.decoder`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.models.base import ThroughputModel
+from repro.models.config import IthemalConfig
+from repro.models.tokenizer import build_ithemal_vocabulary, tokenize_block
+from repro.graph.vocabulary import Vocabulary
+from repro.nn.layers import Dense, Embedding, ResidualMLP
+from repro.nn.lstm import LSTM
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["IthemalModel", "IthemalBatch"]
+
+
+@dataclass
+class IthemalBatch:
+    """An encoded batch of blocks for the hierarchical LSTM.
+
+    Attributes:
+        token_ids: ``[total_instructions, max_tokens]`` padded token ids.
+        token_lengths: ``[total_instructions]`` true token counts.
+        instruction_block_ids: ``[total_instructions]`` block index of each
+            instruction.
+        block_lengths: ``[num_blocks]`` number of instructions per block.
+        num_blocks: Number of basic blocks in the batch.
+        max_instructions: Maximum instructions per block in this batch.
+    """
+
+    token_ids: np.ndarray
+    token_lengths: np.ndarray
+    instruction_block_ids: np.ndarray
+    block_lengths: np.ndarray
+    num_blocks: int
+    max_instructions: int
+
+
+class IthemalModel(ThroughputModel):
+    """Hierarchical-LSTM throughput estimator (Ithemal / Ithemal+).
+
+    Args:
+        config: Model hyper-parameters.  ``config.decoder`` selects the
+            vanilla dot-product decoder or the Ithemal+ MLP decoder.
+        vocabulary: Token vocabulary; defaults to the canonical vocabulary
+            extended with the Ithemal delimiter tokens.
+    """
+
+    def __init__(
+        self,
+        config: Optional[IthemalConfig] = None,
+        vocabulary: Optional[Vocabulary] = None,
+    ) -> None:
+        self.config = config or IthemalConfig()
+        self.vocabulary = vocabulary or build_ithemal_vocabulary()
+        self.tasks = tuple(self.config.tasks)
+        if not self.tasks:
+            raise ValueError("IthemalModel needs at least one task")
+
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.token_embedding = Embedding(len(self.vocabulary), cfg.token_embedding_size, rng)
+        self.instruction_lstm = LSTM(cfg.token_embedding_size, cfg.hidden_size, rng)
+        self.block_lstm = LSTM(cfg.hidden_size, cfg.hidden_size, rng)
+
+        if cfg.decoder == "dot_product":
+            # Vanilla Ithemal: the prediction is a dot product of the block
+            # embedding with a learned weight vector, one vector per task.
+            self.decoder_weights: Dict[str, Parameter] = {
+                task: Parameter(
+                    rng.normal(0.0, 1.0 / np.sqrt(cfg.hidden_size), size=(cfg.hidden_size, 1)),
+                    name=f"decoder_{task}",
+                )
+                for task in self.tasks
+            }
+            self.decoders: Dict[str, ResidualMLP] = {}
+        else:
+            # Ithemal+: the same residual MLP decoder as GRANITE, per task.
+            self.decoder_weights = {}
+            self.decoders = {
+                task: ResidualMLP(
+                    cfg.hidden_size,
+                    cfg.decoder_hidden_sizes,
+                    1,
+                    rng,
+                    use_layer_norm=cfg.use_layer_norm,
+                    use_residual=True,
+                )
+                for task in self.tasks
+            }
+
+    # ------------------------------------------------------------------ #
+    # Encoding.
+    # ------------------------------------------------------------------ #
+    def encode_blocks(self, blocks: Sequence[BasicBlock]) -> IthemalBatch:
+        """Tokenizes and pads a batch of basic blocks."""
+        if not blocks:
+            raise ValueError("cannot encode an empty list of blocks")
+        tokenized_blocks = [tokenize_block(block) for block in blocks]
+        # Blocks may be empty in pathological cases; give them one NOP-like
+        # dummy instruction of a single unknown token so shapes stay valid.
+        for tokens in tokenized_blocks:
+            if not tokens:
+                tokens.append([self.vocabulary.token_of(self.vocabulary.unknown_id)])
+
+        instruction_token_ids: List[List[int]] = []
+        instruction_block_ids: List[int] = []
+        block_lengths: List[int] = []
+        for block_index, instructions in enumerate(tokenized_blocks):
+            block_lengths.append(len(instructions))
+            for tokens in instructions:
+                instruction_token_ids.append(self.vocabulary.encode(tokens))
+                instruction_block_ids.append(block_index)
+
+        max_tokens = max(len(ids) for ids in instruction_token_ids)
+        token_ids = np.zeros((len(instruction_token_ids), max_tokens), dtype=np.int64)
+        token_lengths = np.zeros(len(instruction_token_ids), dtype=np.int64)
+        for row, ids in enumerate(instruction_token_ids):
+            token_ids[row, : len(ids)] = ids
+            token_lengths[row] = len(ids)
+
+        return IthemalBatch(
+            token_ids=token_ids,
+            token_lengths=token_lengths,
+            instruction_block_ids=np.array(instruction_block_ids, dtype=np.int64),
+            block_lengths=np.array(block_lengths, dtype=np.int64),
+            num_blocks=len(blocks),
+            max_instructions=int(max(block_lengths)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Forward pass.
+    # ------------------------------------------------------------------ #
+    def embed_batch(self, batch: IthemalBatch) -> Tensor:
+        """Returns the block embeddings ``[num_blocks, hidden_size]``."""
+        # Level 1: token LSTM over every instruction of every block.
+        token_features = self.token_embedding(batch.token_ids.reshape(-1)).reshape(
+            batch.token_ids.shape[0], batch.token_ids.shape[1], self.config.token_embedding_size
+        )
+        _, instruction_embeddings = self.instruction_lstm(token_features, batch.token_lengths)
+
+        # Re-pack instruction embeddings into a [num_blocks, max_instr, H]
+        # padded tensor.  The scatter is done with a permutation matrix so
+        # gradients flow through a single matmul.
+        num_instructions = instruction_embeddings.shape[0]
+        num_blocks = batch.num_blocks
+        max_instructions = batch.max_instructions
+        scatter = np.zeros((num_blocks * max_instructions, num_instructions), dtype=np.float64)
+        position_in_block = np.zeros(num_blocks, dtype=np.int64)
+        for instruction_index, block_index in enumerate(batch.instruction_block_ids):
+            slot = block_index * max_instructions + position_in_block[block_index]
+            scatter[slot, instruction_index] = 1.0
+            position_in_block[block_index] += 1
+        packed = Tensor(scatter) @ instruction_embeddings
+        packed = packed.reshape(num_blocks, max_instructions, self.config.hidden_size)
+
+        # Level 2: block LSTM over the instruction embeddings.
+        _, block_embeddings = self.block_lstm(packed, batch.block_lengths)
+        return block_embeddings
+
+    def forward(self, batch: IthemalBatch) -> Dict[str, Tensor]:
+        """Predicts the throughput of every block for every task."""
+        block_embeddings = self.embed_batch(batch)
+        predictions: Dict[str, Tensor] = {}
+        for task in self.tasks:
+            if self.config.decoder == "dot_product":
+                output = block_embeddings @ self.decoder_weights[task]
+            else:
+                output = self.decoders[task](block_embeddings)
+            predictions[task] = output.reshape(-1) * self.config.output_scale
+        return predictions

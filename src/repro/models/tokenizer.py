@@ -1,0 +1,96 @@
+"""Ithemal-style tokenization of basic blocks.
+
+Ithemal presents each instruction to its first-level LSTM as a flat token
+sequence: the mnemonic, a ``<S>`` delimiter, the source operand tokens, a
+``<D>`` delimiter, the destination operand tokens and an ``<E>`` end marker
+(Section 2.2 of the GRANITE paper, which describes the baseline).  Register
+operands contribute their register name; immediate, floating-point immediate
+and memory operands contribute shared special tokens; memory operands also
+contribute the registers used in their address expression, which is how the
+original Ithemal exposes address dependencies to the model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.graph.types import SpecialToken
+from repro.graph.vocabulary import Vocabulary, build_default_vocabulary
+from repro.isa.basic_block import BasicBlock
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Operand, OperandKind
+from repro.isa.semantics import OperandAction, semantics_for
+
+__all__ = [
+    "SOURCE_DELIMITER",
+    "DESTINATION_DELIMITER",
+    "END_DELIMITER",
+    "tokenize_instruction",
+    "tokenize_block",
+    "build_ithemal_vocabulary",
+]
+
+SOURCE_DELIMITER = "<S>"
+DESTINATION_DELIMITER = "<D>"
+END_DELIMITER = "<E>"
+
+_DELIMITERS = (SOURCE_DELIMITER, DESTINATION_DELIMITER, END_DELIMITER)
+
+
+def _operand_tokens(operand: Operand) -> List[str]:
+    """Tokens contributed by one operand occurrence."""
+    if operand.kind is OperandKind.REGISTER:
+        return [operand.register.upper()]
+    if operand.kind is OperandKind.IMMEDIATE:
+        return [SpecialToken.IMMEDIATE.value]
+    if operand.kind is OperandKind.FP_IMMEDIATE:
+        return [SpecialToken.FP_IMMEDIATE.value]
+    tokens: List[str] = []
+    memory = operand.memory
+    if memory.base is not None:
+        tokens.append(memory.base.upper())
+    if memory.index is not None:
+        tokens.append(memory.index.upper())
+    if memory.segment is not None:
+        tokens.append(memory.segment.upper())
+    tokens.append(SpecialToken.MEMORY_VALUE.value)
+    return tokens
+
+
+def tokenize_instruction(instruction: Instruction) -> List[str]:
+    """Tokenizes one instruction in the Ithemal format.
+
+    For example ``SBB EAX, EBX`` becomes
+    ``["SBB", "<S>", "EAX", "EBX", "<D>", "EAX", "<E>"]``.
+    """
+    semantics = semantics_for(instruction)
+    tokens: List[str] = list(instruction.prefixes)
+    tokens.append(instruction.mnemonic)
+    source_tokens: List[str] = []
+    destination_tokens: List[str] = []
+    for position, operand in enumerate(instruction.operands):
+        action = semantics.action_for_operand(position)
+        operand_tokens = _operand_tokens(operand)
+        if operand.kind in (OperandKind.IMMEDIATE, OperandKind.FP_IMMEDIATE):
+            source_tokens.extend(operand_tokens)
+            continue
+        if action in (OperandAction.READ, OperandAction.READ_WRITE):
+            source_tokens.extend(operand_tokens)
+        if action in (OperandAction.WRITE, OperandAction.READ_WRITE):
+            destination_tokens.extend(operand_tokens)
+    tokens.append(SOURCE_DELIMITER)
+    tokens.extend(source_tokens)
+    tokens.append(DESTINATION_DELIMITER)
+    tokens.extend(destination_tokens)
+    tokens.append(END_DELIMITER)
+    return tokens
+
+
+def tokenize_block(block: BasicBlock) -> List[List[str]]:
+    """Tokenizes every instruction of a basic block."""
+    return [tokenize_instruction(instruction) for instruction in block.instructions]
+
+
+def build_ithemal_vocabulary() -> Vocabulary:
+    """The canonical vocabulary extended with the Ithemal delimiters."""
+    return build_default_vocabulary(extra_tokens=list(_DELIMITERS))

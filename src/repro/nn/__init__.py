@@ -1,0 +1,63 @@
+"""Neural-network substrate: autodiff tensors, layers, losses, optimizers.
+
+This subpackage replaces the TensorFlow 1.x runtime used by the original
+GRANITE implementation with a small, dependency-free (numpy only)
+reverse-mode autodiff engine and the layers the paper's models need.
+"""
+
+from repro.nn.layers import Dense, Embedding, LayerNorm, MLP, ResidualMLP, Sequential
+from repro.nn.losses import (
+    LOSS_FUNCTIONS,
+    get_loss,
+    huber_loss,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    relative_huber_loss,
+    relative_mean_squared_error,
+)
+from repro.nn.lstm import LSTM, LSTMCell
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import (
+    Adam,
+    Optimizer,
+    SGD,
+    clip_gradients_by_global_norm,
+    global_gradient_norm,
+)
+from repro.nn.serialization import checkpoint_to_dict, load_checkpoint, save_checkpoint
+from repro.nn.tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack, where
+
+__all__ = [
+    "Dense",
+    "Embedding",
+    "LayerNorm",
+    "MLP",
+    "ResidualMLP",
+    "Sequential",
+    "LOSS_FUNCTIONS",
+    "get_loss",
+    "huber_loss",
+    "mean_absolute_percentage_error",
+    "mean_squared_error",
+    "relative_huber_loss",
+    "relative_mean_squared_error",
+    "LSTM",
+    "LSTMCell",
+    "Module",
+    "Parameter",
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "clip_gradients_by_global_norm",
+    "global_gradient_norm",
+    "checkpoint_to_dict",
+    "load_checkpoint",
+    "save_checkpoint",
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "is_grad_enabled",
+    "no_grad",
+    "stack",
+    "where",
+]

@@ -1,0 +1,53 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit ``numpy.random.Generator`` so that every
+experiment in the reproduction is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "glorot_uniform",
+    "he_normal",
+    "orthogonal",
+    "zeros",
+    "normal_embedding",
+]
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for dense layers."""
+    fan_in = shape[0] if len(shape) > 1 else shape[0]
+    fan_out = shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal initialisation, appropriate for ReLU update networks."""
+    fan_in = shape[0] if len(shape) > 1 else shape[0]
+    scale = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, scale, size=shape)
+
+
+def orthogonal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialisation used for LSTM recurrent weights."""
+    rows, cols = shape
+    size = max(rows, cols)
+    matrix = rng.normal(0.0, 1.0, size=(size, size))
+    q, _ = np.linalg.qr(matrix)
+    return q[:rows, :cols]
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialisation for biases."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def normal_embedding(shape: Tuple[int, ...], rng: np.random.Generator, scale: float = 0.1) -> np.ndarray:
+    """Small-variance normal initialisation for embedding tables."""
+    return rng.normal(0.0, scale, size=shape)

@@ -1,0 +1,128 @@
+"""LSTM layers used by the Ithemal baseline.
+
+Ithemal (Mendis et al. 2019) is a two-level LSTM: the first level consumes
+the tokens of each instruction and produces an instruction embedding, the
+second level consumes the instruction embeddings and produces a basic-block
+embedding.  This module provides the :class:`LSTMCell` and a convenience
+:class:`LSTM` that runs a cell over a padded batch of sequences with an
+explicit length mask, which is what the re-implemented baseline uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, as_tensor, concatenate, where
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM cell with the standard gate formulation.
+
+    The forget gate bias is initialised to one, the common trick to ease
+    gradient flow early in training.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("LSTM sizes must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        gate_size = 4 * hidden_size
+        self.weight_input = Parameter(
+            init.glorot_uniform((input_size, gate_size), rng), name="weight_input"
+        )
+        self.weight_hidden = Parameter(
+            np.concatenate(
+                [init.orthogonal((hidden_size, hidden_size), rng) for _ in range(4)], axis=1
+            ),
+            name="weight_hidden",
+        )
+        bias = np.zeros((gate_size,))
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate bias
+        self.bias = Parameter(bias, name="bias")
+
+    def forward(
+        self, inputs: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        """Runs one step.
+
+        Args:
+            inputs: ``[batch, input_size]`` input at this time step.
+            state: ``(hidden, cell)`` tensors of shape ``[batch, hidden_size]``.
+
+        Returns:
+            ``(hidden, (hidden, cell))`` for the next step.
+        """
+        hidden_state, cell_state = state
+        gates = inputs @ self.weight_input + hidden_state @ self.weight_hidden + self.bias
+        size = self.hidden_size
+        input_gate = gates[:, 0 * size : 1 * size].sigmoid()
+        forget_gate = gates[:, 1 * size : 2 * size].sigmoid()
+        candidate = gates[:, 2 * size : 3 * size].tanh()
+        output_gate = gates[:, 3 * size : 4 * size].sigmoid()
+        new_cell = forget_gate * cell_state + input_gate * candidate
+        new_hidden = output_gate * new_cell.tanh()
+        return new_hidden, (new_hidden, new_cell)
+
+    def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        """Returns an all-zeros ``(hidden, cell)`` state."""
+        zeros = Tensor(np.zeros((batch_size, self.hidden_size)))
+        return zeros, Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class LSTM(Module):
+    """Runs an :class:`LSTMCell` over a padded batch of sequences.
+
+    Args:
+        input_size: Feature size of each sequence element.
+        hidden_size: LSTM state size.
+        rng: Random generator for initialisation.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+
+    def forward(
+        self,
+        inputs: Tensor,
+        lengths: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Processes a padded batch.
+
+        Args:
+            inputs: ``[batch, time, input_size]`` padded sequences.
+            lengths: Optional ``[batch]`` integer array of true sequence
+                lengths.  When given, the returned final state for each
+                sequence is the state at its own last element, and padded
+                steps do not modify the state.
+
+        Returns:
+            A tuple ``(outputs, final_hidden)`` where ``outputs`` is
+            ``[batch, time, hidden_size]`` and ``final_hidden`` is
+            ``[batch, hidden_size]``.
+        """
+        inputs = as_tensor(inputs)
+        batch_size, max_time = inputs.shape[0], inputs.shape[1]
+        if lengths is None:
+            lengths = np.full((batch_size,), max_time, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+
+        hidden, cell = self.cell.initial_state(batch_size)
+        step_outputs: List[Tensor] = []
+        for time in range(max_time):
+            frame = inputs[:, time, :]
+            new_hidden, (new_hidden_state, new_cell) = self.cell(frame, (hidden, cell))
+            active = (lengths > time).reshape(batch_size, 1)
+            hidden = where(active, new_hidden_state, hidden)
+            cell = where(active, new_cell, cell)
+            step_outputs.append(new_hidden.reshape(batch_size, 1, self.hidden_size))
+        outputs = concatenate(step_outputs, axis=1) if step_outputs else inputs
+        return outputs, hidden

@@ -1,0 +1,117 @@
+"""Module and parameter abstractions.
+
+A :class:`Module` owns :class:`Parameter` tensors and (recursively) child
+modules, mirroring the structure of ``tf.Module`` / ``torch.nn.Module`` that
+the original GRANITE implementation relies on.  The main services provided
+here are parameter discovery (for the optimizer), named parameter access
+(for serialization) and gradient zeroing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor that is updated by the optimizer.
+
+    Parameters always require gradients, even when constructed inside a
+    ``no_grad`` block (unlike plain tensors).
+    """
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+        # Parameters must track gradients regardless of the global switch at
+        # construction time.
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for all neural network components.
+
+    Subclasses register parameters and sub-modules simply by assigning them
+    to attributes; discovery walks ``__dict__`` (and lists/tuples/dicts of
+    modules or parameters, which is convenient for per-task decoder heads).
+    """
+
+    def parameters(self) -> List[Parameter]:
+        """Returns all parameters of this module and its children."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> List[Tuple[str, Parameter]]:
+        """Returns ``(name, parameter)`` pairs, names reflect attribute paths."""
+        result: List[Tuple[str, Parameter]] = []
+        seen: set[int] = set()
+        self._collect_parameters(prefix, result, seen)
+        return result
+
+    def _collect_parameters(
+        self, prefix: str, result: List[Tuple[str, Parameter]], seen: set[int]
+    ) -> None:
+        for attribute_name, value in vars(self).items():
+            path = f"{prefix}{attribute_name}" if prefix == "" else f"{prefix}.{attribute_name}"
+            self._collect_from_value(path, value, result, seen)
+
+    def _collect_from_value(
+        self, path: str, value, result: List[Tuple[str, Parameter]], seen: set[int]
+    ) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                result.append((path, value))
+        elif isinstance(value, Module):
+            value._collect_parameters(path, result, seen)
+        elif isinstance(value, (list, tuple)):
+            for index, element in enumerate(value):
+                self._collect_from_value(f"{path}.{index}", element, result, seen)
+        elif isinstance(value, dict):
+            for key, element in value.items():
+                self._collect_from_value(f"{path}.{key}", element, result, seen)
+
+    def zero_grad(self) -> None:
+        """Clears the gradients of all parameters."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in the module."""
+        return sum(parameter.size for parameter in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # State dict style serialization helpers.
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Returns a copy of every parameter keyed by its attribute path."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Loads parameter values saved by :meth:`state_dict`.
+
+        Raises:
+            KeyError: If the state is missing a parameter of this module.
+            ValueError: If a stored array has the wrong shape.
+        """
+        named = dict(self.named_parameters())
+        missing = sorted(set(named) - set(state))
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {missing}")
+        for name, parameter in named.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: stored {value.shape}, "
+                    f"expected {parameter.data.shape}"
+                )
+            parameter.data[...] = value
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,39 @@
+"""Saving and loading model parameters.
+
+Checkpoints are plain ``.npz`` archives keyed by the parameter attribute
+paths produced by :meth:`repro.nn.Module.named_parameters`, which makes them
+portable, inspectable with numpy alone, and independent of pickling the
+model classes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_to_dict"]
+
+
+def save_checkpoint(module: Module, path: str) -> None:
+    """Saves every parameter of ``module`` to an ``.npz`` file at ``path``."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def checkpoint_to_dict(path: str) -> Dict[str, np.ndarray]:
+    """Loads a checkpoint file into a plain ``{name: array}`` dictionary."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def load_checkpoint(module: Module, path: str) -> None:
+    """Restores parameters saved by :func:`save_checkpoint` into ``module``."""
+    module.load_state_dict(checkpoint_to_dict(path))

@@ -1,0 +1,541 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+The GRANITE paper implements its models in TensorFlow 1.x with DeepMind's
+Graph Nets library.  Neither is available in this environment, so this module
+provides the minimal tensor runtime the reproduction needs: a
+:class:`Tensor` that records the operations applied to it and can compute
+gradients of a scalar loss with respect to every tensor that participated in
+its computation.
+
+The design is the classic define-by-run tape: every operation creates a new
+tensor whose ``_backward`` closure knows how to propagate the output gradient
+to the inputs.  :meth:`Tensor.backward` performs a topological sort of the
+recorded graph and runs the closures in reverse order.
+
+Only the operations required by the models in this repository are
+implemented (dense layers, layer normalisation, embeddings, LSTMs, graph
+segment aggregations and the paper's loss functions), but they are
+implemented with full broadcasting support so they compose freely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables gradient recording.
+
+    Used during evaluation and inference to avoid building the autodiff
+    graph, which keeps memory usage flat and inference fast.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Returns True when operations record gradients."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(gradient: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sums ``gradient`` down to ``shape`` to undo numpy broadcasting."""
+    if gradient.shape == shape:
+        return gradient
+    # Sum over leading axes that were added by broadcasting.
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autodiff.
+
+    Attributes:
+        data: The underlying ``numpy.ndarray`` (always ``float64`` for
+            differentiable tensors).
+        grad: Accumulated gradient, populated by :meth:`backward`.
+        requires_grad: Whether gradients should flow into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data, dtype=np.float64)
+        self.data: np.ndarray = array
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic properties.
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        """Returns the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Returns the underlying numpy array (not a copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Returns a tensor sharing data but cut off from the autodiff graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Clears the accumulated gradient."""
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{label})"
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers.
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires_grad = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
+        result = Tensor(data, requires_grad=requires_grad)
+        if requires_grad:
+            result._parents = tuple(parents)
+            result._backward = backward
+        return result
+
+    def _accumulate(self, gradient: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(gradient, dtype=np.float64, copy=True)
+        else:
+            self.grad += gradient
+
+    def backward(self, gradient: Optional[np.ndarray] = None) -> None:
+        """Backpropagates from this tensor to all ancestors.
+
+        Args:
+            gradient: Gradient of the final objective with respect to this
+                tensor.  Defaults to ones, which is the usual choice when
+                this tensor is a scalar loss.
+        """
+        if gradient is None:
+            gradient = np.ones_like(self.data)
+        else:
+            gradient = np.asarray(gradient, dtype=np.float64)
+
+        # Topological order via iterative depth-first search.
+        order: List[Tensor] = []
+        visited: set[int] = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(gradient)
+        for node in reversed(order):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic.
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data + other.data
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(gradient, self.shape))
+            other._accumulate(_unbroadcast(gradient, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(-gradient)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data * other.data
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(gradient * other.data, self.shape))
+            other._accumulate(_unbroadcast(gradient * self.data, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data / other.data
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(gradient / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-gradient * self.data / (other.data ** 2), other.shape)
+            )
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        exponent = float(exponent)
+        data = self.data ** exponent
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * exponent * self.data ** (exponent - 1.0))
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Matrix operations and shape manipulation.
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix product ``self @ other`` for 2-D (or batched) operands."""
+        other = as_tensor(other)
+        data = self.data @ other.data
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(gradient @ np.swapaxes(other.data, -1, -2), self.shape))
+            other._accumulate(_unbroadcast(np.swapaxes(self.data, -1, -2) @ gradient, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        """Permutes the axes of the tensor."""
+        data = np.transpose(self.data, axes)
+
+        def backward(gradient: np.ndarray) -> None:
+            if axes is None:
+                self._accumulate(np.transpose(gradient))
+            else:
+                inverse = np.argsort(axes)
+                self._accumulate(np.transpose(gradient, inverse))
+
+        return Tensor._make(data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Reshapes the tensor."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.shape
+        data = self.data.reshape(shape)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient.reshape(original_shape))
+
+        return Tensor._make(data, (self,), backward)
+
+    def concatenate(self, others: Sequence["Tensor"], axis: int = -1) -> "Tensor":
+        """Concatenates ``[self, *others]`` along ``axis``."""
+        tensors = [self] + [as_tensor(other) for other in others]
+        data = np.concatenate([tensor.data for tensor in tensors], axis=axis)
+        sizes = [tensor.data.shape[axis] for tensor in tensors]
+
+        def backward(gradient: np.ndarray) -> None:
+            offsets = np.cumsum([0] + sizes)
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                slices = [slice(None)] * gradient.ndim
+                slices[axis] = slice(start, stop)
+                tensor._accumulate(gradient[tuple(slices)])
+
+        return Tensor._make(data, tuple(tensors), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        data = self.data[key]
+
+        def backward(gradient: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, gradient)
+            self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions.
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sums over ``axis`` (all elements by default)."""
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(gradient: np.ndarray) -> None:
+            grad = np.asarray(gradient)
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis`` (all elements by default)."""
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; gradient flows to the arg-max entries."""
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(gradient: np.ndarray) -> None:
+            grad = np.asarray(gradient)
+            expanded = data
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+                expanded = np.expand_dims(data, axis=axis)
+            mask = (self.data == expanded).astype(np.float64)
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            self._accumulate(mask * grad)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise non-linearities.
+    # ------------------------------------------------------------------ #
+    def relu(self) -> "Tensor":
+        """Rectified linear unit."""
+        data = np.maximum(self.data, 0.0)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * (self.data > 0.0))
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * (1.0 - data ** 2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient / self.data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * 0.5 / np.maximum(data, 1e-12))
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        """Absolute value; the gradient at zero is defined as zero."""
+        data = np.abs(self.data)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * np.sign(self.data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def softplus(self) -> "Tensor":
+        """Numerically stable ``log(1 + exp(x))``."""
+        data = np.logaddexp(0.0, self.data)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient / (1.0 + np.exp(-self.data)))
+
+        return Tensor._make(data, (self,), backward)
+
+    def clip(self, minimum: float, maximum: float) -> "Tensor":
+        """Clamps values; gradient is passed through inside the range only."""
+        data = np.clip(self.data, minimum, maximum)
+
+        def backward(gradient: np.ndarray) -> None:
+            mask = (self.data >= minimum) & (self.data <= maximum)
+            self._accumulate(gradient * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Gather / scatter operations used by embeddings and graph networks.
+    # ------------------------------------------------------------------ #
+    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+        """Selects rows by integer index (embedding lookup).
+
+        Args:
+            indices: Integer array of row indices; output row ``i`` is
+                ``self[indices[i]]``.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        data = self.data[indices]
+
+        def backward(gradient: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices, gradient)
+            self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    def segment_sum(self, segment_ids: np.ndarray, num_segments: int) -> "Tensor":
+        """Sums rows into ``num_segments`` buckets (scatter-add).
+
+        This is the aggregation primitive of the graph network: edge features
+        are summed per receiving node, node features are summed per graph.
+        """
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        output_shape = (num_segments,) + self.data.shape[1:]
+        data = np.zeros(output_shape, dtype=np.float64)
+        np.add.at(data, segment_ids, self.data)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient[segment_ids])
+
+        return Tensor._make(data, (self,), backward)
+
+    def segment_mean(self, segment_ids: np.ndarray, num_segments: int) -> "Tensor":
+        """Averages rows per segment; empty segments produce zeros."""
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+        counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (self.data.ndim - 1))
+        summed = self.segment_sum(segment_ids, num_segments)
+        return summed * Tensor(1.0 / counts)
+
+    # ------------------------------------------------------------------ #
+    # Comparisons (non-differentiable, return numpy arrays).
+    # ------------------------------------------------------------------ #
+    def greater(self, other: ArrayLike) -> np.ndarray:
+        other = as_tensor(other)
+        return self.data > other.data
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerces ``value`` to a :class:`Tensor` (no copy for tensors)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stacks tensors along a new axis."""
+    tensors = [as_tensor(tensor) for tensor in tensors]
+    data = np.stack([tensor.data for tensor in tensors], axis=axis)
+
+    def backward(gradient: np.ndarray) -> None:
+        pieces = np.split(gradient, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenates a sequence of tensors along an existing axis."""
+    tensors = [as_tensor(tensor) for tensor in tensors]
+    if len(tensors) == 1:
+        return tensors[0]
+    return tensors[0].concatenate(tensors[1:], axis=axis)
+
+
+def where(condition: np.ndarray, on_true: Tensor, on_false: Tensor) -> Tensor:
+    """Elementwise selection; ``condition`` is a boolean numpy array."""
+    on_true = as_tensor(on_true)
+    on_false = as_tensor(on_false)
+    condition = np.asarray(condition, dtype=bool)
+    data = np.where(condition, on_true.data, on_false.data)
+
+    def backward(gradient: np.ndarray) -> None:
+        on_true._accumulate(_unbroadcast(gradient * condition, on_true.shape))
+        on_false._accumulate(_unbroadcast(gradient * (~condition), on_false.shape))
+
+    return Tensor._make(data, (on_true, on_false), backward)

@@ -1,0 +1,33 @@
+"""Training loop, checkpoint selection and evaluation metrics."""
+
+from repro.training.metrics import (
+    RegressionMetrics,
+    compute_metrics,
+    mape,
+    pearson_correlation,
+    prediction_heatmap,
+    relative_error_histogram,
+    spearman_correlation,
+    underestimation_fraction,
+)
+from repro.training.trainer import (
+    StepResult,
+    Trainer,
+    TrainingHistory,
+    evaluate_model,
+)
+
+__all__ = [
+    "RegressionMetrics",
+    "compute_metrics",
+    "mape",
+    "pearson_correlation",
+    "prediction_heatmap",
+    "relative_error_histogram",
+    "spearman_correlation",
+    "underestimation_fraction",
+    "StepResult",
+    "Trainer",
+    "TrainingHistory",
+    "evaluate_model",
+]

@@ -1,0 +1,28 @@
+"""Microarchitecture substrate: port models, latencies, throughput oracle."""
+
+from repro.uarch.ports import (
+    HASWELL,
+    IVY_BRIDGE,
+    InstructionCost,
+    MICROARCHITECTURES,
+    MicroArchitecture,
+    MicroOp,
+    PortModel,
+    SKYLAKE,
+    get_microarchitecture,
+)
+from repro.uarch.scheduler import ThroughputBreakdown, ThroughputOracle
+
+__all__ = [
+    "HASWELL",
+    "IVY_BRIDGE",
+    "SKYLAKE",
+    "InstructionCost",
+    "MICROARCHITECTURES",
+    "MicroArchitecture",
+    "MicroOp",
+    "PortModel",
+    "get_microarchitecture",
+    "ThroughputBreakdown",
+    "ThroughputOracle",
+]

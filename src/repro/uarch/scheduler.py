@@ -1,0 +1,225 @@
+"""Analytical throughput oracle.
+
+The oracle estimates the steady-state throughput of a basic block — the
+number of cycles per iteration when the block is executed repeatedly in a
+loop, which is the quantity measured by the BHive methodology and predicted
+by GRANITE, Ithemal and the analytical models the paper references
+(llvm-mca, IACA, uiCA).
+
+The estimate is the maximum of three classical bounds:
+
+* **Port pressure** — micro-ops are assigned fractionally to their allowed
+  execution ports so as to minimise the maximum per-port load; the resulting
+  makespan is an exact lower bound computed with the subset formula
+  ``max_S (µops restricted to S) / |S|`` over port subsets ``S``.
+* **Front-end width** — total micro-ops divided by the issue width.
+* **Loop-carried dependency chains** — the steady-state growth of the
+  data-dependency critical path when the block is unrolled, which captures
+  latency-bound blocks (pointer chasing, long FP chains).
+
+Serialising effects (LOCK prefixes, REP string instructions, divides beyond
+their blocking throughput) are added on top.  The three microarchitectures
+differ through their port layouts and latency tables in
+:mod:`repro.uarch.ports`, so the same block gets genuinely different labels
+per microarchitecture — the structure the multi-task model exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock, MEMORY_LOCATION
+from repro.isa.instructions import Instruction
+from repro.isa.operands import OperandKind
+from repro.isa.semantics import OperandAction, semantics_for
+from repro.uarch.ports import InstructionCost, MicroArchitecture, MicroOp
+
+__all__ = ["ThroughputBreakdown", "ThroughputOracle"]
+
+
+@dataclass(frozen=True)
+class ThroughputBreakdown:
+    """The oracle's estimate and its contributing bounds.
+
+    Attributes:
+        cycles_per_iteration: The final estimate (max of the bounds plus the
+            serialisation penalty).
+        port_pressure_bound: Cycles implied by the busiest execution port.
+        frontend_bound: Cycles implied by the issue width.
+        latency_bound: Cycles implied by loop-carried dependency chains.
+        serialization_penalty: Extra cycles from LOCK/REP prefixes.
+        num_micro_ops: Total micro-ops per iteration.
+    """
+
+    cycles_per_iteration: float
+    port_pressure_bound: float
+    frontend_bound: float
+    latency_bound: float
+    serialization_penalty: float
+    num_micro_ops: int
+
+
+@dataclass(frozen=True)
+class _ScheduledInstruction:
+    """Internal record: one instruction with its micro-ops and latency."""
+
+    instruction: Instruction
+    micro_ops: Tuple[MicroOp, ...]
+    latency: float
+    has_load: bool
+    has_store: bool
+
+
+class ThroughputOracle:
+    """Estimates basic-block throughput for one microarchitecture."""
+
+    def __init__(self, microarchitecture: MicroArchitecture) -> None:
+        self.microarchitecture = microarchitecture
+
+    # ------------------------------------------------------------------ #
+    # Public API.
+    # ------------------------------------------------------------------ #
+    def throughput(self, block: BasicBlock) -> float:
+        """Returns the estimated cycles per iteration of ``block``."""
+        return self.breakdown(block).cycles_per_iteration
+
+    def breakdown(self, block: BasicBlock) -> ThroughputBreakdown:
+        """Returns the estimate together with its contributing bounds."""
+        scheduled = [self._schedule_instruction(instruction) for instruction in block]
+        all_micro_ops: List[MicroOp] = []
+        for record in scheduled:
+            all_micro_ops.extend(record.micro_ops)
+
+        port_bound = self._port_pressure_bound(all_micro_ops)
+        frontend_bound = len(all_micro_ops) / float(self.microarchitecture.issue_width)
+        latency_bound = self._loop_carried_latency_bound(block, scheduled)
+        serialization = sum(
+            self.microarchitecture.prefix_penalty(record.instruction) for record in scheduled
+        )
+
+        cycles = max(port_bound, frontend_bound, latency_bound) + serialization
+        # Even an empty block costs something when measured in a loop.
+        cycles = max(cycles, 0.3)
+        return ThroughputBreakdown(
+            cycles_per_iteration=cycles,
+            port_pressure_bound=port_bound,
+            frontend_bound=frontend_bound,
+            latency_bound=latency_bound,
+            serialization_penalty=serialization,
+            num_micro_ops=len(all_micro_ops),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Instruction scheduling.
+    # ------------------------------------------------------------------ #
+    def _schedule_instruction(self, instruction: Instruction) -> _ScheduledInstruction:
+        """Expands one instruction into micro-ops, adding memory micro-ops."""
+        uarch = self.microarchitecture
+        ports = uarch.port_model
+        cost: InstructionCost = uarch.cost_of(instruction)
+        micro_ops = list(cost.micro_ops)
+        latency = cost.latency
+
+        semantics = semantics_for(instruction)
+        has_load = False
+        has_store = False
+        for position, operand in enumerate(instruction.operands):
+            if operand.kind is not OperandKind.MEMORY:
+                continue
+            action = semantics.action_for_operand(position)
+            if action in (OperandAction.READ, OperandAction.READ_WRITE):
+                has_load = True
+                micro_ops.append(MicroOp(frozenset(ports.load_ports)))
+            if action in (OperandAction.WRITE, OperandAction.READ_WRITE):
+                has_store = True
+                micro_ops.append(MicroOp(frozenset(ports.store_address_ports)))
+                micro_ops.append(MicroOp(frozenset(ports.store_data_ports)))
+        if has_load:
+            latency += uarch.load_latency
+        if has_store:
+            latency += uarch.store_latency
+        return _ScheduledInstruction(
+            instruction=instruction,
+            micro_ops=tuple(micro_ops),
+            latency=latency,
+            has_load=has_load,
+            has_store=has_store,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Bounds.
+    # ------------------------------------------------------------------ #
+    def _port_pressure_bound(self, micro_ops: Sequence[MicroOp]) -> float:
+        """Exact fractional makespan of assigning micro-ops to ports.
+
+        Uses the standard result that the optimum of the fractional
+        assignment LP equals ``max_S count(µops with ports ⊆ S) / |S|``
+        over all port subsets S.  The number of distinct port sets appearing
+        in practice is small, so only subsets formed as unions of those sets
+        need to be considered.
+        """
+        if not micro_ops:
+            return 0.0
+        distinct_sets: List[frozenset] = []
+        counts: Dict[frozenset, int] = {}
+        for micro_op in micro_ops:
+            counts[micro_op.ports] = counts.get(micro_op.ports, 0) + 1
+        distinct_sets = list(counts)
+
+        best = 0.0
+        # All unions of up to len(distinct_sets) distinct port sets.
+        for size in range(1, len(distinct_sets) + 1):
+            for combo in combinations(distinct_sets, size):
+                union: frozenset = frozenset().union(*combo)
+                restricted = sum(
+                    count for port_set, count in counts.items() if port_set <= union
+                )
+                if restricted:
+                    best = max(best, restricted / len(union))
+        return best
+
+    def _loop_carried_latency_bound(
+        self, block: BasicBlock, scheduled: Sequence[_ScheduledInstruction]
+    ) -> float:
+        """Steady-state per-iteration growth of the dependency critical path.
+
+        The block is conceptually unrolled several times with dependencies
+        carried across iterations; the bound is the increase of the critical
+        path per unrolled copy once the schedule reaches steady state.
+        Memory is treated conservatively as a single location, matching the
+        def-use analysis in :mod:`repro.isa.basic_block`.
+        """
+        num_instructions = len(block)
+        if num_instructions == 0:
+            return 0.0
+
+        unroll = 4
+        latencies = [record.latency for record in scheduled]
+        accesses = block.accesses
+
+        finish: List[float] = [0.0] * (num_instructions * unroll)
+        last_writer: Dict[str, int] = {}
+        iteration_max: List[float] = []
+        for copy in range(unroll):
+            for index in range(num_instructions):
+                flat_index = copy * num_instructions + index
+                ready = 0.0
+                for resource in accesses[index].reads:
+                    producer = last_writer.get(resource)
+                    if producer is not None:
+                        ready = max(ready, finish[producer])
+                finish[flat_index] = ready + latencies[index]
+                for resource in accesses[index].writes:
+                    last_writer[resource] = flat_index
+            iteration_max.append(max(finish[copy * num_instructions : (copy + 1) * num_instructions]))
+
+        if unroll < 2:
+            return iteration_max[-1]
+        # Growth between the last two unrolled copies approximates the
+        # asymptotic cycle mean of the dependency graph.
+        growth = iteration_max[-1] - iteration_max[-2]
+        return max(growth, 0.0)

@@ -1,0 +1,68 @@
+"""Tests for the CSV dataset format (repro.data.bhive_format)."""
+
+import numpy as np
+import pytest
+
+from repro.data.bhive_format import (
+    dataset_from_csv_text,
+    dataset_to_csv_text,
+    read_dataset_csv,
+    write_dataset_csv,
+)
+from repro.data.datasets import build_bhive_like_dataset
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return build_bhive_like_dataset(15, seed=9)
+
+
+class TestCsvRoundTrip:
+    def test_text_round_trip_preserves_labels(self, small_dataset):
+        text = dataset_to_csv_text(small_dataset)
+        restored = dataset_from_csv_text(text, name="restored")
+        assert len(restored) == len(small_dataset)
+        for key in small_dataset.microarchitectures:
+            np.testing.assert_allclose(
+                restored.throughputs(key), small_dataset.throughputs(key), rtol=1e-3
+            )
+
+    def test_text_round_trip_preserves_blocks(self, small_dataset):
+        restored = dataset_from_csv_text(dataset_to_csv_text(small_dataset))
+        for original, loaded in zip(small_dataset, restored):
+            assert len(original.block) == len(loaded.block)
+            assert [i.mnemonic for i in original.block] == [i.mnemonic for i in loaded.block]
+
+    def test_identifiers_preserved(self, small_dataset):
+        restored = dataset_from_csv_text(dataset_to_csv_text(small_dataset))
+        assert [s.block.identifier for s in restored] == [
+            s.block.identifier for s in small_dataset
+        ]
+
+    def test_file_round_trip(self, small_dataset, tmp_path):
+        path = str(tmp_path / "data" / "bhive.csv")
+        write_dataset_csv(small_dataset, path)
+        restored = read_dataset_csv(path)
+        assert len(restored) == len(small_dataset)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_dataset_csv(str(tmp_path / "nope.csv"))
+
+    def test_header_validation(self):
+        with pytest.raises(ValueError):
+            dataset_from_csv_text("foo,bar\n1,2\n")
+        with pytest.raises(ValueError):
+            dataset_from_csv_text("")
+
+    def test_partial_labels_supported(self):
+        text = (
+            "identifier,assembly,ivy_bridge,haswell,skylake\n"
+            'b0,"ADD RAX, RBX; SUB RCX, RDX",100.0,,105.0\n'
+        )
+        dataset = dataset_from_csv_text(text)
+        assert len(dataset) == 1
+        sample = dataset[0]
+        assert "haswell" not in sample.throughputs
+        assert sample.throughput("skylake") == pytest.approx(105.0)
+        assert len(sample.block) == 2

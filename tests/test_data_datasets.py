@@ -1,0 +1,116 @@
+"""Tests for dataset building and splitting (repro.data.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    LabeledBlock,
+    TARGET_MICROARCHITECTURES,
+    ThroughputDataset,
+    build_bhive_like_dataset,
+    build_ithemal_like_dataset,
+)
+from repro.isa.basic_block import BasicBlock
+
+
+class TestDatasetConstruction:
+    def test_requested_size(self, tiny_dataset):
+        assert len(tiny_dataset) == 60
+
+    def test_every_block_labelled_for_all_targets(self, tiny_dataset):
+        for sample in tiny_dataset:
+            assert set(sample.throughputs) == set(TARGET_MICROARCHITECTURES)
+            for value in sample.throughputs.values():
+                assert value > 0.0
+
+    def test_labels_are_per_100_iterations(self, tiny_dataset):
+        """Measured values are O(100x) the per-iteration cycle counts."""
+        values = tiny_dataset.throughputs("haswell")
+        assert np.median(values) > 50.0
+
+    def test_deterministic_given_seed(self):
+        first = build_ithemal_like_dataset(20, seed=11)
+        second = build_ithemal_like_dataset(20, seed=11)
+        np.testing.assert_allclose(
+            first.throughputs("skylake"), second.throughputs("skylake")
+        )
+
+    def test_bhive_dataset_uses_different_methodology(self):
+        """The same seed and size still yield different labels because the
+        measurement model differs (and the blocks differ by seed prefix)."""
+        ithemal = build_ithemal_like_dataset(20, seed=3)
+        bhive = build_bhive_like_dataset(20, seed=3)
+        assert not np.allclose(
+            ithemal.throughputs("haswell"), bhive.throughputs("haswell")
+        )
+
+    def test_labels_differ_across_microarchitectures(self, tiny_dataset):
+        ivb = tiny_dataset.throughputs("ivy_bridge")
+        skl = tiny_dataset.throughputs("skylake")
+        assert not np.allclose(ivb, skl)
+
+    def test_throughput_lookup_accepts_display_names(self, tiny_dataset):
+        sample = tiny_dataset[0]
+        assert sample.throughput("Ivy Bridge") == sample.throughput("ivy_bridge")
+
+    def test_missing_label_raises(self):
+        sample = LabeledBlock(BasicBlock.from_text("NOP"), {"haswell": 100.0})
+        with pytest.raises(KeyError):
+            sample.throughput("skylake")
+
+
+class TestSplits:
+    def test_train_test_split_fractions(self, tiny_dataset):
+        train, test = tiny_dataset.train_test_split(test_fraction=0.17, seed=0)
+        assert len(train) + len(test) == len(tiny_dataset)
+        assert len(test) == pytest.approx(len(tiny_dataset) * 0.17, abs=1.0)
+
+    def test_split_is_disjoint(self, tiny_dataset):
+        train, test = tiny_dataset.train_test_split(seed=0)
+        train_ids = {sample.block.identifier for sample in train}
+        test_ids = {sample.block.identifier for sample in test}
+        assert train_ids.isdisjoint(test_ids)
+
+    def test_split_is_deterministic(self, tiny_dataset):
+        first_train, _ = tiny_dataset.train_test_split(seed=5)
+        second_train, _ = tiny_dataset.train_test_split(seed=5)
+        assert [s.block.identifier for s in first_train] == [
+            s.block.identifier for s in second_train
+        ]
+
+    def test_different_seed_changes_split(self, tiny_dataset):
+        first_train, _ = tiny_dataset.train_test_split(seed=1)
+        second_train, _ = tiny_dataset.train_test_split(seed=2)
+        assert [s.block.identifier for s in first_train] != [
+            s.block.identifier for s in second_train
+        ]
+
+    def test_invalid_fraction_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.train_test_split(test_fraction=1.5)
+
+    def test_paper_splits_partition_everything(self, tiny_dataset):
+        splits = tiny_dataset.paper_splits(seed=0)
+        total = len(splits.train) + len(splits.validation) + len(splits.test)
+        assert total == len(tiny_dataset)
+        assert len(splits.validation) >= 1
+        assert len(splits.test) >= 1
+
+    def test_subset_preserves_samples(self, tiny_dataset):
+        subset = tiny_dataset.subset([0, 2, 4])
+        assert len(subset) == 3
+        assert subset[1].block.identifier == tiny_dataset[2].block.identifier
+
+    def test_multi_task_subset_keeps_fully_labelled_blocks(self):
+        complete = LabeledBlock(
+            BasicBlock.from_text("NOP"),
+            {key: 100.0 for key in TARGET_MICROARCHITECTURES},
+        )
+        partial = LabeledBlock(BasicBlock.from_text("NOP"), {"haswell": 100.0})
+        dataset = ThroughputDataset([complete, partial])
+        assert len(dataset.multi_task_subset()) == 1
+
+    def test_blocks_and_throughputs_align(self, tiny_dataset):
+        blocks = tiny_dataset.blocks()
+        labels = tiny_dataset.throughputs("haswell")
+        assert len(blocks) == len(labels)

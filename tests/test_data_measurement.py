@@ -1,0 +1,78 @@
+"""Tests for the measurement-methodology models (repro.data.measurement)."""
+
+import numpy as np
+import pytest
+
+from repro.data.measurement import (
+    BHIVE_MEASUREMENT,
+    ITERATIONS_PER_MEASUREMENT,
+    ITHEMAL_MEASUREMENT,
+    MeasurementModel,
+)
+
+
+class TestMeasurementModel:
+    def test_deterministic_without_rng(self):
+        value = ITHEMAL_MEASUREMENT.measure(5.0)
+        assert value == ITHEMAL_MEASUREMENT.measure(5.0)
+
+    def test_scaling_to_100_iterations(self):
+        model = MeasurementModel("ideal", 0.0, 1.0, 0.0, 0.0)
+        assert model.measure(3.0) == pytest.approx(3.0 * ITERATIONS_PER_MEASUREMENT)
+
+    def test_overhead_added(self):
+        assert ITHEMAL_MEASUREMENT.measure(5.0) > 5.0 * ITERATIONS_PER_MEASUREMENT
+
+    def test_monotone_in_true_cycles(self):
+        low = ITHEMAL_MEASUREMENT.measure(2.0)
+        high = ITHEMAL_MEASUREMENT.measure(4.0)
+        assert high > low
+
+    def test_noise_is_bounded_and_seeded(self):
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        assert ITHEMAL_MEASUREMENT.measure(5.0, rng1) == ITHEMAL_MEASUREMENT.measure(5.0, rng2)
+        values = [ITHEMAL_MEASUREMENT.measure(5.0, np.random.default_rng(seed)) for seed in range(50)]
+        noiseless = ITHEMAL_MEASUREMENT.measure(5.0)
+        assert np.std(values) > 0
+        assert all(abs(v - noiseless) / noiseless < 0.15 for v in values)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            ITHEMAL_MEASUREMENT.measure(-1.0)
+
+    def test_measurement_is_at_least_one(self):
+        assert BHIVE_MEASUREMENT.measure(0.0) >= 1.0
+
+    def test_quantisation(self):
+        model = MeasurementModel("quantised", 0.0, 1.0, 0.0, 5.0)
+        assert model.measure(1.234) % 5.0 == pytest.approx(0.0)
+
+    def test_normalize_to_single_iteration(self):
+        measured = ITHEMAL_MEASUREMENT.measure(5.0)
+        assert ITHEMAL_MEASUREMENT.normalize_to_single_iteration(measured) == pytest.approx(
+            measured / ITERATIONS_PER_MEASUREMENT
+        )
+
+
+class TestMethodologyDifferences:
+    """The two datasets use different measurement tools (Section 5.1)."""
+
+    def test_methodologies_have_different_constants(self):
+        assert ITHEMAL_MEASUREMENT.calibration_bias != BHIVE_MEASUREMENT.calibration_bias
+        assert ITHEMAL_MEASUREMENT.harness_overhead_cycles != BHIVE_MEASUREMENT.harness_overhead_cycles
+
+    def test_same_block_measures_differently_across_methodologies(self):
+        ithemal_value = ITHEMAL_MEASUREMENT.measure(5.0)
+        bhive_value = BHIVE_MEASUREMENT.measure(5.0)
+        relative_gap = abs(ithemal_value - bhive_value) / ithemal_value
+        assert relative_gap > 0.03
+
+    def test_methodology_gap_is_systematic_not_random(self):
+        """The bias has the same sign across a range of cycle counts, so a
+        model trained on one methodology is consistently off on the other."""
+        gaps = []
+        for cycles in np.linspace(1.0, 50.0, 20):
+            gaps.append(BHIVE_MEASUREMENT.measure(cycles) - ITHEMAL_MEASUREMENT.measure(cycles))
+        signs = np.sign(gaps[5:])  # skip the overhead-dominated small blocks
+        assert np.all(signs == signs[0])

@@ -1,0 +1,109 @@
+"""Tests for the synthetic block generator (repro.data.synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import BlockGenerator, GeneratorConfig, WorkloadProfile
+from repro.isa.basic_block import BasicBlock
+from repro.isa.parser import parse_block_text
+from repro.isa.semantics import InstructionCategory, semantics_for
+
+
+class TestDeterminism:
+    def test_same_seed_same_blocks(self):
+        first = BlockGenerator(seed=42).generate_blocks(20)
+        second = BlockGenerator(seed=42).generate_blocks(20)
+        assert [b.render() for b in first] == [b.render() for b in second]
+
+    def test_different_seeds_differ(self):
+        first = BlockGenerator(seed=1).generate_blocks(20)
+        second = BlockGenerator(seed=2).generate_blocks(20)
+        assert [b.render() for b in first] != [b.render() for b in second]
+
+    def test_identifiers_are_stable(self):
+        blocks = BlockGenerator(seed=0).generate_blocks(5, prefix="abc")
+        assert [block.identifier for block in blocks] == [f"abc-{i}" for i in range(5)]
+
+
+class TestBlockValidity:
+    def test_lengths_respect_configuration(self):
+        config = GeneratorConfig(min_instructions=2, max_instructions=12, mean_instructions=5.0)
+        blocks = BlockGenerator(config, seed=3).generate_blocks(200)
+        lengths = [len(block) for block in blocks]
+        assert min(lengths) >= 2
+        assert max(lengths) <= 12
+
+    def test_generated_blocks_reparse(self, block_generator):
+        """Every generated block renders to parseable Intel syntax."""
+        for block in block_generator.generate_blocks(100):
+            reparsed = parse_block_text(block.render())
+            assert len(reparsed) == len(block)
+
+    def test_mean_length_roughly_matches_config(self):
+        config = GeneratorConfig(mean_instructions=8.0, max_instructions=60)
+        blocks = BlockGenerator(config, seed=5).generate_blocks(500)
+        mean_length = np.mean([len(block) for block in blocks])
+        assert 5.0 <= mean_length <= 12.0
+
+    def test_known_mnemonics_dominate(self, block_generator):
+        """Generated instructions should have explicit semantics, not the
+        generic fallback, in the overwhelming majority of cases."""
+        total = 0
+        unknown = 0
+        for block in block_generator.generate_blocks(100):
+            for instruction in block:
+                total += 1
+                if semantics_for(instruction).category is InstructionCategory.OTHER:
+                    unknown += 1
+        assert unknown / total < 0.01
+
+
+class TestWorkloadDiversity:
+    def test_profiles_produce_distinct_instruction_mixes(self):
+        config = GeneratorConfig(
+            profile_weights={WorkloadProfile.FLOATING_POINT: 1.0}
+        )
+        fp_blocks = BlockGenerator(config, seed=0).generate_blocks(50)
+        fp_mnemonics = {i.mnemonic for b in fp_blocks for i in b}
+        assert any(m.endswith("SD") or m.endswith("SS") for m in fp_mnemonics)
+
+        config = GeneratorConfig(
+            profile_weights={WorkloadProfile.INTEGER_ALU: 1.0}
+        )
+        int_blocks = BlockGenerator(config, seed=0).generate_blocks(50)
+        int_mnemonics = {i.mnemonic for b in int_blocks for i in b}
+        assert "ADD" in int_mnemonics or "SUB" in int_mnemonics
+        assert not any(m.startswith("MUL") and m.endswith("PD") for m in int_mnemonics)
+
+    def test_memory_copy_profile_uses_loads_and_stores(self):
+        config = GeneratorConfig(profile_weights={WorkloadProfile.MEMORY_COPY: 1.0})
+        blocks = BlockGenerator(config, seed=1).generate_blocks(20)
+        assert all(any(i.has_memory_operand for i in block) for block in blocks if len(block) > 1)
+
+    def test_dependency_chain_profile_has_deep_critical_path(self):
+        config = GeneratorConfig(
+            profile_weights={WorkloadProfile.DEPENDENCY_CHAIN: 1.0},
+            min_instructions=6,
+            mean_instructions=8.0,
+        )
+        blocks = BlockGenerator(config, seed=2).generate_blocks(20)
+        deep = [b for b in blocks if len(b) >= 6]
+        assert deep, "expected some blocks with at least 6 instructions"
+        for block in deep:
+            assert block.critical_path_length() >= len(block) * 0.5
+
+    def test_control_idiom_profile_uses_flags(self):
+        config = GeneratorConfig(profile_weights={WorkloadProfile.CONTROL_IDIOM: 1.0})
+        blocks = BlockGenerator(config, seed=3).generate_blocks(30)
+        mnemonics = {i.mnemonic for b in blocks for i in b}
+        assert any(m.startswith("CMOV") or m.startswith("SET") or m in ("CMP", "TEST") for m in mnemonics)
+
+    def test_mixture_covers_all_profiles(self, block_generator):
+        """With the default mixture, both integer and vector code appear."""
+        mnemonics = {i.mnemonic for b in block_generator.generate_blocks(300) for i in b}
+        assert "MOV" in mnemonics
+        assert any(m.startswith("ADD") and len(m) > 3 or m.endswith("SD") for m in mnemonics)
+
+    def test_invalid_profile_weights_rejected(self):
+        with pytest.raises(ValueError):
+            BlockGenerator(GeneratorConfig(profile_weights={WorkloadProfile.INTEGER_ALU: 0.0}))

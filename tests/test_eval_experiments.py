@@ -1,0 +1,144 @@
+"""Smoke tests of the experiment functions (repro.eval.tables/figures/ablations).
+
+These run every table/figure reproduction at the tiny "smoke" scale: the
+goal is to verify the plumbing (training, evaluation, result containers,
+formatting), not the quality of the results — that is what the benchmark
+suite under ``benchmarks/`` checks at the larger "quick" scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.ablations import (
+    run_decoder_ablation,
+    run_edge_ablation,
+    run_layernorm_ablation,
+    run_readout_ablation,
+)
+from repro.eval.figures import render_heatmap_ascii, run_figure3, run_figure4, run_figure5
+from repro.eval.harness import ExperimentScale
+from repro.eval.tables import run_table5, run_table6, run_table7, run_table8, run_table9
+from repro.eval.timing import measure_model_timing, run_table10
+from repro.models import create_model
+from repro.data.datasets import build_bhive_like_dataset
+
+
+SMOKE = ExperimentScale.smoke()
+
+
+class TestTables:
+    def test_table5_smoke(self):
+        result = run_table5(SMOKE, include_vanilla_ithemal=False, evaluate_cross_dataset=True)
+        assert set(result.models) == {"granite", "ithemal+"}
+        for trained in result.models.values():
+            assert np.isfinite(trained.average_mape())
+        assert set(result.cross_dataset_metrics) == {"granite", "ithemal+"}
+        table_text = result.format_table()
+        assert "Ivy Bridge" in table_text and "paper MAPE" in table_text
+
+    def test_table6_smoke(self):
+        result = run_table6(SMOKE)
+        assert result.dataset_name == "bhive"
+        assert set(result.models) == {"granite", "ithemal+"}
+        assert "granite" in result.format_table()
+
+    def test_table7_smoke(self):
+        result = run_table7(SMOKE, iteration_counts=(1, 2))
+        assert set(result.mape_by_iterations) == {1, 2}
+        assert np.isfinite(result.average_mape(1))
+        assert result.best_iterations("haswell") in (1, 2)
+        assert "iterations" in result.format_table()
+
+    def test_table8_smoke(self):
+        result = run_table8(SMOKE, model_names=("granite",))
+        assert set(result.single_task_mape) == {"granite"}
+        assert set(result.multi_task_mape["granite"]) == {"ivy_bridge", "haswell", "skylake"}
+        assert np.isfinite(result.multitask_improvement("granite"))
+        assert "single" in result.format_table()
+
+    def test_table9_smoke(self):
+        result = run_table9(SMOKE, loss_names=("mape", "mse"))
+        assert set(result.metrics) == {"mape", "mse"}
+        for loss_name in ("mape", "mse"):
+            for microarchitecture in ("ivy_bridge", "haswell", "skylake"):
+                row = result.metrics[loss_name][microarchitecture]
+                assert set(row) == {"mape", "mse", "relative_mse", "huber", "relative_huber"}
+                assert all(np.isfinite(value) for value in row.values())
+        assert result.best_loss_by_mape("haswell") in ("mape", "mse")
+        assert "train loss" in result.format_table()
+
+
+class TestFigures:
+    def test_figure3_smoke(self):
+        result = run_figure3(SMOKE, model_names=("granite",))
+        assert "granite" in result.histograms
+        histogram = result.histograms["granite"]["haswell"]
+        assert histogram.ndim == 2
+        assert 0.0 <= result.diagonal_mass["granite"]["haswell"] <= 1.0
+        ascii_plot = render_heatmap_ascii(histogram)
+        assert len(ascii_plot.splitlines()) > 5
+
+    def test_figure4_smoke(self):
+        result = run_figure4(SMOKE, model_names=("granite",))
+        counts, edges = result.histograms["granite"]["skylake"]
+        assert counts.sum() > 0
+        assert 0.0 <= result.underestimation["granite"]["skylake"] <= 1.0
+
+    def test_figure5_smoke(self):
+        result = run_figure5(SMOKE)
+        assert result.dataset_name.startswith("bhive")
+        assert set(result.histograms) == {"granite"}
+
+    def test_render_heatmap_requires_2d(self):
+        with pytest.raises(ValueError):
+            render_heatmap_ascii(np.zeros(5))
+
+
+class TestAblations:
+    def test_decoder_ablation_smoke(self):
+        result = run_decoder_ablation(SMOKE)
+        assert set(result.dot_product_mape) == {"ivy_bridge", "haswell", "skylake"}
+        assert np.isfinite(result.average_improvement())
+        assert "dot-product" in result.format_table()
+
+    def test_layernorm_ablation_smoke(self):
+        result = run_layernorm_ablation(SMOKE)
+        assert set(result.with_layernorm_mape) == {"ivy_bridge", "haswell", "skylake"}
+        assert isinstance(result.without_layernorm_diverged, bool)
+        assert "with LN" in result.format_table()
+
+    def test_edge_ablation_smoke(self):
+        result = run_edge_ablation(SMOKE)
+        assert set(result.full_graph_mape) == {"ivy_bridge", "haswell", "skylake"}
+        assert np.isfinite(result.dependency_edge_benefit())
+        assert "structural only" in result.format_table()
+
+    def test_readout_ablation_smoke(self):
+        result = run_readout_ablation(SMOKE)
+        assert set(result.per_instruction_mape) == {"ivy_bridge", "haswell", "skylake"}
+        assert np.isfinite(result.per_instruction_benefit())
+        for fraction in result.global_readout_underestimation.values():
+            assert 0.0 <= fraction <= 1.0
+        assert "global readout" in result.format_table()
+
+
+class TestTiming:
+    def test_measure_model_timing(self):
+        dataset = build_bhive_like_dataset(30, seed=1)
+        model = create_model("granite", small=True, seed=0)
+        timing = measure_model_timing(
+            model, dataset, batch_size=10, num_training_batches=2, num_inference_batches=2
+        )
+        assert timing.training_seconds_per_batch > 0
+        assert timing.inference_seconds_per_batch > 0
+        assert timing.inference_seconds_per_batch < timing.training_seconds_per_batch
+        assert timing.training_seconds_per_task == pytest.approx(
+            timing.training_seconds_per_batch / 3
+        )
+
+    def test_run_table10_smoke(self):
+        result = run_table10(SMOKE, batch_size=10, num_blocks=30)
+        assert set(result.timings) == {
+            "granite_single", "granite_multi", "ithemal+_single", "ithemal+_multi",
+        }
+        assert "train s/batch" in result.format_table()

@@ -1,0 +1,109 @@
+"""Tests for the experiment harness (repro.eval.harness) and paper references."""
+
+import numpy as np
+import pytest
+
+from repro.eval import paper_reference as paper
+from repro.eval.harness import ExperimentHarness, ExperimentScale
+
+
+class TestExperimentScale:
+    def test_quick_and_smoke_presets(self):
+        quick = ExperimentScale.quick()
+        smoke = ExperimentScale.smoke()
+        assert smoke.ithemal_dataset_size < quick.ithemal_dataset_size
+        assert smoke.num_training_steps < quick.num_training_steps
+        assert quick.small_models and smoke.small_models
+
+    def test_full_preset_uses_paper_models(self):
+        full = ExperimentScale.full()
+        assert not full.small_models
+        assert full.batch_size == 100
+
+
+class TestExperimentHarness:
+    def test_datasets_are_cached(self):
+        harness = ExperimentHarness(ExperimentScale.smoke())
+        first = harness.ithemal_splits
+        second = harness.ithemal_splits
+        assert first is second
+
+    def test_bhive_dataset_is_smaller(self):
+        harness = ExperimentHarness(ExperimentScale.smoke())
+        ithemal_total = (
+            len(harness.ithemal_splits.train)
+            + len(harness.ithemal_splits.validation)
+            + len(harness.ithemal_splits.test)
+        )
+        bhive_total = (
+            len(harness.bhive_splits.train)
+            + len(harness.bhive_splits.validation)
+            + len(harness.bhive_splits.test)
+        )
+        assert bhive_total < ithemal_total
+
+    def test_make_model_names(self):
+        harness = ExperimentHarness(ExperimentScale.smoke())
+        for name in ("granite", "ithemal", "ithemal+"):
+            model = harness.make_model(name)
+            assert model.tasks == ("ivy_bridge", "haswell", "skylake")
+        with pytest.raises(ValueError):
+            harness.make_model("bert")
+
+    def test_training_config_reflects_scale(self):
+        scale = ExperimentScale.smoke()
+        harness = ExperimentHarness(scale)
+        config = harness.training_config()
+        assert config.num_steps == scale.num_training_steps
+        assert config.batch_size == scale.batch_size
+        overridden = harness.training_config(loss="huber", num_steps=3)
+        assert overridden.loss == "huber" and overridden.num_steps == 3
+
+    def test_train_and_evaluate_smoke(self):
+        harness = ExperimentHarness(ExperimentScale.smoke())
+        trained = harness.train_standard_model("granite")
+        assert trained.name == "granite"
+        assert set(trained.test_metrics) == {"ivy_bridge", "haswell", "skylake"}
+        assert np.isfinite(trained.average_mape())
+        assert len(trained.history.steps) == harness.scale.num_training_steps
+
+
+class TestPaperReferenceValues:
+    """Sanity checks that the transcribed constants match the paper's claims."""
+
+    def test_table5_granite_beats_ithemal_everywhere(self):
+        for microarchitecture in paper.MICROARCHITECTURE_DISPLAY_NAMES:
+            assert (
+                paper.TABLE5_MAPE["granite"][microarchitecture]
+                < paper.TABLE5_MAPE["ithemal+"][microarchitecture]
+                < paper.TABLE5_MAPE["ithemal"][microarchitecture]
+            )
+
+    def test_headline_average_error(self):
+        average = np.mean(list(paper.TABLE5_MAPE["granite"].values()))
+        assert average == pytest.approx(paper.GRANITE_AVERAGE_TEST_ERROR, abs=0.002)
+
+    def test_table7_best_at_eight_iterations(self):
+        for microarchitecture, sweep in paper.TABLE7_MESSAGE_PASSING_MAPE.items():
+            assert min(sweep, key=sweep.get) == 8
+
+    def test_table9_mape_is_best_or_near_best_loss(self):
+        for microarchitecture, row in paper.TABLE9_LOSS_MAPE.items():
+            best = min(row, key=row.get)
+            assert best in ("mape", "relative_mse")
+            assert row["mape"] <= row["mse"]
+
+    def test_table10_granite_faster_on_gpu(self):
+        assert (
+            paper.TABLE10_RUNTIME_SECONDS[("granite_single", "gpu_training")]
+            < paper.TABLE10_RUNTIME_SECONDS[("ithemal_single", "gpu_training")]
+        )
+        assert (
+            paper.TABLE10_RUNTIME_SECONDS[("granite_multi", "gpu_inference")]
+            < paper.TABLE10_RUNTIME_SECONDS[("ithemal+_multi", "gpu_inference")]
+        )
+
+    def test_table8_multitask_helps_granite_on_average(self):
+        singles = [values[0] for values in paper.TABLE8_MULTI_TASK_MAPE["granite"].values()]
+        multis = [values[1] for values in paper.TABLE8_MULTI_TASK_MAPE["granite"].values()]
+        assert np.mean(multis) < np.mean(singles)

@@ -1,0 +1,165 @@
+"""Tests for the graph network blocks (repro.gnn.blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.blocks import (
+    EdgeBlock,
+    FullGNBlock,
+    GlobalBlock,
+    GraphNetwork,
+    GraphState,
+    GraphTopology,
+    NodeBlock,
+)
+from repro.nn.tensor import Tensor
+
+
+def make_two_triangle_batch(rng, node_size=6, edge_size=5, global_size=4):
+    """Two 3-node cycles packed into one batch."""
+    nodes = Tensor(rng.normal(size=(6, node_size)))
+    edges = Tensor(rng.normal(size=(6, edge_size)))
+    globals_ = Tensor(rng.normal(size=(2, global_size)))
+    senders = np.array([0, 1, 2, 3, 4, 5])
+    receivers = np.array([1, 2, 0, 4, 5, 3])
+    topology = GraphTopology(
+        senders=senders,
+        receivers=receivers,
+        node_graph_ids=np.array([0, 0, 0, 1, 1, 1]),
+        edge_graph_ids=np.array([0, 0, 0, 1, 1, 1]),
+        num_graphs=2,
+    )
+    return GraphState(nodes=nodes, edges=edges, globals_=globals_), topology
+
+
+class TestBlocks:
+    def test_edge_block_shape(self, rng):
+        state, topology = make_two_triangle_batch(rng)
+        block = EdgeBlock(5, 6, 4, [8], 5, rng)
+        assert block(state, topology).shape == (6, 5)
+
+    def test_node_block_shape(self, rng):
+        state, topology = make_two_triangle_batch(rng)
+        edge_block = EdgeBlock(5, 6, 4, [8], 5, rng)
+        node_block = NodeBlock(5, 6, 4, [8], 6, rng)
+        updated_edges = edge_block(state, topology)
+        assert node_block(state, topology, updated_edges).shape == (6, 6)
+
+    def test_global_block_shape(self, rng):
+        state, topology = make_two_triangle_batch(rng)
+        edges = EdgeBlock(5, 6, 4, [8], 5, rng)(state, topology)
+        nodes = NodeBlock(5, 6, 4, [8], 6, rng)(state, topology, edges)
+        global_block = GlobalBlock(5, 6, 4, [8], 4, rng)
+        assert global_block(state, topology, edges, nodes).shape == (2, 4)
+
+    def test_full_gn_block_preserves_sizes(self, rng):
+        state, topology = make_two_triangle_batch(rng)
+        block = FullGNBlock(5, 6, 4, [8], rng)
+        output = block(state, topology)
+        assert output.nodes.shape == state.nodes.shape
+        assert output.edges.shape == state.edges.shape
+        assert output.globals_.shape == state.globals_.shape
+
+    def test_invalid_aggregation_rejected(self, rng):
+        state, topology = make_two_triangle_batch(rng)
+        block = NodeBlock(5, 6, 4, [8], 6, rng, aggregation="median")
+        edges = EdgeBlock(5, 6, 4, [8], 5, rng)(state, topology)
+        with pytest.raises(ValueError):
+            block(state, topology, edges)
+
+
+class TestGraphIsolation:
+    """Disconnected graphs in a batch must not influence each other."""
+
+    def test_graphs_in_batch_are_independent(self, rng):
+        state, topology = make_two_triangle_batch(rng)
+        network = GraphNetwork(5, 6, 4, [8], num_message_passing_iterations=3, rng=rng)
+        baseline = network(state, topology)
+
+        perturbed_nodes = state.nodes.data.copy()
+        perturbed_nodes[3:] += 10.0  # perturb only the second graph
+        perturbed_state = GraphState(
+            nodes=Tensor(perturbed_nodes),
+            edges=Tensor(state.edges.data.copy()),
+            globals_=Tensor(state.globals_.data.copy()),
+        )
+        perturbed = network(perturbed_state, topology)
+
+        np.testing.assert_allclose(baseline.nodes.data[:3], perturbed.nodes.data[:3])
+        np.testing.assert_allclose(baseline.globals_.data[0], perturbed.globals_.data[0])
+        assert not np.allclose(baseline.nodes.data[3:], perturbed.nodes.data[3:])
+
+
+class TestMessagePassing:
+    def test_information_propagates_n_hops_per_iteration(self, rng):
+        """A change at one node reaches its 2-hop neighbour only after two
+        message passing iterations (edges propagate one hop per iteration)."""
+        node_size, edge_size, global_size = 4, 4, 4
+        nodes = np.zeros((3, node_size))
+        edges = np.zeros((2, edge_size))
+        globals_ = np.zeros((1, global_size))
+        senders = np.array([0, 1])
+        receivers = np.array([1, 2])
+        topology = GraphTopology(
+            senders=senders,
+            receivers=receivers,
+            node_graph_ids=np.zeros(3, dtype=np.int64),
+            edge_graph_ids=np.zeros(2, dtype=np.int64),
+            num_graphs=1,
+        )
+
+        def output_at_node2(num_iterations, source_value):
+            state = GraphState(
+                nodes=Tensor(np.vstack([[source_value] * node_size, nodes[1:]])),
+                edges=Tensor(edges.copy()),
+                globals_=Tensor(globals_.copy()),
+            )
+            network = GraphNetwork(
+                edge_size, node_size, global_size, [8],
+                num_message_passing_iterations=num_iterations,
+                rng=np.random.default_rng(0),
+                use_residual=True,
+            )
+            # Disable the global pathway so information can only travel
+            # along edges (the global feature would otherwise shortcut it).
+            return network(state, topology).nodes.data[2]
+
+        one_hop_a = output_at_node2(1, 0.0)
+        one_hop_b = output_at_node2(1, 100.0)
+        np.testing.assert_allclose(one_hop_a, one_hop_b, atol=1e-8)
+
+        two_hop_a = output_at_node2(2, 0.0)
+        two_hop_b = output_at_node2(2, 100.0)
+        assert not np.allclose(two_hop_a, two_hop_b)
+
+    def test_shared_weights_reuse_one_block(self, rng):
+        network = GraphNetwork(4, 4, 4, [8], 5, rng, share_weights=True)
+        assert len(network.blocks) == 1
+
+    def test_unshared_weights_make_one_block_per_iteration(self, rng):
+        network = GraphNetwork(4, 4, 4, [8], 3, rng, share_weights=False)
+        assert len(network.blocks) == 3
+
+    def test_zero_iterations_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GraphNetwork(4, 4, 4, [8], 0, rng)
+
+    def test_gradients_flow_to_all_inputs(self, rng):
+        state, topology = make_two_triangle_batch(rng)
+        nodes = Tensor(state.nodes.data, requires_grad=True)
+        edges = Tensor(state.edges.data, requires_grad=True)
+        globals_ = Tensor(state.globals_.data, requires_grad=True)
+        network = GraphNetwork(5, 6, 4, [8], 2, rng)
+        output = network(GraphState(nodes, edges, globals_), topology)
+        (output.nodes.sum() + output.globals_.sum()).backward()
+        assert nodes.grad is not None and np.abs(nodes.grad).sum() > 0
+        assert edges.grad is not None and np.abs(edges.grad).sum() > 0
+        assert globals_.grad is not None and np.abs(globals_.grad).sum() > 0
+
+    def test_sum_vs_mean_aggregation_differ(self, rng):
+        state, topology = make_two_triangle_batch(rng)
+        sum_network = GraphNetwork(5, 6, 4, [8], 1, np.random.default_rng(7), aggregation="sum")
+        mean_network = GraphNetwork(5, 6, 4, [8], 1, np.random.default_rng(7), aggregation="mean")
+        sum_out = sum_network(state, topology).globals_.data
+        mean_out = mean_network(state, topology).globals_.data
+        assert not np.allclose(sum_out, mean_out)

@@ -1,0 +1,237 @@
+"""Tests for the GRANITE graph construction (repro.graph.builder).
+
+These tests check the encoding rules of Section 3.1 / Tables 2-3 of the
+paper, in particular on the Figure 1 example block.
+"""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, GraphBuilderConfig, build_block_graph
+from repro.graph.types import EdgeType, NodeType, SpecialToken
+from repro.isa.basic_block import BasicBlock
+
+
+def edges_of_type(graph, edge_type):
+    return [edge for edge in graph.edges if edge.edge_type is edge_type]
+
+
+def nodes_of_type(graph, node_type):
+    return [
+        (index, node) for index, node in enumerate(graph.nodes) if node.node_type is node_type
+    ]
+
+
+class TestFigure1Encoding:
+    """The worked example of Figure 1: MOV RAX, 12345 / ADD [RAX+16], EBX."""
+
+    def test_one_mnemonic_node_per_instruction(self, figure1_block):
+        graph = build_block_graph(figure1_block)
+        mnemonic_nodes = nodes_of_type(graph, NodeType.MNEMONIC)
+        assert len(mnemonic_nodes) == 2
+        assert [node.token for _, node in mnemonic_nodes] == ["MOV", "ADD"]
+        assert graph.instruction_node_indices == [index for index, _ in mnemonic_nodes]
+
+    def test_structural_edge_between_consecutive_instructions(self, figure1_block):
+        graph = build_block_graph(figure1_block)
+        structural = edges_of_type(graph, EdgeType.STRUCTURAL_DEPENDENCY)
+        assert len(structural) == 1
+        mov_node, add_node = graph.instruction_node_indices
+        assert structural[0].sender == mov_node
+        assert structural[0].receiver == add_node
+
+    def test_immediate_feeds_mov(self, figure1_block):
+        graph = build_block_graph(figure1_block)
+        mov_node = graph.instruction_node_indices[0]
+        immediate_inputs = [
+            edge
+            for edge in edges_of_type(graph, EdgeType.INPUT_OPERAND)
+            if edge.receiver == mov_node
+            and graph.nodes[edge.sender].token == SpecialToken.IMMEDIATE.value
+        ]
+        assert len(immediate_inputs) == 1
+
+    def test_mov_produces_rax_value_consumed_by_address(self, figure1_block):
+        graph = build_block_graph(figure1_block)
+        mov_node = graph.instruction_node_indices[0]
+        rax_outputs = [
+            edge
+            for edge in edges_of_type(graph, EdgeType.OUTPUT_OPERAND)
+            if edge.sender == mov_node and graph.nodes[edge.receiver].token == "RAX"
+        ]
+        assert len(rax_outputs) == 1
+        rax_value_node = rax_outputs[0].receiver
+        address_base_edges = [
+            edge
+            for edge in edges_of_type(graph, EdgeType.ADDRESS_BASE)
+            if edge.sender == rax_value_node
+        ]
+        assert len(address_base_edges) == 1
+        address_node = address_base_edges[0].receiver
+        assert graph.nodes[address_node].node_type is NodeType.ADDRESS_COMPUTATION
+
+    def test_address_displacement_edge_exists(self, figure1_block):
+        graph = build_block_graph(figure1_block)
+        assert len(edges_of_type(graph, EdgeType.ADDRESS_DISPLACEMENT)) == 1
+
+    def test_memory_read_and_write_are_distinct_nodes(self, figure1_block):
+        """The ADD reads and writes memory; the two values are distinct nodes."""
+        graph = build_block_graph(figure1_block)
+        memory_nodes = nodes_of_type(graph, NodeType.MEMORY_VALUE)
+        assert len(memory_nodes) == 2
+        add_node = graph.instruction_node_indices[1]
+        reads = [
+            edge for edge in edges_of_type(graph, EdgeType.INPUT_OPERAND)
+            if edge.receiver == add_node
+            and graph.nodes[edge.sender].node_type is NodeType.MEMORY_VALUE
+        ]
+        writes = [
+            edge for edge in edges_of_type(graph, EdgeType.OUTPUT_OPERAND)
+            if edge.sender == add_node
+            and graph.nodes[edge.receiver].node_type is NodeType.MEMORY_VALUE
+        ]
+        assert len(reads) == 1 and len(writes) == 1
+        assert reads[0].sender != writes[0].receiver
+
+    def test_add_writes_eflags(self, figure1_block):
+        graph = build_block_graph(figure1_block)
+        add_node = graph.instruction_node_indices[1]
+        eflags_writes = [
+            edge for edge in edges_of_type(graph, EdgeType.OUTPUT_OPERAND)
+            if edge.sender == add_node and graph.nodes[edge.receiver].token == "EFLAGS"
+        ]
+        assert len(eflags_writes) == 1
+
+
+class TestEncodingRules:
+    def test_value_node_has_at_most_one_producer(self, sample_blocks):
+        for block in sample_blocks[:25]:
+            graph = build_block_graph(block)
+            incoming_output_edges = {}
+            for edge in graph.edges:
+                if edge.edge_type is EdgeType.OUTPUT_OPERAND:
+                    incoming_output_edges.setdefault(edge.receiver, 0)
+                    incoming_output_edges[edge.receiver] += 1
+            assert all(count == 1 for count in incoming_output_edges.values())
+
+    def test_register_rewrite_creates_new_value_node(self):
+        block = BasicBlock.from_text("MOV RAX, 1\nMOV RAX, 2\nADD RBX, RAX")
+        graph = build_block_graph(block)
+        rax_nodes = [node for node in graph.nodes if node.token == "RAX"]
+        assert len(rax_nodes) == 2
+
+    def test_reader_connects_to_most_recent_value(self):
+        block = BasicBlock.from_text("MOV RAX, 1\nMOV RAX, 2\nADD RBX, RAX")
+        graph = build_block_graph(block)
+        add_node = graph.instruction_node_indices[2]
+        second_mov = graph.instruction_node_indices[1]
+        rax_inputs = [
+            edge for edge in graph.edges
+            if edge.edge_type is EdgeType.INPUT_OPERAND
+            and edge.receiver == add_node
+            and graph.nodes[edge.sender].token == "RAX"
+        ]
+        assert len(rax_inputs) == 1
+        producer_edges = [
+            edge for edge in graph.edges
+            if edge.edge_type is EdgeType.OUTPUT_OPERAND
+            and edge.receiver == rax_inputs[0].sender
+        ]
+        assert producer_edges[0].sender == second_mov
+
+    def test_live_in_register_has_no_producer(self):
+        block = BasicBlock.from_text("ADD RAX, RBX")
+        graph = build_block_graph(block)
+        rbx_nodes = [index for index, node in enumerate(graph.nodes) if node.token == "RBX"]
+        assert len(rbx_nodes) == 1
+        assert not any(
+            edge.receiver == rbx_nodes[0] and edge.edge_type is EdgeType.OUTPUT_OPERAND
+            for edge in graph.edges
+        )
+
+    def test_aliased_register_read_uses_same_value_node(self):
+        block = BasicBlock.from_text("MOV EAX, 1\nADD RBX, RAX")
+        graph = build_block_graph(block)
+        # Only the EAX value produced by MOV plus the live-in RBX exist.
+        eax_like = [node for node in graph.nodes if node.token in ("EAX", "RAX")]
+        assert len(eax_like) == 1
+
+    def test_prefix_node_connected_to_mnemonic(self):
+        block = BasicBlock.from_text("LOCK ADD QWORD PTR [RAX], RBX")
+        graph = build_block_graph(block)
+        prefix_nodes = nodes_of_type(graph, NodeType.PREFIX)
+        assert len(prefix_nodes) == 1
+        prefix_index = prefix_nodes[0][0]
+        assert any(
+            edge.sender == prefix_index and edge.edge_type is EdgeType.PREFIX
+            for edge in graph.edges
+        )
+
+    def test_structural_edges_form_a_chain(self, paper_example_block):
+        graph = build_block_graph(paper_example_block)
+        structural = edges_of_type(graph, EdgeType.STRUCTURAL_DEPENDENCY)
+        assert len(structural) == len(paper_example_block) - 1
+
+    def test_segment_override_creates_segment_edge(self):
+        block = BasicBlock.from_text("MOV RAX, QWORD PTR FS:[0x28]")
+        graph = build_block_graph(block)
+        assert len(edges_of_type(graph, EdgeType.ADDRESS_SEGMENT)) == 1
+
+    def test_scaled_index_creates_index_edge(self):
+        block = BasicBlock.from_text("MOV RAX, QWORD PTR [RBX + RCX*8]")
+        graph = build_block_graph(block)
+        assert len(edges_of_type(graph, EdgeType.ADDRESS_INDEX)) == 1
+        assert len(edges_of_type(graph, EdgeType.ADDRESS_BASE)) == 1
+
+    def test_fp_immediate_node(self):
+        block = BasicBlock.from_text("FOO XMM0, 2.5")
+        graph = build_block_graph(block)
+        assert len(nodes_of_type(graph, NodeType.FP_IMMEDIATE)) == 1
+
+    def test_empty_block_produces_empty_graph(self):
+        graph = build_block_graph(BasicBlock([]))
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert graph.num_instructions == 0
+
+    def test_edge_indices_always_valid(self, sample_blocks):
+        for block in sample_blocks:
+            graph = build_block_graph(block)
+            for edge in graph.edges:
+                assert 0 <= edge.sender < graph.num_nodes
+                assert 0 <= edge.receiver < graph.num_nodes
+
+    def test_identifier_propagates(self, figure1_block):
+        assert build_block_graph(figure1_block).identifier == "figure1"
+
+
+class TestGraphBuilderConfig:
+    def test_structural_only_graph_has_no_data_edges(self, paper_example_block):
+        config = GraphBuilderConfig(
+            include_structural_edges=True,
+            include_data_edges=False,
+            include_address_edges=False,
+            include_implicit_operands=False,
+        )
+        graph = GraphBuilder(config).build(paper_example_block)
+        data_edges = [
+            edge for edge in graph.edges
+            if edge.edge_type in (EdgeType.INPUT_OPERAND, EdgeType.OUTPUT_OPERAND)
+        ]
+        assert data_edges == []
+        assert len(edges_of_type(graph, EdgeType.STRUCTURAL_DEPENDENCY)) == len(paper_example_block) - 1
+
+    def test_no_structural_edges(self, paper_example_block):
+        config = GraphBuilderConfig(include_structural_edges=False)
+        graph = GraphBuilder(config).build(paper_example_block)
+        assert edges_of_type(graph, EdgeType.STRUCTURAL_DEPENDENCY) == []
+
+    def test_no_implicit_operands_removes_eflags(self, paper_example_block):
+        config = GraphBuilderConfig(include_implicit_operands=False)
+        graph = GraphBuilder(config).build(paper_example_block)
+        assert not any(node.token == "EFLAGS" for node in graph.nodes)
+
+    def test_networkx_export(self, figure1_block):
+        graph = build_block_graph(figure1_block)
+        exported = graph.to_networkx()
+        assert exported.number_of_nodes() == graph.num_nodes
+        assert exported.number_of_edges() == graph.num_edges

@@ -1,0 +1,60 @@
+"""Tests for the token vocabulary (repro.graph.vocabulary)."""
+
+import pytest
+
+from repro.graph.types import SpecialToken
+from repro.graph.vocabulary import Vocabulary, build_default_vocabulary
+
+
+class TestVocabulary:
+    def test_contains_special_tokens(self):
+        vocabulary = build_default_vocabulary()
+        for special in SpecialToken:
+            assert special.value in vocabulary
+
+    def test_contains_mnemonics_prefixes_registers(self):
+        vocabulary = build_default_vocabulary()
+        for token in ("ADD", "MOV", "LOCK", "REP", "RAX", "XMM0", "EFLAGS"):
+            assert token in vocabulary
+
+    def test_id_round_trip(self):
+        vocabulary = build_default_vocabulary()
+        token_id = vocabulary.id_of("ADD")
+        assert vocabulary.token_of(token_id) == "ADD"
+
+    def test_unknown_token_maps_to_unk(self):
+        vocabulary = build_default_vocabulary()
+        assert vocabulary.id_of("TOTALLY_UNKNOWN") == vocabulary.unknown_id
+
+    def test_encode_sequence(self):
+        vocabulary = build_default_vocabulary()
+        ids = vocabulary.encode(["ADD", "RAX", "NOPE"])
+        assert len(ids) == 3
+        assert ids[2] == vocabulary.unknown_id
+
+    def test_ids_are_dense_and_unique(self):
+        vocabulary = build_default_vocabulary()
+        ids = {vocabulary.id_of(token) for token in vocabulary.tokens}
+        assert ids == set(range(len(vocabulary)))
+
+    def test_extra_tokens_are_appended(self):
+        vocabulary = build_default_vocabulary(extra_tokens=["<S>", "<D>"])
+        assert "<S>" in vocabulary and "<D>" in vocabulary
+
+    def test_duplicate_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary(tokens=("A", "A"))
+
+    def test_json_round_trip(self):
+        vocabulary = build_default_vocabulary()
+        restored = Vocabulary.from_json(vocabulary.to_json())
+        assert restored.tokens == vocabulary.tokens
+        assert restored.id_of("ADD") == vocabulary.id_of("ADD")
+
+    def test_from_tokens_deduplicates_and_keeps_specials_first(self):
+        vocabulary = Vocabulary.from_tokens(["FOO", "BAR", "FOO"])
+        assert vocabulary.tokens[: len(SpecialToken)] == tuple(s.value for s in SpecialToken)
+        assert vocabulary.tokens.count("FOO") == 1
+
+    def test_default_vocabulary_is_deterministic(self):
+        assert build_default_vocabulary().tokens == build_default_vocabulary().tokens

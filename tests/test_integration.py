@@ -1,0 +1,119 @@
+"""End-to-end integration tests.
+
+These exercise the whole pipeline — dataset generation, graph encoding,
+training, checkpoint selection, evaluation, serialization — the way the
+examples and benchmarks use it, at a size that stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import build_ithemal_like_dataset
+from repro.models import create_model
+from repro.models.config import GraniteConfig, TrainingConfig
+from repro.models.granite import GraniteModel
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.training.trainer import Trainer, evaluate_model
+from repro.uarch.ports import MICROARCHITECTURES
+from repro.uarch.scheduler import ThroughputOracle
+
+
+@pytest.fixture(scope="module")
+def trained_granite():
+    """A GRANITE model trained briefly on a small dataset (shared)."""
+    dataset = build_ithemal_like_dataset(240, seed=21)
+    splits = dataset.paper_splits(seed=0)
+    model = create_model("granite", small=True, seed=0)
+    trainer = Trainer(
+        model,
+        TrainingConfig(num_steps=120, batch_size=32, validation_interval=30, seed=0),
+    )
+    history = trainer.train(splits.train, splits.validation)
+    return model, splits, history
+
+
+class TestEndToEndTraining:
+    def test_training_beats_trivial_baselines(self, trained_granite):
+        """After a short training run, GRANITE must beat both the untrained
+        model and the constant mean predictor on held-out blocks."""
+        model, splits, _ = trained_granite
+        metrics = evaluate_model(model, splits.test)
+
+        untrained = create_model("granite", small=True, seed=99)
+        untrained_metrics = evaluate_model(untrained, splits.test)
+
+        for task in model.tasks:
+            actual = splits.test.throughputs(task)
+            mean_prediction = np.full_like(actual, splits.train.throughputs(task).mean())
+            mean_mape = float(np.mean(np.abs(actual - mean_prediction) / actual))
+            assert metrics[task].mape < untrained_metrics[task].mape
+            assert metrics[task].mape < mean_mape
+
+    def test_predictions_correlate_with_ground_truth(self, trained_granite):
+        model, splits, _ = trained_granite
+        metrics = evaluate_model(model, splits.test)
+        for task in model.tasks:
+            assert metrics[task].spearman > 0.5
+            assert metrics[task].pearson > 0.5
+
+    def test_validation_history_recorded(self, trained_granite):
+        _, _, history = trained_granite
+        assert history.best_step > 0
+        assert not history.diverged()
+        assert history.total_seconds > 0
+
+    def test_checkpoint_round_trip_preserves_predictions(self, trained_granite, tmp_path):
+        model, splits, _ = trained_granite
+        path = str(tmp_path / "granite.npz")
+        save_checkpoint(model, path)
+        clone = create_model("granite", small=True, seed=123)
+        load_checkpoint(clone, path)
+        blocks = splits.test.blocks()[:10]
+        original = model.predict(blocks)
+        restored = clone.predict(blocks)
+        for task in model.tasks:
+            np.testing.assert_allclose(original[task], restored[task], rtol=1e-10)
+
+    def test_model_predictions_track_oracle_ordering(self, trained_granite):
+        """The trained model should rank a trivially cheap block below an
+        expensive one, mirroring the analytical oracle."""
+        from repro.isa.basic_block import BasicBlock
+
+        model, _, _ = trained_granite
+        cheap = BasicBlock.from_text("ADD RAX, RBX")
+        expensive = BasicBlock.from_text("\n".join(["MULSD XMM0, XMM1"] * 16))
+        cheap_prediction = model.predict_single(cheap)
+        expensive_prediction = model.predict_single(expensive)
+        for task in model.tasks:
+            assert expensive_prediction[task] > cheap_prediction[task]
+
+    def test_oracle_and_dataset_agree_on_units(self, trained_granite):
+        """Dataset labels are ~100x the oracle's per-iteration estimate."""
+        _, splits, _ = trained_granite
+        sample = splits.test[0]
+        oracle = ThroughputOracle(MICROARCHITECTURES["haswell"])
+        cycles = oracle.throughput(sample.block)
+        assert sample.throughput("haswell") == pytest.approx(cycles * 100, rel=0.6)
+
+
+class TestMultiTaskIntegration:
+    def test_single_task_and_multi_task_models_coexist(self):
+        dataset = build_ithemal_like_dataset(80, seed=5)
+        splits = dataset.paper_splits(seed=0)
+        single = create_model("granite", tasks=("haswell",), small=True, seed=0)
+        multi = create_model("granite", small=True, seed=0)
+        for model in (single, multi):
+            trainer = Trainer(model, TrainingConfig(num_steps=10, batch_size=16, seed=0))
+            trainer.train(splits.train)
+        assert set(evaluate_model(single, splits.test)) == {"haswell"}
+        assert set(evaluate_model(multi, splits.test)) == {"ivy_bridge", "haswell", "skylake"}
+
+    def test_ithemal_plus_trains_end_to_end(self):
+        dataset = build_ithemal_like_dataset(80, seed=6)
+        splits = dataset.paper_splits(seed=0)
+        model = create_model("ithemal+", small=True, seed=0)
+        trainer = Trainer(model, TrainingConfig(num_steps=30, batch_size=16, seed=0))
+        history = trainer.train(splits.train)
+        assert history.loss_curve()[-10:].mean() < history.loss_curve()[:5].mean()
+        metrics = evaluate_model(model, splits.test)
+        assert all(np.isfinite(metric.mape) for metric in metrics.values())

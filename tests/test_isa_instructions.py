@@ -1,0 +1,58 @@
+"""Tests for the Instruction data model (repro.isa.instructions)."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, render_instructions
+from repro.isa.operands import MemoryReference, Operand
+
+
+class TestInstruction:
+    def test_mnemonic_upper_cased(self):
+        instruction = Instruction.create("add", [Operand.from_register("rax")])
+        assert instruction.mnemonic == "ADD"
+
+    def test_operands_are_tuple(self):
+        instruction = Instruction.create("ADD", [Operand.from_register("RAX")])
+        assert isinstance(instruction.operands, tuple)
+        assert instruction.num_operands == 1
+
+    def test_prefix_normalisation(self):
+        instruction = Instruction.create("add", [Operand.from_register("RAX")], ["lock"])
+        assert instruction.prefixes == ("LOCK",)
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction.create("ADD", [], ["BOGUS"])
+
+    def test_memory_operand_helpers(self):
+        memory = Operand.from_memory(MemoryReference(base="RAX"))
+        register = Operand.from_register("RBX")
+        instruction = Instruction.create("ADD", [memory, register])
+        assert instruction.has_memory_operand
+        assert instruction.memory_operands == [memory]
+        assert instruction.register_operands == [register]
+
+    def test_render_with_prefix_and_operands(self):
+        instruction = Instruction.create(
+            "ADD",
+            [Operand.from_memory(MemoryReference(base="RAX", width_bits=64)),
+             Operand.from_register("RBX")],
+            ["LOCK"],
+        )
+        text = instruction.render()
+        assert text.startswith("LOCK ADD ")
+        assert "QWORD PTR [RAX]" in text
+        assert text.endswith("RBX")
+
+    def test_render_no_operands(self):
+        assert Instruction.create("CDQ").render() == "CDQ"
+
+    def test_render_instructions_joins_lines(self):
+        instructions = [Instruction.create("CDQ"), Instruction.create("CQO")]
+        assert render_instructions(instructions) == "CDQ\nCQO"
+
+    def test_instructions_are_hashable_and_equal(self):
+        first = Instruction.create("ADD", [Operand.from_register("RAX")])
+        second = Instruction.create("add", [Operand.from_register("RAX")])
+        assert first == second
+        assert hash(first) == hash(second)

@@ -1,0 +1,83 @@
+"""Tests for operands and memory references (repro.isa.operands)."""
+
+import pytest
+
+from repro.isa.operands import MemoryReference, Operand, OperandKind
+
+
+class TestMemoryReference:
+    def test_simple_base_reference(self):
+        memory = MemoryReference(base="RAX", width_bits=32)
+        assert memory.base == "RAX"
+        assert memory.scale == 1
+        assert memory.address_registers == ("RAX",)
+
+    def test_full_addressing_expression(self):
+        memory = MemoryReference(
+            base="RBP", index="RCX", scale=4, displacement=-16, segment="FS", width_bits=64
+        )
+        assert set(memory.address_registers) == {"RBP", "RCX", "FS"}
+
+    def test_address_registers_are_canonical(self):
+        memory = MemoryReference(base="EAX", index="R10D")
+        assert set(memory.address_registers) == {"RAX", "R10"}
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryReference(base="RAX", index="RBX", scale=3)
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryReference(base="NOTREG")
+
+    def test_render_simple(self):
+        assert MemoryReference(base="RAX", width_bits=32).render() == "DWORD PTR [RAX]"
+
+    def test_render_with_displacement_and_index(self):
+        text = MemoryReference(base="RAX", index="RBX", scale=4, displacement=16).render()
+        assert "RAX" in text and "RBX*4" in text and "[" in text
+
+    def test_render_negative_displacement(self):
+        text = MemoryReference(base="RBP", displacement=-8).render()
+        assert "- 8" in text
+
+
+class TestOperand:
+    def test_register_operand(self):
+        operand = Operand.from_register("eax")
+        assert operand.kind is OperandKind.REGISTER
+        assert operand.register == "EAX"
+        assert operand.register_family == "RAX"
+        assert operand.is_register and not operand.is_memory
+
+    def test_immediate_operand(self):
+        operand = Operand.from_immediate(42)
+        assert operand.kind is OperandKind.IMMEDIATE
+        assert operand.immediate == 42
+        assert operand.is_immediate
+
+    def test_fp_immediate_operand(self):
+        operand = Operand.from_fp_immediate(1.5)
+        assert operand.kind is OperandKind.FP_IMMEDIATE
+        assert operand.fp_immediate == pytest.approx(1.5)
+        assert operand.is_immediate
+
+    def test_memory_operand(self):
+        operand = Operand.from_memory(MemoryReference(base="RSP", displacement=8))
+        assert operand.kind is OperandKind.MEMORY
+        assert operand.is_memory
+        assert operand.register_family is None
+
+    def test_unknown_register_operand_rejected(self):
+        with pytest.raises(ValueError):
+            Operand.from_register("BOGUS")
+
+    def test_missing_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Operand(kind=OperandKind.REGISTER)
+
+    def test_render_register_and_immediates(self):
+        assert Operand.from_register("rbx").render() == "RBX"
+        assert Operand.from_immediate(5).render() == "5"
+        assert Operand.from_immediate(255).render() == "0xff"
+        assert "1.5" in Operand.from_fp_immediate(1.5).render()

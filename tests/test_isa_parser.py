@@ -1,0 +1,142 @@
+"""Tests for the Intel-syntax assembly parser (repro.isa.parser)."""
+
+import pytest
+
+from repro.isa.operands import OperandKind
+from repro.isa.parser import AssemblyParseError, parse_block_text, parse_instruction
+
+
+class TestParseInstruction:
+    def test_simple_register_register(self):
+        instruction = parse_instruction("ADD RAX, RBX")
+        assert instruction.mnemonic == "ADD"
+        assert [op.register for op in instruction.operands] == ["RAX", "RBX"]
+
+    def test_mnemonic_is_upper_cased(self):
+        assert parse_instruction("add eax, ebx").mnemonic == "ADD"
+
+    def test_immediate_operands(self):
+        instruction = parse_instruction("CMP R15D, 1")
+        assert instruction.operands[1].kind is OperandKind.IMMEDIATE
+        assert instruction.operands[1].immediate == 1
+
+    def test_hex_immediate(self):
+        instruction = parse_instruction("AND EAX, 0x8")
+        assert instruction.operands[1].immediate == 8
+
+    def test_negative_immediate(self):
+        instruction = parse_instruction("ADD RAX, -16")
+        assert instruction.operands[1].immediate == -16
+
+    def test_no_operand_instruction(self):
+        instruction = parse_instruction("CDQ")
+        assert instruction.mnemonic == "CDQ"
+        assert instruction.num_operands == 0
+
+    def test_memory_operand_with_size(self):
+        instruction = parse_instruction("MOV DWORD PTR [RBP - 3], EAX")
+        memory = instruction.operands[0].memory
+        assert memory.base == "RBP"
+        assert memory.displacement == -3
+        assert memory.width_bits == 32
+
+    def test_memory_operand_with_index_and_scale(self):
+        instruction = parse_instruction("MOV RAX, QWORD PTR [RBX + RCX*8 + 0x10]")
+        memory = instruction.operands[1].memory
+        assert memory.base == "RBX"
+        assert memory.index == "RCX"
+        assert memory.scale == 8
+        assert memory.displacement == 16
+        assert memory.width_bits == 64
+
+    def test_scale_before_register(self):
+        memory = parse_instruction("LEA RAX, [4*RCX + 8]").operands[1].memory
+        assert memory.index == "RCX"
+        assert memory.scale == 4
+
+    def test_segment_override(self):
+        instruction = parse_instruction("MOV RAX, QWORD PTR FS:[0x28]")
+        memory = instruction.operands[1].memory
+        assert memory.segment == "FS"
+        assert memory.displacement == 0x28
+
+    def test_memory_without_size_annotation(self):
+        instruction = parse_instruction("MOV RAX, [RSP]")
+        assert instruction.operands[1].is_memory
+        assert instruction.operands[1].memory.width_bits == 0
+
+    def test_lock_prefix(self):
+        instruction = parse_instruction("LOCK ADD QWORD PTR [RAX], RBX")
+        assert instruction.prefixes == ("LOCK",)
+        assert instruction.mnemonic == "ADD"
+
+    def test_rep_prefix(self):
+        instruction = parse_instruction("REP STOSQ")
+        assert instruction.prefixes == ("REP",)
+        assert instruction.mnemonic == "STOSQ"
+
+    def test_blank_and_comment_lines_return_none(self):
+        assert parse_instruction("") is None
+        assert parse_instruction("   ") is None
+        assert parse_instruction("; just a comment") is None
+        assert parse_instruction("# hash comment") is None
+
+    def test_trailing_comment_is_stripped(self):
+        instruction = parse_instruction("ADD RAX, RBX ; accumulate")
+        assert instruction.mnemonic == "ADD"
+        assert instruction.num_operands == 2
+
+    def test_label_only_line_returns_none(self):
+        assert parse_instruction(".L123:") is None
+
+    def test_numbered_line_prefix(self):
+        instruction = parse_instruction("3: TEST ECX, ECX")
+        assert instruction.mnemonic == "TEST"
+
+    def test_symbolic_branch_target(self):
+        instruction = parse_instruction("JNE .L42")
+        assert instruction.mnemonic == "JNE"
+        assert instruction.operands[0].kind is OperandKind.IMMEDIATE
+
+    def test_floating_point_immediate(self):
+        instruction = parse_instruction("FOO XMM0, 1.25")
+        assert instruction.operands[1].kind is OperandKind.FP_IMMEDIATE
+
+    def test_malformed_memory_raises(self):
+        with pytest.raises(AssemblyParseError):
+            parse_instruction("MOV RAX, DWORD PTR [RBX")
+
+    def test_garbage_operand_raises(self):
+        with pytest.raises(AssemblyParseError):
+            parse_instruction("MOV RAX, ???")
+
+    def test_prefix_without_instruction_raises(self):
+        with pytest.raises(AssemblyParseError):
+            parse_instruction("LOCK")
+
+
+class TestParseBlockText:
+    def test_paper_table1_block(self, paper_example_block):
+        assert len(paper_example_block) == 8
+        mnemonics = [instruction.mnemonic for instruction in paper_example_block]
+        assert mnemonics == ["CMP", "SBB", "AND", "TEST", "MOV", "MOV", "CMOVG", "CMP"]
+
+    def test_blank_lines_are_skipped(self):
+        instructions = parse_block_text("\nADD RAX, 1\n\nSUB RBX, 2\n")
+        assert len(instructions) == 2
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyParseError, match="line 2"):
+            parse_block_text("ADD RAX, 1\nMOV RAX, ???")
+
+    def test_round_trip_through_render(self, sample_blocks):
+        """Rendering then re-parsing preserves mnemonics and operand kinds."""
+        for block in sample_blocks[:20]:
+            reparsed = parse_block_text(block.render())
+            assert len(reparsed) == len(block)
+            for original, parsed in zip(block.instructions, reparsed):
+                assert original.mnemonic == parsed.mnemonic
+                assert original.prefixes == parsed.prefixes
+                assert len(original.operands) == len(parsed.operands)
+                for left, right in zip(original.operands, parsed.operands):
+                    assert left.kind == right.kind

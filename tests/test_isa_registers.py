@@ -1,0 +1,99 @@
+"""Tests for the register model (repro.isa.registers)."""
+
+import pytest
+
+from repro.isa.registers import (
+    REGISTER_FILE,
+    RegisterClass,
+    RegisterFile,
+    canonical_register,
+    is_register_name,
+    registers_alias,
+)
+
+
+class TestRegisterLookup:
+    def test_known_general_purpose_registers(self):
+        for name in ("RAX", "EAX", "AX", "AL", "AH", "R8", "R8D", "R8W", "R8B"):
+            assert is_register_name(name)
+
+    def test_lookup_is_case_insensitive(self):
+        assert REGISTER_FILE.get("rax").name == "RAX"
+        assert REGISTER_FILE.get("Eax").name == "EAX"
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(KeyError):
+            REGISTER_FILE.get("RXYZ")
+
+    def test_unknown_name_is_not_register(self):
+        assert not is_register_name("FOO")
+        assert not is_register_name("123")
+
+    def test_vector_registers_exist(self):
+        for name in ("XMM0", "YMM5", "ZMM15", "XMM15"):
+            assert is_register_name(name)
+
+    def test_flags_and_rip(self):
+        assert REGISTER_FILE.get("EFLAGS").reg_class is RegisterClass.FLAGS
+        assert REGISTER_FILE.get("RIP").reg_class is RegisterClass.INSTRUCTION_POINTER
+
+
+class TestAliasing:
+    def test_gpr_family_aliases(self):
+        assert canonical_register("EAX") == "RAX"
+        assert canonical_register("AX") == "RAX"
+        assert canonical_register("AL") == "RAX"
+        assert canonical_register("AH") == "RAX"
+        assert canonical_register("RAX") == "RAX"
+
+    def test_extended_register_aliases(self):
+        assert canonical_register("R10D") == "R10"
+        assert canonical_register("R10W") == "R10"
+        assert canonical_register("R10B") == "R10"
+
+    def test_vector_register_aliases(self):
+        assert canonical_register("XMM3") == "ZMM3"
+        assert canonical_register("YMM3") == "ZMM3"
+
+    def test_registers_alias_predicate(self):
+        assert registers_alias("EAX", "AL")
+        assert registers_alias("XMM1", "YMM1")
+        assert not registers_alias("EAX", "EBX")
+        assert not registers_alias("XMM1", "XMM2")
+
+    def test_flags_alias(self):
+        assert registers_alias("EFLAGS", "RFLAGS")
+
+    def test_family_members_cover_all_aliases(self):
+        members = REGISTER_FILE.family_members("RAX")
+        assert {"RAX", "EAX", "AX", "AL", "AH"} <= members
+
+
+class TestRegisterFile:
+    def test_sixteen_general_purpose_families(self):
+        assert len(REGISTER_FILE.general_purpose_families()) == 16
+
+    def test_vector_families_count(self):
+        assert len(REGISTER_FILE.vector_families()) == 32
+
+    def test_register_widths(self):
+        assert REGISTER_FILE.get("RAX").width_bits == 64
+        assert REGISTER_FILE.get("EAX").width_bits == 32
+        assert REGISTER_FILE.get("AX").width_bits == 16
+        assert REGISTER_FILE.get("AL").width_bits == 8
+        assert REGISTER_FILE.get("XMM0").width_bits == 128
+        assert REGISTER_FILE.get("YMM0").width_bits == 256
+
+    def test_contains_and_len(self):
+        assert "RAX" in REGISTER_FILE
+        assert "rax" in REGISTER_FILE
+        assert "NOTAREG" not in REGISTER_FILE
+        assert len(REGISTER_FILE) > 100
+
+    def test_custom_register_file_is_independent(self):
+        custom = RegisterFile()
+        assert custom.family_of("EBX") == "RBX"
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            REGISTER_FILE.family_members("NOPE")

@@ -1,0 +1,227 @@
+"""Tests for the GRANITE model (repro.models.granite)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilderConfig
+from repro.models.config import GraniteConfig
+from repro.models.granite import GraniteModel
+from repro.nn.losses import mean_absolute_percentage_error
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return GraniteConfig.small(num_message_passing_iterations=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model(small_config):
+    return GraniteModel(small_config)
+
+
+class TestConstruction:
+    def test_one_decoder_per_task(self, model):
+        assert set(model.decoders) == set(model.tasks)
+        assert len(model.tasks) == 3
+
+    def test_single_task_model(self):
+        model = GraniteModel(GraniteConfig.small(tasks=("haswell",)))
+        assert model.tasks == ("haswell",)
+        assert set(model.decoders) == {"haswell"}
+
+    def test_no_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            GraniteModel(GraniteConfig.small(tasks=()))
+
+    def test_paper_defaults_match_table4(self):
+        config = GraniteConfig.paper_defaults()
+        assert config.node_embedding_size == 256
+        assert config.edge_embedding_size == 256
+        assert config.global_embedding_size == 256
+        assert config.update_hidden_sizes == (256, 256)
+        assert config.decoder_hidden_sizes == (256, 256)
+        assert config.num_message_passing_iterations == 8
+        assert config.use_layer_norm and config.use_residual
+
+    def test_parameter_count_scales_with_embedding_size(self):
+        small = GraniteModel(GraniteConfig.small())
+        smaller = GraniteModel(
+            GraniteConfig.small()
+        )
+        assert small.num_parameters() == smaller.num_parameters()
+        assert small.num_parameters() > 10_000
+
+
+class TestEncoding:
+    def test_encode_blocks_produces_packed_batch(self, model, sample_blocks):
+        batch = model.encode_blocks(sample_blocks[:4])
+        assert batch.graphs.num_graphs == 4
+        assert batch.topology.num_graphs == 4
+        batch.graphs.validate()
+
+    def test_encode_empty_list_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.encode_blocks([])
+
+
+class TestForward:
+    def test_prediction_shapes(self, model, sample_blocks):
+        predictions = model.predict(sample_blocks[:6])
+        assert set(predictions) == set(model.tasks)
+        for values in predictions.values():
+            assert values.shape == (6,)
+            assert np.all(np.isfinite(values))
+
+    def test_predict_single(self, model, paper_example_block):
+        prediction = model.predict_single(paper_example_block)
+        assert set(prediction) == set(model.tasks)
+
+    def test_deterministic_inference(self, model, sample_blocks):
+        first = model.predict(sample_blocks[:4])
+        second = model.predict(sample_blocks[:4])
+        for task in model.tasks:
+            np.testing.assert_allclose(first[task], second[task])
+
+    def test_batch_independence(self, model, sample_blocks):
+        """A block's prediction must not depend on what else is in the batch."""
+        alone = model.predict([sample_blocks[0]])
+        batched = model.predict(sample_blocks[:5])
+        for task in model.tasks:
+            np.testing.assert_allclose(alone[task][0], batched[task][0], rtol=1e-8)
+
+    def test_per_instruction_decomposition(self, model, sample_blocks):
+        """Predictions are sums of per-instruction contributions, so a block
+        concatenated with itself roughly doubles (up to graph differences)."""
+        block = sample_blocks[0]
+        from repro.isa.basic_block import BasicBlock
+
+        doubled = BasicBlock(tuple(block.instructions) + tuple(block.instructions))
+        single = model.predict([block])
+        double = model.predict([doubled])
+        for task in model.tasks:
+            assert abs(double[task][0]) > abs(single[task][0]) * 1.2
+
+    def test_embed_batch_shape(self, model, sample_blocks):
+        batch = model.encode_blocks(sample_blocks[:3])
+        embeddings = model.embed_batch(batch)
+        total_instructions = sum(len(block) for block in sample_blocks[:3])
+        assert embeddings.shape == (total_instructions, model.config.node_embedding_size)
+
+    def test_different_blocks_get_different_predictions(self, model, sample_blocks):
+        predictions = model.predict(sample_blocks[:10])
+        for task in model.tasks:
+            assert np.std(predictions[task]) > 0.0
+
+    def test_message_passing_iterations_change_predictions(self, sample_blocks):
+        one = GraniteModel(GraniteConfig.small(num_message_passing_iterations=1, seed=3))
+        four = GraniteModel(GraniteConfig.small(num_message_passing_iterations=4, seed=3))
+        first = one.predict(sample_blocks[:4])
+        second = four.predict(sample_blocks[:4])
+        assert not np.allclose(first["haswell"], second["haswell"])
+
+
+class TestTrainingBehaviour:
+    def test_gradients_reach_all_parameter_groups(self, sample_blocks):
+        model = GraniteModel(GraniteConfig.small(num_message_passing_iterations=2, seed=1))
+        batch = model.encode_blocks(sample_blocks[:8])
+        predictions = model.forward(batch)
+        target = Tensor(np.full(8, 300.0))
+        loss = mean_absolute_percentage_error(predictions["haswell"], target)
+        loss.backward()
+        named = dict(model.named_parameters())
+        groups_with_gradient = {
+            "node_embedding": False, "edge_embedding": False,
+            "global_encoder": False, "graph_network": False, "decoders": False,
+        }
+        for name, parameter in named.items():
+            if parameter.grad is not None and np.abs(parameter.grad).sum() > 0:
+                for group in groups_with_gradient:
+                    if name.startswith(group):
+                        groups_with_gradient[group] = True
+        assert all(groups_with_gradient.values()), groups_with_gradient
+
+    def test_few_steps_of_training_reduce_loss(self, sample_blocks):
+        model = GraniteModel(GraniteConfig.small(num_message_passing_iterations=2, seed=2))
+        optimizer = Adam(model.parameters(), learning_rate=1e-3)
+        blocks = sample_blocks[:16]
+        targets = Tensor(np.linspace(200.0, 800.0, len(blocks)))
+        batch = model.encode_blocks(blocks)
+
+        losses = []
+        for _ in range(25):
+            model.zero_grad()
+            predictions = model.forward(batch)
+            loss = mean_absolute_percentage_error(predictions["skylake"], targets)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_graph_ablation_config_changes_predictions(self, sample_blocks):
+        config = GraniteConfig.small(seed=4)
+        full = GraniteModel(config)
+        structural_only = GraniteModel(
+            config,
+            graph_config=GraphBuilderConfig(
+                include_data_edges=False,
+                include_address_edges=False,
+                include_implicit_operands=False,
+            ),
+        )
+        full_predictions = full.predict(sample_blocks[:4])
+        ablated_predictions = structural_only.predict(sample_blocks[:4])
+        assert not np.allclose(
+            full_predictions["haswell"], ablated_predictions["haswell"]
+        )
+
+
+class TestGlobalReadout:
+    def test_global_readout_predictions_have_correct_shape(self, sample_blocks):
+        config = GraniteConfig.small(seed=7)
+        from dataclasses import replace
+
+        model = GraniteModel(replace(config, readout="global"))
+        predictions = model.predict(sample_blocks[:5])
+        for task in model.tasks:
+            assert predictions[task].shape == (5,)
+            assert np.all(np.isfinite(predictions[task]))
+
+    def test_invalid_readout_rejected(self):
+        with pytest.raises(ValueError):
+            GraniteConfig.small().__class__(
+                **{**GraniteConfig.small().__dict__, "readout": "attention"}
+            )
+
+    def test_invalid_aggregation_rejected(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(GraniteConfig.small(), aggregation="median")
+
+    def test_global_readout_differs_from_per_instruction(self, sample_blocks):
+        from dataclasses import replace
+
+        config = GraniteConfig.small(seed=8)
+        per_instruction = GraniteModel(config)
+        global_readout = GraniteModel(replace(config, readout="global"))
+        first = per_instruction.predict(sample_blocks[:4])
+        second = global_readout.predict(sample_blocks[:4])
+        assert not np.allclose(first["haswell"], second["haswell"])
+
+    def test_global_readout_is_trainable(self, sample_blocks):
+        from dataclasses import replace
+
+        model = GraniteModel(replace(GraniteConfig.small(seed=9), readout="global"))
+        optimizer = Adam(model.parameters(), learning_rate=1e-3)
+        targets = Tensor(np.linspace(200.0, 600.0, 12))
+        batch = model.encode_blocks(sample_blocks[:12])
+        losses = []
+        for _ in range(20):
+            model.zero_grad()
+            loss = mean_absolute_percentage_error(model.forward(batch)["haswell"], targets)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]

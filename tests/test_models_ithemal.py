@@ -1,0 +1,140 @@
+"""Tests for the Ithemal / Ithemal+ baselines (repro.models.ithemal)."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import IthemalConfig
+from repro.models.ithemal import IthemalModel
+from repro.nn.losses import mean_absolute_percentage_error
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def vanilla_model():
+    return IthemalModel(IthemalConfig.small(plus=False, seed=0))
+
+
+@pytest.fixture(scope="module")
+def plus_model():
+    return IthemalModel(IthemalConfig.small(plus=True, seed=0))
+
+
+class TestConstruction:
+    def test_vanilla_uses_dot_product_decoder(self, vanilla_model):
+        assert vanilla_model.config.decoder == "dot_product"
+        assert set(vanilla_model.decoder_weights) == set(vanilla_model.tasks)
+        assert vanilla_model.decoders == {}
+
+    def test_plus_uses_mlp_decoder(self, plus_model):
+        assert plus_model.config.decoder == "mlp"
+        assert set(plus_model.decoders) == set(plus_model.tasks)
+        assert plus_model.decoder_weights == {}
+
+    def test_plus_has_more_parameters_than_vanilla(self, vanilla_model, plus_model):
+        assert plus_model.num_parameters() > vanilla_model.num_parameters()
+
+    def test_invalid_decoder_rejected(self):
+        with pytest.raises(ValueError):
+            IthemalConfig(decoder="transformer")
+
+    def test_no_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            IthemalModel(IthemalConfig.small(tasks=()))
+
+    def test_paper_defaults(self):
+        config = IthemalConfig.paper_defaults(plus=True)
+        assert config.hidden_size == 256
+        assert config.token_embedding_size == 256
+        assert config.decoder == "mlp"
+
+
+class TestEncoding:
+    def test_batch_shapes(self, plus_model, sample_blocks):
+        batch = plus_model.encode_blocks(sample_blocks[:5])
+        assert batch.num_blocks == 5
+        assert batch.token_ids.shape[0] == sum(len(block) for block in sample_blocks[:5])
+        assert batch.token_lengths.max() <= batch.token_ids.shape[1]
+        assert batch.block_lengths.sum() == batch.token_ids.shape[0]
+
+    def test_instruction_block_assignment(self, plus_model, sample_blocks):
+        blocks = sample_blocks[:4]
+        batch = plus_model.encode_blocks(blocks)
+        counts = np.bincount(batch.instruction_block_ids, minlength=len(blocks))
+        assert list(counts) == [len(block) for block in blocks]
+
+    def test_encode_empty_list_rejected(self, plus_model):
+        with pytest.raises(ValueError):
+            plus_model.encode_blocks([])
+
+
+class TestForward:
+    def test_prediction_shapes(self, plus_model, sample_blocks):
+        predictions = plus_model.predict(sample_blocks[:6])
+        for task in plus_model.tasks:
+            assert predictions[task].shape == (6,)
+            assert np.all(np.isfinite(predictions[task]))
+
+    def test_deterministic_inference(self, vanilla_model, sample_blocks):
+        first = vanilla_model.predict(sample_blocks[:4])
+        second = vanilla_model.predict(sample_blocks[:4])
+        for task in vanilla_model.tasks:
+            np.testing.assert_allclose(first[task], second[task])
+
+    def test_batch_independence(self, plus_model, sample_blocks):
+        alone = plus_model.predict([sample_blocks[2]])
+        batched = plus_model.predict(sample_blocks[:6])
+        for task in plus_model.tasks:
+            np.testing.assert_allclose(alone[task][0], batched[task][2], rtol=1e-7, atol=1e-9)
+
+    def test_order_sensitivity(self, plus_model):
+        """The LSTM is order sensitive: reversing a dependent sequence changes
+        the block embedding and hence the prediction."""
+        from repro.isa.basic_block import BasicBlock
+
+        forward_block = BasicBlock.from_text("MOV RAX, 1\nIMUL RAX, RBX\nADD RCX, RAX")
+        reversed_block = BasicBlock(tuple(reversed(forward_block.instructions)))
+        first = plus_model.predict([forward_block])
+        second = plus_model.predict([reversed_block])
+        assert not np.allclose(first["haswell"], second["haswell"])
+
+    def test_single_task_heads_are_independent(self, sample_blocks):
+        """With separate decoder heads, different tasks give different outputs."""
+        model = IthemalModel(IthemalConfig.small(plus=True, seed=5))
+        predictions = model.predict(sample_blocks[:5])
+        assert not np.allclose(predictions["ivy_bridge"], predictions["skylake"])
+
+
+class TestTrainingBehaviour:
+    def test_gradients_reach_lstms_and_embeddings(self, sample_blocks):
+        model = IthemalModel(IthemalConfig.small(plus=True, seed=1))
+        batch = model.encode_blocks(sample_blocks[:6])
+        predictions = model.forward(batch)
+        loss = mean_absolute_percentage_error(
+            predictions["haswell"], Tensor(np.full(6, 400.0))
+        )
+        loss.backward()
+        named = dict(model.named_parameters())
+        groups = {"token_embedding": False, "instruction_lstm": False, "block_lstm": False, "decoders": False}
+        for name, parameter in named.items():
+            if parameter.grad is not None and np.abs(parameter.grad).sum() > 0:
+                for group in groups:
+                    if name.startswith(group):
+                        groups[group] = True
+        assert all(groups.values()), groups
+
+    def test_few_steps_of_training_reduce_loss(self, sample_blocks):
+        model = IthemalModel(IthemalConfig.small(plus=True, seed=2))
+        optimizer = Adam(model.parameters(), learning_rate=2e-3)
+        blocks = sample_blocks[:12]
+        targets = Tensor(np.linspace(150.0, 600.0, len(blocks)))
+        batch = model.encode_blocks(blocks)
+        losses = []
+        for _ in range(20):
+            model.zero_grad()
+            predictions = model.forward(batch)
+            loss = mean_absolute_percentage_error(predictions["ivy_bridge"], targets)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]

@@ -1,0 +1,95 @@
+"""Tests for the Ithemal tokenizer (repro.models.tokenizer)."""
+
+import pytest
+
+from repro.graph.types import SpecialToken
+from repro.isa.parser import parse_instruction
+from repro.models.tokenizer import (
+    DESTINATION_DELIMITER,
+    END_DELIMITER,
+    SOURCE_DELIMITER,
+    build_ithemal_vocabulary,
+    tokenize_block,
+    tokenize_instruction,
+)
+
+
+class TestTokenizeInstruction:
+    def test_paper_example_sbb(self):
+        """The paper's example: SBB EAX, EBX -> SBB <S> EAX EBX <D> EAX <E>."""
+        tokens = tokenize_instruction(parse_instruction("SBB EAX, EBX"))
+        assert tokens == ["SBB", "<S>", "EAX", "EBX", "<D>", "EAX", "<E>"]
+
+    def test_mov_does_not_read_destination(self):
+        tokens = tokenize_instruction(parse_instruction("MOV EAX, EBX"))
+        assert tokens == ["MOV", "<S>", "EBX", "<D>", "EAX", "<E>"]
+
+    def test_immediate_uses_special_token(self):
+        tokens = tokenize_instruction(parse_instruction("CMP R15D, 1"))
+        assert SpecialToken.IMMEDIATE.value in tokens
+        assert tokens.index(SpecialToken.IMMEDIATE.value) > tokens.index(SOURCE_DELIMITER)
+
+    def test_memory_operand_contributes_address_registers(self):
+        tokens = tokenize_instruction(parse_instruction("MOV RAX, QWORD PTR [RBX + RCX*4]"))
+        source_section = tokens[tokens.index(SOURCE_DELIMITER): tokens.index(DESTINATION_DELIMITER)]
+        assert "RBX" in source_section
+        assert "RCX" in source_section
+        assert SpecialToken.MEMORY_VALUE.value in source_section
+
+    def test_memory_destination_in_destination_section(self):
+        tokens = tokenize_instruction(parse_instruction("MOV DWORD PTR [RBP - 3], EAX"))
+        destination_section = tokens[tokens.index(DESTINATION_DELIMITER):]
+        assert SpecialToken.MEMORY_VALUE.value in destination_section
+
+    def test_prefix_comes_first(self):
+        tokens = tokenize_instruction(parse_instruction("LOCK ADD QWORD PTR [RAX], RBX"))
+        assert tokens[0] == "LOCK"
+        assert tokens[1] == "ADD"
+
+    def test_every_instruction_ends_with_end_delimiter(self):
+        tokens = tokenize_instruction(parse_instruction("CDQ"))
+        assert tokens[-1] == END_DELIMITER
+
+    def test_delimiters_always_present_and_ordered(self, sample_blocks):
+        for block in sample_blocks[:20]:
+            for instruction in block:
+                tokens = tokenize_instruction(instruction)
+                assert tokens.count(SOURCE_DELIMITER) == 1
+                assert tokens.count(DESTINATION_DELIMITER) == 1
+                assert tokens.count(END_DELIMITER) == 1
+                assert (
+                    tokens.index(SOURCE_DELIMITER)
+                    < tokens.index(DESTINATION_DELIMITER)
+                    < tokens.index(END_DELIMITER)
+                )
+
+
+class TestTokenizeBlock:
+    def test_one_token_list_per_instruction(self, paper_example_block):
+        tokenized = tokenize_block(paper_example_block)
+        assert len(tokenized) == len(paper_example_block)
+        assert tokenized[0][0] == "CMP"
+
+    def test_empty_block(self):
+        from repro.isa.basic_block import BasicBlock
+
+        assert tokenize_block(BasicBlock([])) == []
+
+
+class TestIthemalVocabulary:
+    def test_contains_delimiters(self):
+        vocabulary = build_ithemal_vocabulary()
+        for token in (SOURCE_DELIMITER, DESTINATION_DELIMITER, END_DELIMITER):
+            assert token in vocabulary
+
+    def test_covers_tokenizer_output(self, sample_blocks):
+        vocabulary = build_ithemal_vocabulary()
+        unknown = 0
+        total = 0
+        for block in sample_blocks:
+            for instruction in block:
+                for token in tokenize_instruction(instruction):
+                    total += 1
+                    if vocabulary.id_of(token) == vocabulary.unknown_id:
+                        unknown += 1
+        assert unknown / total < 0.01

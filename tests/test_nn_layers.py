@@ -1,0 +1,157 @@
+"""Tests for neural network layers (repro.nn.layers)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Embedding, LayerNorm, MLP, ResidualMLP, Sequential
+from repro.nn.tensor import Tensor
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(4, 3, rng)
+        output = layer(Tensor(np.ones((5, 4))))
+        assert output.shape == (5, 3)
+
+    def test_linear_no_activation(self, rng):
+        layer = Dense(2, 2, rng, activation=None, use_bias=False)
+        identity = np.eye(2)
+        np.testing.assert_allclose(layer(Tensor(identity)).data, layer.weight.data)
+
+    def test_relu_activation_nonnegative(self, rng):
+        layer = Dense(4, 8, rng, activation="relu")
+        output = layer(Tensor(rng.normal(size=(10, 4))))
+        assert np.all(output.data >= 0.0)
+
+    def test_tanh_and_sigmoid_ranges(self, rng):
+        tanh_layer = Dense(4, 4, rng, activation="tanh")
+        sigmoid_layer = Dense(4, 4, rng, activation="sigmoid")
+        inputs = Tensor(rng.normal(size=(6, 4)) * 5)
+        assert np.all(np.abs(tanh_layer(inputs).data) <= 1.0)
+        assert np.all((sigmoid_layer(inputs).data >= 0.0) & (sigmoid_layer(inputs).data <= 1.0))
+
+    def test_invalid_activation_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Dense(4, 4, rng, activation="swish")
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Dense(0, 4, rng)
+
+    def test_gradients_reach_parameters(self, rng):
+        layer = Dense(3, 2, rng)
+        loss = layer(Tensor(np.ones((4, 3)))).sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_no_bias_option(self, rng):
+        layer = Dense(3, 2, rng, use_bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+
+class TestMLP:
+    def test_output_shape_and_depth(self, rng):
+        mlp = MLP(4, [8, 8], 2, rng)
+        assert len(mlp.layers) == 3
+        assert mlp(Tensor(np.ones((5, 4)))).shape == (5, 2)
+
+    def test_no_hidden_layers(self, rng):
+        mlp = MLP(4, [], 2, rng)
+        assert len(mlp.layers) == 1
+
+    def test_output_activation(self, rng):
+        mlp = MLP(4, [8], 3, rng, output_activation="relu")
+        assert np.all(mlp(Tensor(rng.normal(size=(5, 4)))).data >= 0.0)
+
+    def test_parameter_count(self, rng):
+        mlp = MLP(4, [8], 2, rng)
+        expected = 4 * 8 + 8 + 8 * 2 + 2
+        assert mlp.num_parameters() == expected
+
+
+class TestLayerNorm:
+    def test_output_is_normalised_at_init(self, rng):
+        layer = LayerNorm(16)
+        output = layer(Tensor(rng.normal(3.0, 5.0, size=(8, 16)))).data
+        np.testing.assert_allclose(output.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(output.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gain_and_offset_applied(self, rng):
+        layer = LayerNorm(4)
+        layer.gain.data[...] = 2.0
+        layer.offset.data[...] = 1.0
+        output = layer(Tensor(rng.normal(size=(3, 4)))).data
+        np.testing.assert_allclose(output.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_gradient_flows(self, rng):
+        layer = LayerNorm(8)
+        inputs = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+        layer(inputs).sum().backward()
+        assert inputs.grad is not None
+        assert layer.gain.grad is not None
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        embedding = Embedding(10, 4, rng)
+        output = embedding(np.array([0, 3, 3, 9]))
+        assert output.shape == (4, 4)
+        np.testing.assert_allclose(output.data[1], output.data[2])
+
+    def test_out_of_range_index_rejected(self, rng):
+        embedding = Embedding(10, 4, rng)
+        with pytest.raises(IndexError):
+            embedding(np.array([10]))
+        with pytest.raises(IndexError):
+            embedding(np.array([-1]))
+
+    def test_gradient_accumulates_per_row(self, rng):
+        embedding = Embedding(5, 3, rng)
+        output = embedding(np.array([1, 1, 2]))
+        output.sum().backward()
+        np.testing.assert_allclose(embedding.table.grad[1], 2.0)
+        np.testing.assert_allclose(embedding.table.grad[2], 1.0)
+        np.testing.assert_allclose(embedding.table.grad[0], 0.0)
+
+
+class TestResidualMLP:
+    def test_same_size_residual_is_identity_plus_mlp(self, rng):
+        block = ResidualMLP(4, [8], 4, rng)
+        assert block.projection is None
+        inputs = Tensor(rng.normal(size=(3, 4)))
+        assert block(inputs).shape == (3, 4)
+
+    def test_projection_created_when_sizes_differ(self, rng):
+        block = ResidualMLP(4, [8], 2, rng)
+        assert block.projection is not None
+        assert block(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_disable_layer_norm(self, rng):
+        block = ResidualMLP(4, [8], 4, rng, use_layer_norm=False)
+        assert block.layer_norm is None
+
+    def test_disable_residual(self, rng):
+        block = ResidualMLP(4, [8], 4, rng, use_residual=False)
+        zeroed = Tensor(np.zeros((2, 4)))
+        # Without residual the output for zero input is just the MLP output.
+        assert block(zeroed).shape == (2, 4)
+
+    def test_residual_dominates_for_large_inputs(self, rng):
+        block = ResidualMLP(4, [4], 4, rng)
+        large = Tensor(np.full((1, 4), 1000.0))
+        output = block(large).data
+        # Layer norm bounds the MLP branch, so the output stays near the input.
+        np.testing.assert_allclose(output, 1000.0, rtol=0.05)
+
+
+class TestSequential:
+    def test_applies_layers_in_order(self, rng):
+        model = Sequential([Dense(4, 8, rng, activation="relu"), Dense(8, 2, rng)])
+        assert model(Tensor(np.ones((3, 4)))).shape == (3, 2)
+        assert len(model.parameters()) == 4

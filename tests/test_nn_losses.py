@@ -1,0 +1,116 @@
+"""Tests for the loss functions (repro.nn.losses)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import (
+    LOSS_FUNCTIONS,
+    get_loss,
+    huber_loss,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    relative_huber_loss,
+    relative_mean_squared_error,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestMAPE:
+    def test_perfect_prediction_is_zero(self):
+        actual = Tensor([100.0, 200.0])
+        assert mean_absolute_percentage_error(actual, actual).item() == pytest.approx(0.0)
+
+    def test_known_value(self):
+        predicted = Tensor([90.0, 220.0])
+        actual = Tensor([100.0, 200.0])
+        # errors: 10/100 = 0.1 and 20/200 = 0.1 -> mean 0.1
+        assert mean_absolute_percentage_error(predicted, actual).item() == pytest.approx(0.1, rel=1e-4)
+
+    def test_scale_invariance(self):
+        predicted = Tensor([90.0, 110.0])
+        actual = Tensor([100.0, 100.0])
+        small = mean_absolute_percentage_error(predicted, actual).item()
+        large = mean_absolute_percentage_error(predicted * 1000.0, actual * 1000.0).item()
+        assert small == pytest.approx(large, rel=1e-5)
+
+    def test_gradient_sign(self):
+        predicted = Tensor([50.0], requires_grad=True)
+        actual = Tensor([100.0])
+        mean_absolute_percentage_error(predicted, actual).backward()
+        # Underestimate: increasing the prediction reduces the loss.
+        assert predicted.grad[0] < 0
+
+
+class TestMSE:
+    def test_known_value(self):
+        loss = mean_squared_error(Tensor([1.0, 3.0]), Tensor([2.0, 1.0]))
+        assert loss.item() == pytest.approx((1.0 + 4.0) / 2)
+
+    def test_relative_mse_normalises(self):
+        predicted = Tensor([90.0])
+        actual = Tensor([100.0])
+        assert relative_mean_squared_error(predicted, actual).item() == pytest.approx(0.01, rel=1e-4)
+
+    def test_mse_not_scale_invariant_but_relative_is(self):
+        predicted, actual = Tensor([90.0]), Tensor([100.0])
+        assert mean_squared_error(predicted * 10, actual * 10).item() > mean_squared_error(predicted, actual).item()
+        assert relative_mean_squared_error(predicted * 10, actual * 10).item() == pytest.approx(
+            relative_mean_squared_error(predicted, actual).item(), rel=1e-5
+        )
+
+
+class TestHuber:
+    def test_quadratic_region(self):
+        loss = huber_loss(Tensor([0.5]), Tensor([0.0]))
+        assert loss.item() == pytest.approx(0.125)
+
+    def test_linear_region(self):
+        loss = huber_loss(Tensor([3.0]), Tensor([0.0]))
+        assert loss.item() == pytest.approx(3.0 - 0.5)
+
+    def test_continuity_at_delta(self):
+        below = huber_loss(Tensor([0.999999]), Tensor([0.0])).item()
+        above = huber_loss(Tensor([1.000001]), Tensor([0.0])).item()
+        assert below == pytest.approx(above, abs=1e-4)
+
+    def test_custom_delta(self):
+        loss = huber_loss(Tensor([4.0]), Tensor([0.0]), delta=2.0)
+        assert loss.item() == pytest.approx(2.0 * 4.0 - 0.5 * 4.0)
+
+    def test_less_sensitive_to_outliers_than_mse(self):
+        predicted = Tensor([0.0, 100.0])
+        actual = Tensor([0.0, 0.0])
+        assert huber_loss(predicted, actual).item() < mean_squared_error(predicted, actual).item()
+
+    def test_relative_huber_scale_invariance(self):
+        predicted, actual = Tensor([80.0, 120.0]), Tensor([100.0, 100.0])
+        assert relative_huber_loss(predicted * 7, actual * 7).item() == pytest.approx(
+            relative_huber_loss(predicted, actual).item(), rel=1e-5
+        )
+
+
+class TestRegistry:
+    def test_all_table9_losses_registered(self):
+        assert set(LOSS_FUNCTIONS) == {"mape", "mse", "relative_mse", "huber", "relative_huber"}
+
+    def test_get_loss_case_insensitive(self):
+        assert get_loss("MAPE") is mean_absolute_percentage_error
+
+    def test_unknown_loss_raises(self):
+        with pytest.raises(KeyError):
+            get_loss("cross_entropy")
+
+    def test_all_losses_are_differentiable(self):
+        for name, loss_fn in LOSS_FUNCTIONS.items():
+            predicted = Tensor([90.0, 110.0, 95.0], requires_grad=True)
+            actual = Tensor([100.0, 100.0, 100.0])
+            loss_fn(predicted, actual).backward()
+            assert predicted.grad is not None, name
+            assert np.all(np.isfinite(predicted.grad)), name
+
+    def test_all_losses_nonnegative(self):
+        rng = np.random.default_rng(0)
+        predicted = Tensor(rng.uniform(10, 500, size=20))
+        actual = Tensor(rng.uniform(10, 500, size=20))
+        for name, loss_fn in LOSS_FUNCTIONS.items():
+            assert loss_fn(predicted, actual).item() >= 0.0, name

@@ -1,0 +1,266 @@
+"""Property-based tests (hypothesis) of core data structures and invariants.
+
+These cover the substrate pieces whose correctness everything else depends
+on: the autodiff engine, the parser/renderer round trip, the graph encoding
+invariants, the throughput oracle's bounds, and the metric definitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.graph.builder import build_block_graph
+from repro.graph.graph import pack_graphs
+from repro.graph.types import EdgeType, NodeType
+from repro.graph.vocabulary import build_default_vocabulary
+from repro.isa.basic_block import BasicBlock
+from repro.isa.operands import MemoryReference, Operand
+from repro.isa.instructions import Instruction
+from repro.isa.parser import parse_block_text
+from repro.nn.losses import mean_absolute_percentage_error, relative_mean_squared_error
+from repro.nn.tensor import Tensor
+from repro.training.metrics import mape, pearson_correlation, spearman_correlation
+from repro.uarch.ports import HASWELL, IVY_BRIDGE, SKYLAKE
+from repro.uarch.scheduler import ThroughputOracle
+
+VOCABULARY = build_default_vocabulary()
+
+# --------------------------------------------------------------------- #
+# Strategies.
+# --------------------------------------------------------------------- #
+GPR64 = st.sampled_from(
+    ["RAX", "RBX", "RCX", "RDX", "RSI", "RDI", "R8", "R9", "R10", "R11", "R12"]
+)
+GPR32 = st.sampled_from(["EAX", "EBX", "ECX", "EDX", "ESI", "EDI", "R8D", "R9D"])
+XMM = st.sampled_from([f"XMM{i}" for i in range(16)])
+
+
+@st.composite
+def memory_operands(draw):
+    base = draw(st.one_of(st.none(), GPR64))
+    index = draw(st.one_of(st.none(), GPR64))
+    if base is None and index is None:
+        base = "RAX"
+    scale = draw(st.sampled_from([1, 2, 4, 8]))
+    displacement = draw(st.integers(min_value=-4096, max_value=4096))
+    width = draw(st.sampled_from([8, 16, 32, 64]))
+    return Operand.from_memory(
+        MemoryReference(base=base, index=index, scale=scale,
+                        displacement=displacement, width_bits=width)
+    )
+
+
+@st.composite
+def instructions(draw):
+    kind = draw(st.sampled_from(["alu_rr", "alu_ri", "alu_rm", "mov_mr", "fp", "unary", "lea"]))
+    if kind == "alu_rr":
+        mnemonic = draw(st.sampled_from(["ADD", "SUB", "AND", "OR", "XOR", "CMP", "TEST", "IMUL"]))
+        operands = [Operand.from_register(draw(GPR64)), Operand.from_register(draw(GPR64))]
+    elif kind == "alu_ri":
+        mnemonic = draw(st.sampled_from(["ADD", "SUB", "AND", "CMP", "SHL", "SHR"]))
+        operands = [Operand.from_register(draw(GPR32)),
+                    Operand.from_immediate(draw(st.integers(0, 1 << 16)))]
+    elif kind == "alu_rm":
+        mnemonic = draw(st.sampled_from(["ADD", "SUB", "MOV", "MOVZX"]))
+        operands = [Operand.from_register(draw(GPR64)), draw(memory_operands())]
+    elif kind == "mov_mr":
+        mnemonic = "MOV"
+        operands = [draw(memory_operands()), Operand.from_register(draw(GPR64))]
+    elif kind == "fp":
+        mnemonic = draw(st.sampled_from(["ADDSD", "MULSD", "SUBSS", "DIVSD", "MOVSD"]))
+        operands = [Operand.from_register(draw(XMM)), Operand.from_register(draw(XMM))]
+    elif kind == "unary":
+        mnemonic = draw(st.sampled_from(["INC", "DEC", "NEG", "NOT", "CDQ"]))
+        operands = [] if mnemonic == "CDQ" else [Operand.from_register(draw(GPR64))]
+    else:
+        mnemonic = "LEA"
+        operands = [Operand.from_register(draw(GPR64)), draw(memory_operands())]
+    return Instruction.create(mnemonic, operands)
+
+
+@st.composite
+def basic_blocks(draw, max_size=12):
+    instruction_list = draw(st.lists(instructions(), min_size=1, max_size=max_size))
+    return BasicBlock(instruction_list)
+
+
+# --------------------------------------------------------------------- #
+# Parser / renderer round trip.
+# --------------------------------------------------------------------- #
+class TestParserProperties:
+    @given(basic_blocks())
+    @settings(max_examples=60, deadline=None)
+    def test_render_parse_round_trip(self, block):
+        reparsed = parse_block_text(block.render())
+        assert len(reparsed) == len(block)
+        for original, parsed in zip(block.instructions, reparsed):
+            assert parsed.mnemonic == original.mnemonic
+            assert len(parsed.operands) == len(original.operands)
+            for left, right in zip(original.operands, parsed.operands):
+                assert left.kind == right.kind
+                if left.is_register:
+                    assert left.register == right.register
+                if left.is_memory:
+                    assert (left.memory.base or "") == (right.memory.base or "")
+                    assert left.memory.displacement == right.memory.displacement
+
+
+# --------------------------------------------------------------------- #
+# Graph encoding invariants.
+# --------------------------------------------------------------------- #
+class TestGraphProperties:
+    @given(basic_blocks())
+    @settings(max_examples=60, deadline=None)
+    def test_graph_structural_invariants(self, block):
+        graph = build_block_graph(block)
+        # One mnemonic node per instruction, in order.
+        assert graph.num_instructions == len(block)
+        for instruction, node_index in zip(block.instructions, graph.instruction_node_indices):
+            assert graph.nodes[node_index].token == instruction.mnemonic
+            assert graph.nodes[node_index].node_type is NodeType.MNEMONIC
+        # Edges reference valid nodes.
+        for edge in graph.edges:
+            assert 0 <= edge.sender < graph.num_nodes
+            assert 0 <= edge.receiver < graph.num_nodes
+        # Value nodes have at most one producer (incoming OUTPUT_OPERAND edge).
+        producer_count = {}
+        for edge in graph.edges:
+            if edge.edge_type is EdgeType.OUTPUT_OPERAND:
+                producer_count[edge.receiver] = producer_count.get(edge.receiver, 0) + 1
+        assert all(count <= 1 for count in producer_count.values())
+        # Structural edges form a simple chain.
+        structural = [e for e in graph.edges if e.edge_type is EdgeType.STRUCTURAL_DEPENDENCY]
+        assert len(structural) == max(len(block) - 1, 0)
+
+    @given(st.lists(basic_blocks(max_size=6), min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_packing_preserves_totals(self, blocks):
+        graphs = [build_block_graph(block) for block in blocks]
+        packed = pack_graphs(graphs, VOCABULARY)
+        assert packed.num_nodes == sum(graph.num_nodes for graph in graphs)
+        assert packed.num_edges == sum(graph.num_edges for graph in graphs)
+        assert packed.num_instructions == sum(len(block) for block in blocks)
+        packed.validate()
+        # Global features are valid probability-ish vectors.
+        assert np.all(packed.globals_features >= 0)
+        assert np.all(packed.globals_features <= 1.0 + 1e-9)
+
+
+# --------------------------------------------------------------------- #
+# Throughput oracle invariants.
+# --------------------------------------------------------------------- #
+class TestOracleProperties:
+    @given(basic_blocks())
+    @settings(max_examples=50, deadline=None)
+    def test_throughput_positive_and_bounded(self, block):
+        for uarch in (IVY_BRIDGE, HASWELL, SKYLAKE):
+            breakdown = ThroughputOracle(uarch).breakdown(block)
+            assert breakdown.cycles_per_iteration > 0
+            assert breakdown.cycles_per_iteration >= breakdown.port_pressure_bound
+            assert breakdown.cycles_per_iteration >= breakdown.frontend_bound
+            assert breakdown.cycles_per_iteration >= breakdown.latency_bound
+            # A block can't be slower than executing every µop serially with
+            # its worst-case latency plus serialisation penalties.
+            worst_case = (
+                sum(uarch.cost_of(i).latency + uarch.load_latency + uarch.store_latency + 1.0
+                    for i in block.instructions)
+                + sum(uarch.prefix_penalty(i) for i in block.instructions)
+                + 1.0
+            )
+            assert breakdown.cycles_per_iteration <= worst_case
+
+    @given(basic_blocks(max_size=6), instructions())
+    @settings(max_examples=40, deadline=None)
+    def test_adding_an_instruction_never_relaxes_resource_bounds(self, block, extra):
+        """Port pressure and front-end bounds are monotone in the block size.
+
+        (The full throughput estimate is intentionally *not* monotone: adding
+        an instruction can break a loop-carried dependency chain — the
+        classic xor-zeroing idiom — which genuinely speeds real machines up.)
+        """
+        oracle = ThroughputOracle(HASWELL)
+        extended = BasicBlock(tuple(block.instructions) + (extra,))
+        before = oracle.breakdown(block)
+        after = oracle.breakdown(extended)
+        assert after.port_pressure_bound >= before.port_pressure_bound - 1e-9
+        assert after.frontend_bound >= before.frontend_bound - 1e-9
+        assert after.num_micro_ops >= before.num_micro_ops
+
+
+# --------------------------------------------------------------------- #
+# Loss / metric properties.
+# --------------------------------------------------------------------- #
+class TestMetricProperties:
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=2, max_size=40),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mape_scale_invariance(self, actual_values, scale):
+        actual = np.array(actual_values)
+        predicted = actual * 1.07
+        assert mape(predicted * scale, actual * scale) == pytest.approx(
+            mape(predicted, actual), rel=1e-6
+        )
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=3, max_size=40, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_predictions_have_perfect_metrics(self, actual_values):
+        actual = np.array(actual_values)
+        assert mape(actual, actual) == pytest.approx(0.0)
+        assert spearman_correlation(actual, actual) == pytest.approx(1.0)
+        assert pearson_correlation(actual, actual) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e3), min_size=2, max_size=30),
+        st.lists(st.floats(min_value=1.0, max_value=1e3), min_size=2, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_losses_nonnegative_and_zero_iff_equal(self, predicted_values, actual_values):
+        size = min(len(predicted_values), len(actual_values))
+        predicted = Tensor(np.array(predicted_values[:size]))
+        actual = Tensor(np.array(actual_values[:size]))
+        assert mean_absolute_percentage_error(predicted, actual).item() >= 0.0
+        assert relative_mean_squared_error(predicted, actual).item() >= 0.0
+        assert mean_absolute_percentage_error(actual, actual).item() == pytest.approx(0.0, abs=1e-6)
+
+
+# --------------------------------------------------------------------- #
+# Autodiff properties.
+# --------------------------------------------------------------------- #
+class TestAutodiffProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2 ** 31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_gradient_matches_numerical(self, rows, inner, seed):
+        rng = np.random.default_rng(seed)
+        left = rng.normal(size=(rows, inner))
+        right = rng.normal(size=(inner, 3))
+        tensor = Tensor(left.copy(), requires_grad=True)
+        (tensor @ Tensor(right)).sum().backward()
+        expected = np.ones((rows, 3)) @ right.T
+        np.testing.assert_allclose(tensor.grad, expected, atol=1e-8)
+
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_segment_sum_conserves_mass(self, num_rows, num_segments):
+        rng = np.random.default_rng(num_rows * 31 + num_segments)
+        data = rng.normal(size=(num_rows, 3))
+        segments = rng.integers(0, num_segments, size=num_rows)
+        result = Tensor(data).segment_sum(segments, num_segments)
+        np.testing.assert_allclose(result.data.sum(axis=0), data.sum(axis=0), atol=1e-9)
+
+    @given(st.integers(min_value=2, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_layernorm_output_statistics(self, size):
+        from repro.nn.layers import LayerNorm
+
+        layer = LayerNorm(size)
+        rng = np.random.default_rng(size)
+        output = layer(Tensor(rng.normal(5.0, 3.0, size=(4, size)))).data
+        np.testing.assert_allclose(output.mean(axis=-1), 0.0, atol=1e-6)

@@ -1,0 +1,115 @@
+"""Tests for the microarchitecture models (repro.uarch.ports)."""
+
+import pytest
+
+from repro.isa.parser import parse_instruction
+from repro.isa.semantics import InstructionCategory
+from repro.uarch.ports import (
+    HASWELL,
+    IVY_BRIDGE,
+    MICROARCHITECTURES,
+    SKYLAKE,
+    get_microarchitecture,
+)
+
+
+class TestMicroarchitectureRegistry:
+    def test_three_targets_available(self):
+        assert set(MICROARCHITECTURES) == {"ivy_bridge", "haswell", "skylake"}
+
+    def test_lookup_by_key_and_display_name(self):
+        assert get_microarchitecture("haswell") is HASWELL
+        assert get_microarchitecture("Ivy Bridge") is IVY_BRIDGE
+        assert get_microarchitecture("SKYLAKE") is SKYLAKE
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_microarchitecture("zen3")
+
+    def test_display_names(self):
+        assert IVY_BRIDGE.name == "Ivy Bridge"
+        assert HASWELL.name == "Haswell"
+        assert SKYLAKE.name == "Skylake"
+
+
+class TestPortModels:
+    def test_ivy_bridge_has_three_alu_ports(self):
+        assert len(IVY_BRIDGE.port_model.alu_ports) == 3
+        assert len(IVY_BRIDGE.port_model.ports) == 6
+
+    def test_haswell_and_skylake_have_four_alu_ports(self):
+        for uarch in (HASWELL, SKYLAKE):
+            assert len(uarch.port_model.alu_ports) == 4
+            assert len(uarch.port_model.ports) == 8
+
+    def test_store_data_port_is_dedicated(self):
+        for uarch in (IVY_BRIDGE, HASWELL, SKYLAKE):
+            assert len(uarch.port_model.store_data_ports) == 1
+
+    def test_microarchitectures_differ_in_latencies(self):
+        # Skylake's divider and FP units improved over the older cores.
+        assert SKYLAKE.divide_inverse_throughput < HASWELL.divide_inverse_throughput
+        assert HASWELL.divide_inverse_throughput < IVY_BRIDGE.divide_inverse_throughput
+        assert SKYLAKE.fp_multiply_latency < IVY_BRIDGE.fp_multiply_latency
+
+
+class TestInstructionCosts:
+    def test_simple_alu_is_single_micro_op(self):
+        cost = HASWELL.cost_of(parse_instruction("ADD RAX, RBX"))
+        assert cost.num_micro_ops == 1
+        assert cost.latency == pytest.approx(1.0)
+
+    def test_nop_is_free(self):
+        cost = HASWELL.cost_of(parse_instruction("NOP"))
+        assert cost.num_micro_ops == 0
+        assert cost.latency == pytest.approx(0.0)
+
+    def test_divide_is_expensive_and_blocking(self):
+        cost = IVY_BRIDGE.cost_of(parse_instruction("IDIV RCX"))
+        assert cost.latency >= 20.0
+        assert cost.num_micro_ops >= 10
+
+    def test_divide_cheaper_on_skylake(self):
+        ivb = IVY_BRIDGE.cost_of(parse_instruction("DIVSD XMM0, XMM1"))
+        skl = SKYLAKE.cost_of(parse_instruction("DIVSD XMM0, XMM1"))
+        assert skl.latency < ivb.latency
+        assert skl.num_micro_ops < ivb.num_micro_ops
+
+    def test_multiply_latency(self):
+        cost = HASWELL.cost_of(parse_instruction("IMUL RAX, RBX"))
+        assert cost.latency == pytest.approx(HASWELL.multiply_latency)
+
+    def test_complex_lea_has_higher_latency(self):
+        simple = HASWELL.cost_of(parse_instruction("LEA RAX, [RBX + 8]"))
+        complex_lea = HASWELL.cost_of(parse_instruction("LEA RAX, [RBX + RCX*4 + 8]"))
+        assert complex_lea.latency > simple.latency
+
+    def test_fp_add_latency_per_uarch(self):
+        for uarch in (IVY_BRIDGE, HASWELL, SKYLAKE):
+            cost = uarch.cost_of(parse_instruction("ADDSD XMM0, XMM1"))
+            assert cost.latency == pytest.approx(uarch.fp_add_latency)
+
+    def test_unknown_mnemonic_gets_generic_cost(self):
+        cost = HASWELL.cost_of(parse_instruction("FROBNICATE RAX, RBX"))
+        assert cost.num_micro_ops == 1
+
+    def test_micro_ops_reference_existing_ports(self):
+        for uarch in (IVY_BRIDGE, HASWELL, SKYLAKE):
+            for text in ("ADD RAX, RBX", "IMUL RAX, RBX", "DIVSD XMM0, XMM1",
+                         "MULSD XMM2, XMM3", "JNE .L1", "SHL RAX, 3"):
+                cost = uarch.cost_of(parse_instruction(text))
+                for micro_op in cost.micro_ops:
+                    assert micro_op.ports <= set(uarch.port_model.ports)
+
+
+class TestPrefixPenalties:
+    def test_lock_prefix_penalty(self):
+        instruction = parse_instruction("LOCK ADD QWORD PTR [RAX], RBX")
+        assert HASWELL.prefix_penalty(instruction) == pytest.approx(HASWELL.lock_penalty)
+
+    def test_rep_prefix_penalty(self):
+        instruction = parse_instruction("REP STOSQ")
+        assert SKYLAKE.prefix_penalty(instruction) > 0.0
+
+    def test_no_prefix_no_penalty(self):
+        assert HASWELL.prefix_penalty(parse_instruction("ADD RAX, RBX")) == 0.0

@@ -1,0 +1,125 @@
+"""Tests for the analytical throughput oracle (repro.uarch.scheduler)."""
+
+import pytest
+
+from repro.isa.basic_block import BasicBlock
+from repro.uarch.ports import HASWELL, IVY_BRIDGE, SKYLAKE
+from repro.uarch.scheduler import ThroughputOracle
+
+
+@pytest.fixture(scope="module")
+def haswell_oracle():
+    return ThroughputOracle(HASWELL)
+
+
+class TestBasicProperties:
+    def test_empty_block_has_small_positive_cost(self, haswell_oracle):
+        assert 0.0 < haswell_oracle.throughput(BasicBlock([])) < 1.0
+
+    def test_throughput_is_positive_and_finite(self, haswell_oracle, sample_blocks):
+        for block in sample_blocks:
+            value = haswell_oracle.throughput(block)
+            assert value > 0.0
+            assert value < 10_000.0
+
+    def test_breakdown_is_consistent_with_throughput(self, haswell_oracle, paper_example_block):
+        breakdown = haswell_oracle.breakdown(paper_example_block)
+        assert breakdown.cycles_per_iteration == pytest.approx(
+            max(
+                breakdown.port_pressure_bound,
+                breakdown.frontend_bound,
+                breakdown.latency_bound,
+            )
+            + breakdown.serialization_penalty,
+            abs=0.31,
+        )
+
+    def test_deterministic(self, haswell_oracle, paper_example_block):
+        assert haswell_oracle.throughput(paper_example_block) == haswell_oracle.throughput(
+            paper_example_block
+        )
+
+
+class TestBounds:
+    def test_independent_alu_block_is_port_or_frontend_bound(self, haswell_oracle):
+        block = BasicBlock.from_text(
+            "MOV RAX, 1\nMOV RBX, 2\nMOV RCX, 3\nMOV RDX, 4\nMOV RSI, 5\nMOV RDI, 6\nMOV R8, 7\nMOV R9, 8"
+        )
+        breakdown = haswell_oracle.breakdown(block)
+        assert breakdown.latency_bound <= breakdown.cycles_per_iteration
+        # 8 single-µop moves on a 4-wide machine need at least 2 cycles.
+        assert breakdown.cycles_per_iteration >= 2.0
+
+    def test_dependency_chain_is_latency_bound(self, haswell_oracle):
+        block = BasicBlock.from_text(
+            "\n".join(["MULSD XMM0, XMM1"] * 6)
+        )
+        breakdown = haswell_oracle.breakdown(block)
+        assert breakdown.latency_bound > breakdown.port_pressure_bound
+        assert breakdown.cycles_per_iteration >= 6 * HASWELL.fp_multiply_latency - 1e-6
+
+    def test_independent_multiplies_are_throughput_bound(self, haswell_oracle):
+        block = BasicBlock.from_text(
+            "MULSD XMM0, XMM8\nMULSD XMM1, XMM9\nMULSD XMM2, XMM10\nMULSD XMM3, XMM11"
+        )
+        breakdown = haswell_oracle.breakdown(block)
+        # Independent multiplies pipeline: far below 4 * latency.
+        assert breakdown.cycles_per_iteration < 4 * HASWELL.fp_multiply_latency
+
+    def test_divides_serialise_on_the_divider_port(self, haswell_oracle):
+        one = haswell_oracle.throughput(BasicBlock.from_text("IDIV RCX"))
+        two = haswell_oracle.throughput(BasicBlock.from_text("IDIV RCX\nIDIV RSI"))
+        assert two > one * 1.5
+
+    def test_store_load_adds_memory_micro_ops(self, haswell_oracle):
+        register_block = BasicBlock.from_text("ADD RAX, RBX")
+        memory_block = BasicBlock.from_text("ADD QWORD PTR [RCX], RBX")
+        register_ops = haswell_oracle.breakdown(register_block).num_micro_ops
+        memory_ops = haswell_oracle.breakdown(memory_block).num_micro_ops
+        assert memory_ops >= register_ops + 2
+
+    def test_lock_prefix_increases_cost(self, haswell_oracle):
+        plain = haswell_oracle.throughput(BasicBlock.from_text("ADD QWORD PTR [RAX], RBX"))
+        locked = haswell_oracle.throughput(BasicBlock.from_text("LOCK ADD QWORD PTR [RAX], RBX"))
+        assert locked >= plain + HASWELL.lock_penalty * 0.9
+
+    def test_more_instructions_never_cheaper(self, haswell_oracle):
+        short = BasicBlock.from_text("ADD RAX, RBX\nADD RCX, RDX")
+        longer = BasicBlock.from_text("ADD RAX, RBX\nADD RCX, RDX\nADD RSI, RDI\nADD R8, R9")
+        assert haswell_oracle.throughput(longer) >= haswell_oracle.throughput(short)
+
+
+class TestMicroarchitectureDifferences:
+    def test_alu_heavy_block_faster_on_wider_machines(self):
+        block = BasicBlock.from_text(
+            "\n".join(f"ADD R{index}, R{index + 1}" for index in range(8, 14))
+        )
+        ivb = ThroughputOracle(IVY_BRIDGE).throughput(block)
+        hsw = ThroughputOracle(HASWELL).throughput(block)
+        assert hsw <= ivb
+
+    def test_divide_block_fastest_on_skylake(self):
+        block = BasicBlock.from_text("DIVSD XMM0, XMM1\nDIVSD XMM2, XMM3")
+        values = {
+            "ivb": ThroughputOracle(IVY_BRIDGE).throughput(block),
+            "hsw": ThroughputOracle(HASWELL).throughput(block),
+            "skl": ThroughputOracle(SKYLAKE).throughput(block),
+        }
+        assert values["skl"] < values["hsw"] <= values["ivb"]
+
+    def test_microarchitectures_correlate_but_differ(self, sample_blocks):
+        """Labels across microarchitectures are similar but not identical —
+        the structure multi-task learning exploits."""
+        import numpy as np
+
+        ivb = np.array([ThroughputOracle(IVY_BRIDGE).throughput(b) for b in sample_blocks])
+        skl = np.array([ThroughputOracle(SKYLAKE).throughput(b) for b in sample_blocks])
+        correlation = np.corrcoef(ivb, skl)[0, 1]
+        assert correlation > 0.85
+        assert not np.allclose(ivb, skl)
+
+    def test_paper_example_block_costs_are_plausible(self, paper_example_block):
+        for uarch in (IVY_BRIDGE, HASWELL, SKYLAKE):
+            cycles = ThroughputOracle(uarch).throughput(paper_example_block)
+            # 8 mostly-independent simple instructions: 2-6 cycles per iteration.
+            assert 1.5 <= cycles <= 8.0
