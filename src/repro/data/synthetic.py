@@ -81,6 +81,10 @@ class GeneratorConfig:
             integer instruction is a memory operand.
         lock_prefix_probability: Probability of a LOCK prefix on
             read-modify-write memory instructions.
+        seed: Seed of the generator's random stream, so a config fully
+            describes (and can serialize) a reproducible block population.
+            ``BlockGenerator(config, seed=...)`` still accepts a seed
+            override for callers that share one config across seeds.
     """
 
     min_instructions: int = 1
@@ -100,14 +104,24 @@ class GeneratorConfig:
     register_reuse_probability: float = 0.55
     memory_operand_probability: float = 0.30
     lock_prefix_probability: float = 0.03
+    seed: int = 0
 
 
 class BlockGenerator:
-    """Generates synthetic basic blocks from a mixture of workload profiles."""
+    """Generates synthetic basic blocks from a mixture of workload profiles.
 
-    def __init__(self, config: Optional[GeneratorConfig] = None, seed: int = 0) -> None:
+    Args:
+        config: Generator configuration (including its ``seed``).
+        seed: Optional override of ``config.seed``, kept for callers that
+            reuse one config across several random streams.
+    """
+
+    def __init__(
+        self, config: Optional[GeneratorConfig] = None, seed: Optional[int] = None
+    ) -> None:
         self.config = config or GeneratorConfig()
-        self.rng = np.random.default_rng(seed)
+        self.seed = self.config.seed if seed is None else int(seed)
+        self.rng = np.random.default_rng(self.seed)
         weights = self.config.profile_weights
         self._profiles = list(weights.keys())
         total = sum(weights.values())

@@ -47,6 +47,8 @@ class ExperimentScale:
             (the paper notes BHive is ~5x smaller).
         num_training_steps: Optimisation steps per trained model.
         batch_size: Blocks per training batch (100 in the paper).
+        eval_batch_size: Micro-batch size of the batched inference path used
+            for every evaluation (validation and test).
         small_models: Use the reduced model configuration.
         seed: Master seed; model seeds are derived from it.
     """
@@ -55,6 +57,7 @@ class ExperimentScale:
     bhive_dataset_size: int = 250
     num_training_steps: int = 200
     batch_size: int = 32
+    eval_batch_size: int = 256
     small_models: bool = True
     seed: int = 0
 
@@ -178,7 +181,9 @@ class ExperimentHarness:
         trainer = Trainer(model, self.training_config(loss=loss, **training_overrides))
         history = trainer.train(splits.train, splits.validation)
         evaluation_dataset = test_dataset if test_dataset is not None else splits.test
-        metrics = evaluate_model(model, evaluation_dataset)
+        metrics = evaluate_model(
+            model, evaluation_dataset, batch_size=self.scale.eval_batch_size
+        )
         return TrainedModel(name=name, model=model, history=history, test_metrics=metrics)
 
     def train_standard_model(

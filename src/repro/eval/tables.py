@@ -339,7 +339,9 @@ def run_table9(
         model = harness.make_model("granite")
         harness.train_and_evaluate(model, splits, name=f"granite-{loss_name}", loss=loss_name)
         metrics[loss_name] = {}
-        predictions = model.predict(splits.test.blocks())
+        predictions = model.predict(
+            splits.test.blocks(), batch_size=harness.scale.eval_batch_size
+        )
         for microarchitecture in TARGET_MICROARCHITECTURES:
             actual = splits.test.throughputs(microarchitecture)
             metrics[loss_name][microarchitecture] = _evaluation_losses(

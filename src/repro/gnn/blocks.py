@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.nn.layers import ResidualMLP
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor, concatenate
+from repro.nn.tensor import Tensor, concatenate, gather_rows, segment_mean, segment_sum
 
 __all__ = ["GraphState", "EdgeBlock", "NodeBlock", "GlobalBlock", "FullGNBlock", "GraphNetwork"]
 
@@ -31,6 +31,10 @@ __all__ = ["GraphState", "EdgeBlock", "NodeBlock", "GlobalBlock", "FullGNBlock",
 @dataclass
 class GraphState:
     """Feature tensors of a packed graph batch at one point in the network.
+
+    Under gradient recording these are :class:`Tensor` values; on the
+    ``no_grad`` inference fast path they are raw ``numpy.ndarray`` values and
+    every block below operates on them without building the autodiff tape.
 
     Attributes:
         nodes: ``[total_nodes, node_size]`` node features.
@@ -80,9 +84,9 @@ class EdgeBlock(Module):
         self.output_size = output_size
 
     def forward(self, state: GraphState, topology: GraphTopology) -> Tensor:
-        sender_features = state.nodes.gather_rows(topology.senders)
-        receiver_features = state.nodes.gather_rows(topology.receivers)
-        global_per_edge = state.globals_.gather_rows(topology.edge_graph_ids)
+        sender_features = gather_rows(state.nodes, topology.senders)
+        receiver_features = gather_rows(state.nodes, topology.receivers)
+        global_per_edge = gather_rows(state.globals_, topology.edge_graph_ids)
         inputs = concatenate(
             [state.edges, sender_features, receiver_features, global_per_edge], axis=-1
         )
@@ -92,9 +96,9 @@ class EdgeBlock(Module):
 def _aggregate(features: Tensor, segment_ids: np.ndarray, num_segments: int, how: str) -> Tensor:
     """Sum or mean segment aggregation (graph_nets' configurable reducer)."""
     if how == "sum":
-        return features.segment_sum(segment_ids, num_segments)
+        return segment_sum(features, segment_ids, num_segments)
     if how == "mean":
-        return features.segment_mean(segment_ids, num_segments)
+        return segment_mean(features, segment_ids, num_segments)
     raise ValueError(f"unknown aggregation {how!r}; expected 'sum' or 'mean'")
 
 
@@ -132,7 +136,7 @@ class NodeBlock(Module):
             pieces.append(
                 _aggregate(updated_edges, topology.senders, num_nodes, self.aggregation)
             )
-        global_per_node = state.globals_.gather_rows(topology.node_graph_ids)
+        global_per_node = gather_rows(state.globals_, topology.node_graph_ids)
         inputs = concatenate(pieces + [state.nodes, global_per_node], axis=-1)
         return self.update_network(inputs)
 

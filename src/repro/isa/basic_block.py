@@ -106,6 +106,7 @@ class BasicBlock:
     _accesses: Optional[Tuple[InstructionAccesses, ...]] = field(
         default=None, repr=False, compare=False
     )
+    _canonical_text: Optional[str] = field(default=None, repr=False, compare=False)
 
     def __init__(
         self,
@@ -115,6 +116,7 @@ class BasicBlock:
         self.instructions = tuple(instructions)
         self.identifier = identifier
         self._accesses = None
+        self._canonical_text = None
 
     @staticmethod
     def from_text(text: str, identifier: Optional[str] = None) -> "BasicBlock":
@@ -133,6 +135,19 @@ class BasicBlock:
     def render(self) -> str:
         """Renders the block as Intel-syntax assembly, one line per instruction."""
         return render_instructions(self.instructions)
+
+    def canonical_text(self) -> str:
+        """The rendered text, memoized.
+
+        This is the cache key used by the models' encode caches and the
+        serving layer; memoizing it keeps repeated predictions of the same
+        block object from re-rendering the assembly every call.  The
+        instruction tuple is immutable after construction, so the memo
+        cannot go stale.
+        """
+        if self._canonical_text is None:
+            self._canonical_text = self.render()
+        return self._canonical_text
 
     @property
     def accesses(self) -> Tuple[InstructionAccesses, ...]:

@@ -16,15 +16,23 @@ every experiment:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.isa.basic_block import BasicBlock
-from repro.nn.module import Module
+from repro.nn.module import Module, parameter_version
 from repro.nn.tensor import Tensor, no_grad
+from repro.utils.cache import LRUCache
 
 __all__ = ["ThroughputModel"]
+
+
+def _as_array(values) -> np.ndarray:
+    """Normalises a forward output (Tensor or ndarray) to a flat array."""
+    array = values.data if isinstance(values, Tensor) else np.asarray(values)
+    return array.reshape(-1)
 
 
 class ThroughputModel(Module):
@@ -32,6 +40,13 @@ class ThroughputModel(Module):
 
     #: Target microarchitecture keys, one prediction head per entry.
     tasks: Tuple[str, ...]
+
+    #: Capacity of the per-block prediction cache (0 disables it).  Unlike
+    #: the encode caches, cached *predictions* depend on the weights, so the
+    #: cache records the global parameter generation it was filled at and is
+    #: dropped whenever an optimizer step or ``load_state_dict`` bumps it
+    #: (retraining invalidates the cache).
+    prediction_cache_size: int = 8192
 
     def encode_blocks(self, blocks: Sequence[BasicBlock]):
         """Encodes basic blocks into the model's batch representation."""
@@ -41,14 +56,161 @@ class ThroughputModel(Module):
         """Returns per-task predicted throughputs of shape ``[num_blocks]``."""
         raise NotImplementedError
 
-    def predict(self, blocks: Sequence[BasicBlock]) -> Dict[str, np.ndarray]:
-        """Inference: predicts throughputs for ``blocks`` without gradients."""
+    def encode_caches(self) -> List[LRUCache]:
+        """The model's encode caches (overridden by subclasses that cache).
+
+        Base-class cache management (:meth:`clear_encode_cache`,
+        :meth:`caches_disabled`) operates on whatever this returns, so
+        subclasses keep the knowledge of their own cache attributes.
+        """
+        return []
+
+    def clear_encode_cache(self) -> None:
+        """Drops every cached encoding."""
+        for cache in self.encode_caches():
+            cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Prediction cache plumbing.
+    # ------------------------------------------------------------------ #
+    def _current_prediction_cache(self) -> LRUCache:
+        cache = getattr(self, "_prediction_cache", None)
+        if cache is None or cache.maxsize != self.prediction_cache_size:
+            cache = LRUCache(self.prediction_cache_size)
+            self._prediction_cache = cache
+            self._prediction_cache_version = parameter_version()
+        if self._prediction_cache_version != parameter_version():
+            cache.clear()
+            self._prediction_cache_version = parameter_version()
+        return cache
+
+    def clear_prediction_cache(self) -> None:
+        """Drops every cached per-block prediction."""
+        if getattr(self, "_prediction_cache", None) is not None:
+            self._prediction_cache.clear()
+
+    @contextmanager
+    def caches_disabled(self) -> Iterator["ThroughputModel"]:
+        """Temporarily disables the prediction *and* encode caches.
+
+        Timing code uses this so measurements include the full inference
+        cost (graph construction / tokenization included) instead of cache
+        hits.  On exit the previous caches — including their warm entries
+        and hit/miss counters — are restored intact; only the encode caches
+        are emptied (their entries cannot go stale, they are just dropped
+        so the context starts cold).
+        """
+        saved_prediction_size = self.prediction_cache_size
+        saved_prediction_cache = getattr(self, "_prediction_cache", None)
+        saved_prediction_version = getattr(self, "_prediction_cache_version", None)
+        self.prediction_cache_size = 0
+        self._prediction_cache = None  # a fresh zero-capacity cache inside
+        encode_caches = self.encode_caches()
+        saved_sizes = [(cache, cache.maxsize) for cache in encode_caches]
+        for cache in encode_caches:
+            cache.maxsize = 0
+            cache.clear()
+        try:
+            yield self
+        finally:
+            self.prediction_cache_size = saved_prediction_size
+            self._prediction_cache = saved_prediction_cache
+            if saved_prediction_version is not None:
+                # Restore the generation the saved cache was filled at, so a
+                # weight update made inside the context still invalidates it.
+                self._prediction_cache_version = saved_prediction_version
+            for cache, size in saved_sizes:
+                cache.maxsize = size
+
+    @property
+    def prediction_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the prediction cache (for benchmarks)."""
+        cache = self._current_prediction_cache()
+        return {"hits": cache.hits, "misses": cache.misses, "entries": len(cache)}
+
+    # ------------------------------------------------------------------ #
+    # Inference.
+    # ------------------------------------------------------------------ #
+    def _predict_uncached(
+        self, blocks: List[BasicBlock], batch_size: Optional[int]
+    ) -> Dict[str, np.ndarray]:
+        """Batched no-grad forward over ``blocks`` (no prediction cache)."""
+        with no_grad():
+            if batch_size is None or batch_size >= len(blocks):
+                predictions = self.forward(self.encode_blocks(blocks))
+                return {
+                    task: _as_array(predictions[task]).copy() for task in self.tasks
+                }
+            chunks: Dict[str, List[np.ndarray]] = {task: [] for task in self.tasks}
+            for start in range(0, len(blocks), batch_size):
+                batch = self.encode_blocks(blocks[start : start + batch_size])
+                predictions = self.forward(batch)
+                for task in self.tasks:
+                    chunks[task].append(_as_array(predictions[task]))
+        return {task: np.concatenate(chunks[task]) for task in self.tasks}
+
+    def predict(
+        self,
+        blocks: Sequence[BasicBlock],
+        batch_size: Optional[int] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Inference: predicts throughputs for ``blocks`` without gradients.
+
+        Runs on the no-grad fast path (raw numpy, no autodiff tape).  With
+        ``batch_size`` the blocks are processed in micro-batches of at most
+        that many blocks, which bounds the peak memory of the packed
+        representation; the result is identical to one large batch.  Blocks
+        already served since the last weight update come straight from the
+        prediction cache (see :attr:`prediction_cache_size`).
+
+        Args:
+            blocks: Basic blocks to predict.  May be empty.
+            batch_size: Optional micro-batch size; ``None`` processes all
+                blocks as a single batch.
+
+        Returns:
+            Per-task float arrays of shape ``[len(blocks)]``.
+        """
+        blocks = list(blocks)
         if not blocks:
             return {task: np.zeros(0) for task in self.tasks}
-        with no_grad():
-            batch = self.encode_blocks(blocks)
-            predictions = self.forward(batch)
-        return {task: predictions[task].numpy().reshape(-1).copy() for task in self.tasks}
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive")
+
+        cache = self._current_prediction_cache()
+        if cache.maxsize <= 0:
+            return self._predict_uncached(blocks, batch_size)
+
+        keys = [block.canonical_text() for block in blocks]
+        results = {task: np.empty(len(blocks)) for task in self.tasks}
+        missing: List[int] = []
+        for index, key in enumerate(keys):
+            entry = cache.get(key)
+            if entry is None:
+                missing.append(index)
+            else:
+                for task in self.tasks:
+                    results[task][index] = entry[task]
+        if missing:
+            # Dedupe repeated blocks so each distinct text is computed once.
+            position_of_key: Dict[str, int] = {}
+            unique_indices: List[int] = []
+            for index in missing:
+                if keys[index] not in position_of_key:
+                    position_of_key[keys[index]] = len(unique_indices)
+                    unique_indices.append(index)
+            computed = self._predict_uncached(
+                [blocks[index] for index in unique_indices], batch_size
+            )
+            for index in missing:
+                position = position_of_key[keys[index]]
+                entry = {
+                    task: float(computed[task][position]) for task in self.tasks
+                }
+                cache.put(keys[index], entry)
+                for task in self.tasks:
+                    results[task][index] = entry[task]
+        return results
 
     def predict_single(self, block: BasicBlock) -> Dict[str, float]:
         """Predicts the throughput of a single basic block."""

@@ -56,6 +56,12 @@ class GraniteConfig:
             the per-instruction contributions in a numerically convenient
             range given that labels are cycles per 100 iterations.
         seed: Seed for weight initialisation.
+        encode_cache_size: Capacity of the per-block graph LRU cache used by
+            :meth:`repro.models.granite.GraniteModel.encode_blocks` (0
+            disables caching).  Graphs depend only on the block text, so the
+            cache stays valid across retraining.
+        batch_cache_size: Capacity of the packed-batch LRU cache keyed by the
+            tuple of canonical block texts (0 disables it).
     """
 
     node_embedding_size: int = 256
@@ -72,6 +78,8 @@ class GraniteConfig:
     readout: str = "per_instruction"
     output_scale: float = 100.0
     seed: int = 0
+    encode_cache_size: int = 8192
+    batch_cache_size: int = 64
 
     def __post_init__(self) -> None:
         if self.readout not in ("per_instruction", "global"):
@@ -122,6 +130,11 @@ class IthemalConfig:
         use_layer_norm: Layer normalisation at the MLP decoder input.
         output_scale: Constant multiplier on decoder outputs.
         seed: Seed for weight initialisation.
+        encode_cache_size: Capacity of the per-block tokenization LRU cache
+            (0 disables caching); valid across retraining because the
+            tokenization depends only on the block text.
+        batch_cache_size: Capacity of the padded-batch LRU cache keyed by
+            the tuple of canonical block texts (0 disables it).
     """
 
     token_embedding_size: int = 256
@@ -132,6 +145,8 @@ class IthemalConfig:
     use_layer_norm: bool = True
     output_scale: float = 100.0
     seed: int = 0
+    encode_cache_size: int = 8192
+    batch_cache_size: int = 64
 
     def __post_init__(self) -> None:
         if self.decoder not in ("dot_product", "mlp"):

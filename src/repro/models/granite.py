@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.builder import GraphBuilder, GraphBuilderConfig
-from repro.graph.graph import GraphsTuple, pack_graphs
+from repro.graph.graph import BlockGraph, GraphsTuple, pack_graphs
 from repro.graph.types import EdgeType
 from repro.graph.vocabulary import Vocabulary, build_default_vocabulary
 from repro.gnn.blocks import GraphNetwork, GraphState, GraphTopology
@@ -32,7 +32,8 @@ from repro.isa.basic_block import BasicBlock
 from repro.models.base import ThroughputModel
 from repro.models.config import GraniteConfig
 from repro.nn.layers import Dense, Embedding, ResidualMLP
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, fast_path_active, gather_rows, segment_sum
+from repro.utils.cache import LRUCache
 
 __all__ = ["GraniteModel", "GraniteBatch"]
 
@@ -67,6 +68,18 @@ class GraniteModel(ThroughputModel):
         self.tasks = tuple(self.config.tasks)
         if not self.tasks:
             raise ValueError("GraniteModel needs at least one task")
+
+        # Encode caches: graph construction dominates single-block inference
+        # cost, and evaluation sweeps predict the same blocks over and over.
+        # Graphs depend only on the block text and the (fixed) builder
+        # configuration, never on the weights, so the caches survive
+        # retraining without invalidation.
+        self._graph_cache: LRUCache[str, BlockGraph] = LRUCache(
+            self.config.encode_cache_size
+        )
+        self._batch_cache: LRUCache[Tuple[str, ...], GraniteBatch] = LRUCache(
+            self.config.batch_cache_size
+        )
 
         rng = np.random.default_rng(self.config.seed)
         num_edge_types = len(EdgeType)
@@ -119,10 +132,26 @@ class GraniteModel(ThroughputModel):
     # Encoding.
     # ------------------------------------------------------------------ #
     def encode_blocks(self, blocks: Sequence[BasicBlock]) -> GraniteBatch:
-        """Builds and packs the GRANITE graphs of ``blocks``."""
+        """Builds and packs the GRANITE graphs of ``blocks``.
+
+        Per-block graphs are cached in an LRU keyed by the canonical block
+        text, and whole packed batches are cached by their key tuple, so
+        evaluation sweeps that predict the same blocks repeatedly skip graph
+        construction entirely.
+        """
         if not blocks:
             raise ValueError("cannot encode an empty list of blocks")
-        graphs = [self.graph_builder.build(block) for block in blocks]
+        keys = tuple(block.canonical_text() for block in blocks)
+        cached_batch = self._batch_cache.get(keys)
+        if cached_batch is not None:
+            return cached_batch
+        graphs = []
+        for key, block in zip(keys, blocks):
+            graph = self._graph_cache.get(key)
+            if graph is None:
+                graph = self.graph_builder.build(block)
+                self._graph_cache.put(key, graph)
+            graphs.append(graph)
         packed = pack_graphs(graphs, self.vocabulary)
         topology = GraphTopology(
             senders=packed.senders,
@@ -131,25 +160,47 @@ class GraniteModel(ThroughputModel):
             edge_graph_ids=packed.edge_graph_ids,
             num_graphs=packed.num_graphs,
         )
-        return GraniteBatch(graphs=packed, topology=topology)
+        batch = GraniteBatch(graphs=packed, topology=topology)
+        self._batch_cache.put(keys, batch)
+        return batch
+
+    def encode_caches(self):
+        """The per-block graph cache and the packed-batch cache."""
+        return [self._graph_cache, self._batch_cache]
+
+    @property
+    def encode_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the per-block graph cache (for benchmarks)."""
+        return {
+            "graph_hits": self._graph_cache.hits,
+            "graph_misses": self._graph_cache.misses,
+            "batch_hits": self._batch_cache.hits,
+            "batch_misses": self._batch_cache.misses,
+        }
 
     # ------------------------------------------------------------------ #
     # Forward pass.
     # ------------------------------------------------------------------ #
     def _process_graph(self, batch: GraniteBatch) -> GraphState:
-        """Runs the input encoders and the graph network on a packed batch."""
+        """Runs the input encoders and the graph network on a packed batch.
+
+        Under ``no_grad`` every feature is a raw numpy array (the inference
+        fast path); under gradient recording they are tape tensors.
+        """
         graphs = batch.graphs
+        grad = not fast_path_active()
         node_features = self.node_embedding(graphs.node_token_ids)
         if graphs.num_edges > 0:
             edge_features = self.edge_embedding(graphs.edge_type_ids)
         else:
-            edge_features = Tensor(np.zeros((0, self.config.edge_embedding_size)))
+            zeros = np.zeros((0, self.config.edge_embedding_size))
+            edge_features = Tensor(zeros) if grad else zeros
         if self.config.use_global_features:
-            global_features = self.global_encoder(Tensor(graphs.globals_features))
+            globals_input = Tensor(graphs.globals_features) if grad else graphs.globals_features
+            global_features = self.global_encoder(globals_input)
         else:
-            global_features = Tensor(
-                np.zeros((graphs.num_graphs, self.config.global_embedding_size))
-            )
+            zeros = np.zeros((graphs.num_graphs, self.config.global_embedding_size))
+            global_features = Tensor(zeros) if grad else zeros
         state = GraphState(nodes=node_features, edges=edge_features, globals_=global_features)
         return self.graph_network(state, batch.topology)
 
@@ -160,7 +211,7 @@ class GraniteModel(ThroughputModel):
         and for tests); :meth:`forward` applies the decoders on top.
         """
         processed = self._process_graph(batch)
-        return processed.nodes.gather_rows(batch.graphs.instruction_node_indices)
+        return gather_rows(processed.nodes, batch.graphs.instruction_node_indices)
 
     def forward(self, batch: GraniteBatch) -> Dict[str, Tensor]:
         """Predicts the throughput of every block, for every task.
@@ -175,13 +226,15 @@ class GraniteModel(ThroughputModel):
         processed = self._process_graph(batch)
         predictions: Dict[str, Tensor] = {}
         if self.config.readout == "per_instruction":
-            instruction_embeddings = processed.nodes.gather_rows(
-                graphs.instruction_node_indices
+            instruction_embeddings = gather_rows(
+                processed.nodes, graphs.instruction_node_indices
             )
             for task in self.tasks:
                 contributions = self.decoders[task](instruction_embeddings)
-                per_block = contributions.reshape(-1).segment_sum(
-                    graphs.instruction_graph_ids, graphs.num_graphs
+                per_block = segment_sum(
+                    contributions.reshape(-1),
+                    graphs.instruction_graph_ids,
+                    graphs.num_graphs,
                 )
                 predictions[task] = per_block * self.config.output_scale
         else:

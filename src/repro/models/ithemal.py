@@ -33,7 +33,8 @@ from repro.graph.vocabulary import Vocabulary
 from repro.nn.layers import Dense, Embedding, ResidualMLP
 from repro.nn.lstm import LSTM
 from repro.nn.module import Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, matmul
+from repro.utils.cache import LRUCache
 
 __all__ = ["IthemalModel", "IthemalBatch"]
 
@@ -82,6 +83,12 @@ class IthemalModel(ThroughputModel):
             raise ValueError("IthemalModel needs at least one task")
 
         cfg = self.config
+        # Per-block tokenization and padded-batch caches (see GraniteModel's
+        # graph caches); both depend only on the block text, not the weights.
+        self._token_cache: LRUCache[str, List[List[int]]] = LRUCache(cfg.encode_cache_size)
+        self._batch_cache: LRUCache[Tuple[str, ...], IthemalBatch] = LRUCache(
+            cfg.batch_cache_size
+        )
         rng = np.random.default_rng(cfg.seed)
         self.token_embedding = Embedding(len(self.vocabulary), cfg.token_embedding_size, rng)
         self.instruction_lstm = LSTM(cfg.token_embedding_size, cfg.hidden_size, rng)
@@ -116,24 +123,37 @@ class IthemalModel(ThroughputModel):
     # ------------------------------------------------------------------ #
     # Encoding.
     # ------------------------------------------------------------------ #
+    def _tokenize_cached(self, key: str, block: BasicBlock) -> List[List[int]]:
+        """Returns the per-instruction token id lists of ``block`` (cached)."""
+        encoded = self._token_cache.get(key)
+        if encoded is None:
+            tokenized = tokenize_block(block)
+            # Blocks may be empty in pathological cases; give them one
+            # NOP-like dummy instruction of a single unknown token so shapes
+            # stay valid.
+            if not tokenized:
+                tokenized = [[self.vocabulary.token_of(self.vocabulary.unknown_id)]]
+            encoded = [self.vocabulary.encode(tokens) for tokens in tokenized]
+            self._token_cache.put(key, encoded)
+        return encoded
+
     def encode_blocks(self, blocks: Sequence[BasicBlock]) -> IthemalBatch:
-        """Tokenizes and pads a batch of basic blocks."""
+        """Tokenizes and pads a batch of basic blocks (LRU cached)."""
         if not blocks:
             raise ValueError("cannot encode an empty list of blocks")
-        tokenized_blocks = [tokenize_block(block) for block in blocks]
-        # Blocks may be empty in pathological cases; give them one NOP-like
-        # dummy instruction of a single unknown token so shapes stay valid.
-        for tokens in tokenized_blocks:
-            if not tokens:
-                tokens.append([self.vocabulary.token_of(self.vocabulary.unknown_id)])
+        keys = tuple(block.canonical_text() for block in blocks)
+        cached_batch = self._batch_cache.get(keys)
+        if cached_batch is not None:
+            return cached_batch
 
         instruction_token_ids: List[List[int]] = []
         instruction_block_ids: List[int] = []
         block_lengths: List[int] = []
-        for block_index, instructions in enumerate(tokenized_blocks):
-            block_lengths.append(len(instructions))
-            for tokens in instructions:
-                instruction_token_ids.append(self.vocabulary.encode(tokens))
+        for block_index, (key, block) in enumerate(zip(keys, blocks)):
+            encoded_instructions = self._tokenize_cached(key, block)
+            block_lengths.append(len(encoded_instructions))
+            for ids in encoded_instructions:
+                instruction_token_ids.append(ids)
                 instruction_block_ids.append(block_index)
 
         max_tokens = max(len(ids) for ids in instruction_token_ids)
@@ -143,7 +163,7 @@ class IthemalModel(ThroughputModel):
             token_ids[row, : len(ids)] = ids
             token_lengths[row] = len(ids)
 
-        return IthemalBatch(
+        batch = IthemalBatch(
             token_ids=token_ids,
             token_lengths=token_lengths,
             instruction_block_ids=np.array(instruction_block_ids, dtype=np.int64),
@@ -151,6 +171,22 @@ class IthemalModel(ThroughputModel):
             num_blocks=len(blocks),
             max_instructions=int(max(block_lengths)),
         )
+        self._batch_cache.put(keys, batch)
+        return batch
+
+    def encode_caches(self):
+        """The per-block tokenization cache and the padded-batch cache."""
+        return [self._token_cache, self._batch_cache]
+
+    @property
+    def encode_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the tokenization cache (for benchmarks)."""
+        return {
+            "token_hits": self._token_cache.hits,
+            "token_misses": self._token_cache.misses,
+            "batch_hits": self._batch_cache.hits,
+            "batch_misses": self._batch_cache.misses,
+        }
 
     # ------------------------------------------------------------------ #
     # Forward pass.
@@ -164,19 +200,31 @@ class IthemalModel(ThroughputModel):
         _, instruction_embeddings = self.instruction_lstm(token_features, batch.token_lengths)
 
         # Re-pack instruction embeddings into a [num_blocks, max_instr, H]
-        # padded tensor.  The scatter is done with a permutation matrix so
-        # gradients flow through a single matmul.
+        # padded tensor.  During training the scatter is a permutation-matrix
+        # matmul so gradients flow through it; on the no-grad fast path it is
+        # a direct indexed assignment.
         num_instructions = instruction_embeddings.shape[0]
         num_blocks = batch.num_blocks
         max_instructions = batch.max_instructions
-        scatter = np.zeros((num_blocks * max_instructions, num_instructions), dtype=np.float64)
+        hidden_size = self.config.hidden_size
+        slots = np.empty(num_instructions, dtype=np.int64)
         position_in_block = np.zeros(num_blocks, dtype=np.int64)
         for instruction_index, block_index in enumerate(batch.instruction_block_ids):
-            slot = block_index * max_instructions + position_in_block[block_index]
-            scatter[slot, instruction_index] = 1.0
+            slots[instruction_index] = (
+                block_index * max_instructions + position_in_block[block_index]
+            )
             position_in_block[block_index] += 1
-        packed = Tensor(scatter) @ instruction_embeddings
-        packed = packed.reshape(num_blocks, max_instructions, self.config.hidden_size)
+        if isinstance(instruction_embeddings, np.ndarray):
+            flat = np.zeros((num_blocks * max_instructions, hidden_size), dtype=np.float64)
+            flat[slots] = instruction_embeddings
+            packed = flat.reshape(num_blocks, max_instructions, hidden_size)
+        else:
+            scatter = np.zeros(
+                (num_blocks * max_instructions, num_instructions), dtype=np.float64
+            )
+            scatter[slots, np.arange(num_instructions)] = 1.0
+            packed = matmul(scatter, instruction_embeddings)
+            packed = packed.reshape(num_blocks, max_instructions, hidden_size)
 
         # Level 2: block LSTM over the instruction embeddings.
         _, block_embeddings = self.block_lstm(packed, batch.block_lengths)
@@ -188,7 +236,13 @@ class IthemalModel(ThroughputModel):
         predictions: Dict[str, Tensor] = {}
         for task in self.tasks:
             if self.config.decoder == "dot_product":
-                output = block_embeddings @ self.decoder_weights[task]
+                weight = self.decoder_weights[task]
+                if isinstance(block_embeddings, np.ndarray):
+                    # Stay on the raw-numpy fast path: a Parameter operand
+                    # would pull the matmul back onto tape Tensors.
+                    output = block_embeddings @ weight.data
+                else:
+                    output = matmul(block_embeddings, weight)
             else:
                 output = self.decoders[task](block_embeddings)
             predictions[task] = output.reshape(-1) * self.config.output_scale

@@ -16,7 +16,12 @@ from repro.nn.losses import (
     relative_mean_squared_error,
 )
 from repro.nn.lstm import LSTM, LSTMCell
-from repro.nn.module import Module, Parameter
+from repro.nn.module import (
+    Module,
+    Parameter,
+    bump_parameter_version,
+    parameter_version,
+)
 from repro.nn.optim import (
     Adam,
     Optimizer,
@@ -25,7 +30,25 @@ from repro.nn.optim import (
     global_gradient_norm,
 )
 from repro.nn.serialization import checkpoint_to_dict, load_checkpoint, save_checkpoint
-from repro.nn.tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack, where
+from repro.nn.tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    fast_path_active,
+    gather_rows,
+    is_grad_enabled,
+    matmul,
+    no_grad,
+    raw,
+    relu,
+    segment_mean,
+    segment_sum,
+    sigmoid,
+    stack,
+    tanh,
+    use_fast_path,
+    where,
+)
 
 __all__ = [
     "Dense",
@@ -56,8 +79,20 @@ __all__ = [
     "Tensor",
     "as_tensor",
     "concatenate",
+    "fast_path_active",
+    "gather_rows",
     "is_grad_enabled",
+    "matmul",
     "no_grad",
+    "parameter_version",
+    "bump_parameter_version",
+    "raw",
+    "relu",
+    "segment_mean",
+    "segment_sum",
+    "sigmoid",
     "stack",
+    "tanh",
+    "use_fast_path",
     "where",
 ]

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, as_tensor
+from repro.nn.tensor import Tensor, as_tensor, fast_path_active, raw, sigmoid
 
 __all__ = [
     "Dense",
@@ -59,6 +59,18 @@ class Dense(Module):
         self.output_size = output_size
 
     def forward(self, inputs: Tensor) -> Tensor:
+        if fast_path_active():
+            # Inference fast path: raw numpy, in-place where possible.
+            outputs = raw(inputs) @ self.weight.data
+            if self.bias is not None:
+                outputs += self.bias.data
+            if self.activation == "relu":
+                np.maximum(outputs, 0.0, out=outputs)
+            elif self.activation == "tanh":
+                np.tanh(outputs, out=outputs)
+            elif self.activation == "sigmoid":
+                outputs = sigmoid(outputs)
+            return outputs
         inputs = as_tensor(inputs)
         outputs = inputs @ self.weight
         if self.bias is not None:
@@ -119,7 +131,7 @@ class MLP(Module):
         self.output_size = output_size
 
     def forward(self, inputs: Tensor) -> Tensor:
-        outputs = as_tensor(inputs)
+        outputs = raw(inputs) if fast_path_active() else as_tensor(inputs)
         for layer in self.layers:
             outputs = layer(outputs)
         return outputs
@@ -142,6 +154,21 @@ class LayerNorm(Module):
         self.size = size
 
     def forward(self, inputs: Tensor) -> Tensor:
+        if fast_path_active():
+            array = raw(inputs)
+            mean = array.mean(axis=-1, keepdims=True)
+            centered = array - mean
+            if centered.ndim == 2:
+                # einsum computes the row-wise sum of squares in one pass,
+                # noticeably faster than materialising centered**2.
+                variance = np.einsum("ij,ij->i", centered, centered)[:, None]
+                variance /= centered.shape[-1]
+            else:
+                variance = (centered * centered).mean(axis=-1, keepdims=True)
+            centered *= (variance + self.epsilon) ** -0.5
+            centered *= self.gain.data
+            centered += self.offset.data
+            return centered
         inputs = as_tensor(inputs)
         mean = inputs.mean(axis=-1, keepdims=True)
         centered = inputs - mean
@@ -173,6 +200,8 @@ class Embedding(Module):
                 f"embedding index out of range [0, {self.num_embeddings}): "
                 f"min={indices.min()}, max={indices.max()}"
             )
+        if fast_path_active():
+            return self.table.data[indices]
         return self.table.gather_rows(indices)
 
 
@@ -215,7 +244,7 @@ class ResidualMLP(Module):
         self.output_size = output_size
 
     def forward(self, inputs: Tensor) -> Tensor:
-        inputs = as_tensor(inputs)
+        inputs = raw(inputs) if fast_path_active() else as_tensor(inputs)
         hidden = self.layer_norm(inputs) if self.layer_norm is not None else inputs
         outputs = self.mlp(hidden)
         if self.use_residual:

@@ -29,17 +29,45 @@ __all__ = [
 #: strictly positive in both datasets but may be tiny for degenerate blocks.
 _EPSILON = 1e-6
 
+#: Targets with absolute value at or below this threshold are excluded from
+#: every relative loss.  Without the guard a single zero-throughput target
+#: contributes ``|error| / epsilon`` (order 1e6) and silently poisons the
+#: Table 5/6 metrics; such targets carry no usable relative-error signal.
+ZERO_TARGET_THRESHOLD = 1e-6
+
+
+def _valid_target_weights(actual: Tensor) -> np.ndarray:
+    """Weights that average over non-zero targets only.
+
+    Returns an array shaped like ``actual`` whose entries are
+    ``1 / num_valid`` for targets with ``|target| > ZERO_TARGET_THRESHOLD``
+    and ``0.0`` for (near-)zero targets, so that
+    ``(per_element_loss * weights).sum()`` is the mean over valid targets.
+    When every target is zero the weights are all zero and the loss
+    degenerates to 0, which keeps training finite instead of exploding.
+    """
+    valid = np.abs(actual.numpy()) > ZERO_TARGET_THRESHOLD
+    count = valid.sum()
+    if count == 0:
+        return np.zeros_like(valid, dtype=np.float64)
+    return valid.astype(np.float64) / float(count)
+
 
 def mean_absolute_percentage_error(predicted: Tensor, actual: Tensor) -> Tensor:
-    """MAPE: ``mean(|actual - predicted| / |actual|)``.
+    """MAPE: ``mean(|actual - predicted| / |actual|)`` over non-zero targets.
 
     This is the training loss of both GRANITE and Ithemal (Section 4).  The
-    value is returned as a fraction (0.069 for 6.9 %).
+    value is returned as a fraction (0.069 for 6.9 %).  Zero-throughput
+    targets are excluded from the mean (see :data:`ZERO_TARGET_THRESHOLD`);
+    without the guard each contributed an ``|error| / epsilon`` term of
+    order 1e6.
     """
     predicted = as_tensor(predicted)
     actual = as_tensor(actual)
+    weights = _valid_target_weights(actual)
     denominator = actual.abs() + _EPSILON
-    return ((actual - predicted).abs() / denominator).mean()
+    errors = (actual - predicted).abs() / denominator
+    return (errors * Tensor(weights)).sum()
 
 
 def mean_squared_error(predicted: Tensor, actual: Tensor) -> Tensor:
@@ -51,31 +79,40 @@ def mean_squared_error(predicted: Tensor, actual: Tensor) -> Tensor:
 
 
 def relative_mean_squared_error(predicted: Tensor, actual: Tensor) -> Tensor:
-    """MSE of the error normalised by the ground-truth value."""
+    """MSE of the error normalised by the ground truth, over non-zero targets."""
     predicted = as_tensor(predicted)
     actual = as_tensor(actual)
+    weights = _valid_target_weights(actual)
     relative = (actual - predicted) / (actual.abs() + _EPSILON)
-    return (relative * relative).mean()
+    return (relative * relative * Tensor(weights)).sum()
+
+
+def _huber_elements(predicted: Tensor, actual: Tensor, delta: float) -> Tensor:
+    """Per-element Huber penalty with threshold ``delta``."""
+    difference = actual - predicted
+    absolute = difference.abs()
+    quadratic = difference * difference * 0.5
+    linear = absolute * delta - 0.5 * delta * delta
+    return where(absolute.numpy() <= delta, quadratic, linear)
 
 
 def huber_loss(predicted: Tensor, actual: Tensor, delta: float = 1.0) -> Tensor:
     """Huber loss with threshold ``delta`` (the paper uses delta = 1)."""
     predicted = as_tensor(predicted)
     actual = as_tensor(actual)
-    difference = actual - predicted
-    absolute = difference.abs()
-    quadratic = difference * difference * 0.5
-    linear = absolute * delta - 0.5 * delta * delta
-    return where(absolute.numpy() <= delta, quadratic, linear).mean()
+    return _huber_elements(predicted, actual, delta).mean()
 
 
 def relative_huber_loss(predicted: Tensor, actual: Tensor, delta: float = 1.0) -> Tensor:
-    """Huber loss applied to the relative error."""
+    """Huber loss on the relative error, averaged over non-zero targets."""
     predicted = as_tensor(predicted)
     actual = as_tensor(actual)
-    relative_predicted = predicted / (actual.abs() + _EPSILON)
-    relative_actual = actual / (actual.abs() + _EPSILON)
-    return huber_loss(relative_predicted, relative_actual, delta=delta)
+    weights = _valid_target_weights(actual)
+    denominator = actual.abs() + _EPSILON
+    relative_predicted = predicted / denominator
+    relative_actual = actual / denominator
+    elements = _huber_elements(relative_predicted, relative_actual, delta=delta)
+    return (elements * Tensor(weights)).sum()
 
 
 #: Registry keyed by the loss names used in Table 9 of the paper.

@@ -16,7 +16,15 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, as_tensor, concatenate, where
+from repro.nn.tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    fast_path_active,
+    raw,
+    sigmoid,
+    where,
+)
 
 __all__ = ["LSTMCell", "LSTM"]
 
@@ -60,6 +68,18 @@ class LSTMCell(Module):
             ``(hidden, (hidden, cell))`` for the next step.
         """
         hidden_state, cell_state = state
+        if fast_path_active():
+            gates = raw(inputs) @ self.weight_input.data
+            gates += raw(hidden_state) @ self.weight_hidden.data
+            gates += self.bias.data
+            size = self.hidden_size
+            input_gate = sigmoid(gates[:, 0 * size : 1 * size])
+            forget_gate = sigmoid(gates[:, 1 * size : 2 * size])
+            candidate = np.tanh(gates[:, 2 * size : 3 * size])
+            output_gate = sigmoid(gates[:, 3 * size : 4 * size])
+            new_cell = forget_gate * raw(cell_state) + input_gate * candidate
+            new_hidden = output_gate * np.tanh(new_cell)
+            return new_hidden, (new_hidden, new_cell)
         gates = inputs @ self.weight_input + hidden_state @ self.weight_hidden + self.bias
         size = self.hidden_size
         input_gate = gates[:, 0 * size : 1 * size].sigmoid()
@@ -109,6 +129,8 @@ class LSTM(Module):
             ``[batch, time, hidden_size]`` and ``final_hidden`` is
             ``[batch, hidden_size]``.
         """
+        if fast_path_active():
+            return self._forward_inference(raw(inputs), lengths)
         inputs = as_tensor(inputs)
         batch_size, max_time = inputs.shape[0], inputs.shape[1]
         if lengths is None:
@@ -125,4 +147,36 @@ class LSTM(Module):
             cell = where(active, new_cell, cell)
             step_outputs.append(new_hidden.reshape(batch_size, 1, self.hidden_size))
         outputs = concatenate(step_outputs, axis=1) if step_outputs else inputs
+        return outputs, hidden
+
+    def _forward_inference(
+        self, inputs: np.ndarray, lengths: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """No-grad fast path: the same recurrence on raw numpy arrays."""
+        batch_size, max_time = inputs.shape[0], inputs.shape[1]
+        if lengths is None:
+            lengths = np.full((batch_size,), max_time, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+
+        size = self.hidden_size
+        weight_input = self.cell.weight_input.data
+        weight_hidden = self.cell.weight_hidden.data
+        bias = self.cell.bias.data
+        hidden = np.zeros((batch_size, size), dtype=np.float64)
+        cell = np.zeros((batch_size, size), dtype=np.float64)
+        outputs = np.empty((batch_size, max_time, size), dtype=np.float64)
+        for time in range(max_time):
+            gates = inputs[:, time, :] @ weight_input
+            gates += hidden @ weight_hidden
+            gates += bias
+            input_gate = sigmoid(gates[:, 0 * size : 1 * size])
+            forget_gate = sigmoid(gates[:, 1 * size : 2 * size])
+            candidate = np.tanh(gates[:, 2 * size : 3 * size])
+            output_gate = sigmoid(gates[:, 3 * size : 4 * size])
+            new_cell = forget_gate * cell + input_gate * candidate
+            new_hidden = output_gate * np.tanh(new_cell)
+            active = (lengths > time).reshape(batch_size, 1)
+            hidden = np.where(active, new_hidden, hidden)
+            cell = np.where(active, new_cell, cell)
+            outputs[:, time, :] = new_hidden
         return outputs, hidden

@@ -15,7 +15,27 @@ import numpy as np
 
 from repro.nn.tensor import Tensor
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "Module", "parameter_version", "bump_parameter_version"]
+
+# Global generation counter of parameter mutations.  Optimizer steps and
+# ``load_state_dict`` bump it; weight-dependent caches (the prediction cache
+# in :class:`repro.models.base.ThroughputModel`) compare it to the version
+# they were filled at and drop stale entries.  A single global counter can
+# only over-invalidate (another model training clears this model's cache),
+# never serve stale predictions.
+_PARAMETER_VERSION = 0
+
+
+def parameter_version() -> int:
+    """Returns the current global parameter-mutation generation."""
+    return _PARAMETER_VERSION
+
+
+def bump_parameter_version() -> int:
+    """Records that some parameters changed; returns the new generation."""
+    global _PARAMETER_VERSION
+    _PARAMETER_VERSION += 1
+    return _PARAMETER_VERSION
 
 
 class Parameter(Tensor):
@@ -101,14 +121,19 @@ class Module:
         missing = sorted(set(named) - set(state))
         if missing:
             raise KeyError(f"state dict is missing parameters: {missing}")
-        for name, parameter in named.items():
-            value = np.asarray(state[name], dtype=np.float64)
-            if value.shape != parameter.data.shape:
-                raise ValueError(
-                    f"shape mismatch for {name}: stored {value.shape}, "
-                    f"expected {parameter.data.shape}"
-                )
-            parameter.data[...] = value
+        try:
+            for name, parameter in named.items():
+                value = np.asarray(state[name], dtype=np.float64)
+                if value.shape != parameter.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: stored {value.shape}, "
+                        f"expected {parameter.data.shape}"
+                    )
+                parameter.data[...] = value
+        finally:
+            # Even a partial load mutated weights, so weight-dependent caches
+            # must be invalidated whether or not the loop completed.
+            bump_parameter_version()
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

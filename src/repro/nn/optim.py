@@ -12,7 +12,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.nn.module import Parameter
+from repro.nn.module import Parameter, bump_parameter_version
 
 __all__ = ["Optimizer", "SGD", "Adam", "clip_gradients_by_global_norm", "global_gradient_norm"]
 
@@ -57,6 +57,7 @@ class SGD(Optimizer):
             velocity *= self.momentum
             velocity -= self.learning_rate * parameter.grad
             parameter.data += velocity
+        bump_parameter_version()
 
 
 class Adam(Optimizer):
@@ -102,6 +103,7 @@ class Adam(Optimizer):
             parameter.data -= (
                 self.learning_rate * corrected_first / (np.sqrt(corrected_second) + self.epsilon)
             )
+        bump_parameter_version()
 
 
 def global_gradient_norm(parameters: Iterable[Parameter]) -> float:

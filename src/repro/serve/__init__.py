@@ -1,0 +1,27 @@
+"""Batched prediction serving.
+
+This subpackage is the seed of the production serving story: a
+:class:`PredictionService` that accepts heterogeneous prediction requests,
+coalesces them into size-bounded micro-batches, optionally shards the
+micro-batches across a pool of warm worker processes, and reassembles
+per-request responses.  It builds on the no-grad inference fast path in
+:mod:`repro.nn.tensor` and the batched :meth:`ThroughputModel.predict` API.
+"""
+
+from repro.serve.batching import (
+    MicroBatch,
+    PredictionRequest,
+    PredictionResponse,
+    coalesce_requests,
+)
+from repro.serve.service import PredictionService, ServiceConfig, ServiceStats
+
+__all__ = [
+    "MicroBatch",
+    "PredictionRequest",
+    "PredictionResponse",
+    "coalesce_requests",
+    "PredictionService",
+    "ServiceConfig",
+    "ServiceStats",
+]

@@ -1,0 +1,150 @@
+"""Request/response types and micro-batch coalescing.
+
+The serving layer speaks *canonical block text* rather than in-memory
+:class:`~repro.isa.basic_block.BasicBlock` objects: text is what a compiler
+autotuner or a network client naturally sends, it is cheap to ship across
+process boundaries, and it doubles as the cache key of the models' encode
+caches.
+
+Coalescing merges the blocks of many heterogeneous requests into a stream of
+size-bounded micro-batches.  A request with 100 blocks and three requests
+with one block each become, at ``max_batch_size=64``, two batches of 64 and
+39 blocks — each batch remembers which (request, position) every block came
+from so responses can be reassembled exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+
+__all__ = [
+    "PredictionRequest",
+    "PredictionResponse",
+    "MicroBatch",
+    "coalesce_requests",
+]
+
+_REQUEST_COUNTER = itertools.count()
+
+
+def _canonical_text(block: Union[BasicBlock, str]) -> str:
+    """Returns the canonical Intel-syntax text of a block (or passes text through)."""
+    if isinstance(block, BasicBlock):
+        return block.canonical_text()
+    return str(block)
+
+
+@dataclass(frozen=True)
+class PredictionRequest:
+    """One client request: predict the throughput of a list of blocks.
+
+    Attributes:
+        block_texts: Canonical Intel-syntax text of every block, one
+            multi-line string per block.
+        request_id: Stable identifier echoed in the response.
+        tasks: Optional subset of the model's microarchitecture heads to
+            return; ``None`` returns all of them.
+    """
+
+    block_texts: Tuple[str, ...]
+    request_id: str
+    tasks: Optional[Tuple[str, ...]] = None
+
+    @staticmethod
+    def of(
+        blocks: Sequence[Union[BasicBlock, str]],
+        request_id: Optional[str] = None,
+        tasks: Optional[Sequence[str]] = None,
+    ) -> "PredictionRequest":
+        """Builds a request from blocks or block texts."""
+        if request_id is None:
+            request_id = f"request-{next(_REQUEST_COUNTER)}"
+        return PredictionRequest(
+            block_texts=tuple(_canonical_text(block) for block in blocks),
+            request_id=request_id,
+            tasks=tuple(tasks) if tasks is not None else None,
+        )
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_texts)
+
+
+@dataclass
+class PredictionResponse:
+    """Per-request result: one throughput per block per task.
+
+    Attributes:
+        request_id: Identifier of the originating request.
+        predictions: ``{task: [num_blocks] float array}``.
+        num_blocks: Number of blocks predicted.
+        seconds: Wall-clock service time of the request (coalescing makes
+            this shared across requests of the same submission).
+    """
+
+    request_id: str
+    predictions: Dict[str, np.ndarray]
+    num_blocks: int
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class MicroBatch:
+    """A size-bounded batch of blocks drawn from one or more requests.
+
+    Attributes:
+        block_texts: The blocks of this batch, in batch order.
+        origins: ``(request_index, position)`` of every block, aligned with
+            ``block_texts``; ``request_index`` refers to the submission's
+            request list and ``position`` to the block's index within that
+            request.
+    """
+
+    block_texts: Tuple[str, ...]
+    origins: Tuple[Tuple[int, int], ...]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_texts)
+
+
+def coalesce_requests(
+    requests: Sequence[PredictionRequest], max_batch_size: int
+) -> List[MicroBatch]:
+    """Merges the blocks of ``requests`` into size-bounded micro-batches.
+
+    Blocks keep their submission order (request order, then block order), so
+    small requests arriving together share batches and large requests are
+    split.  Empty requests contribute nothing.
+
+    Args:
+        requests: The requests of one submission.
+        max_batch_size: Upper bound on the blocks per micro-batch.
+
+    Returns:
+        Micro-batches covering every block exactly once.
+    """
+    if max_batch_size < 1:
+        raise ValueError("max_batch_size must be positive")
+    texts: List[str] = []
+    origins: List[Tuple[int, int]] = []
+    for request_index, request in enumerate(requests):
+        for position, text in enumerate(request.block_texts):
+            texts.append(text)
+            origins.append((request_index, position))
+    batches: List[MicroBatch] = []
+    for start in range(0, len(texts), max_batch_size):
+        stop = start + max_batch_size
+        batches.append(
+            MicroBatch(
+                block_texts=tuple(texts[start:stop]),
+                origins=tuple(origins[start:stop]),
+            )
+        )
+    return batches

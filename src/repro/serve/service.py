@@ -1,0 +1,342 @@
+"""The batched prediction service.
+
+:class:`PredictionService` is the serving front end of the reproduction:
+
+* **Warm-start model loading** — the model is constructed once (optionally
+  restoring a checkpoint saved by :func:`repro.nn.save_checkpoint`) and then
+  kept warm, so request latency never includes construction cost.
+* **Micro-batch coalescing** — heterogeneous requests submitted together are
+  merged into size-bounded micro-batches
+  (:func:`repro.serve.batching.coalesce_requests`), which keeps the numpy
+  kernels dense regardless of how clients slice their traffic.
+* **Worker sharding** — with ``num_workers > 0`` the micro-batches are
+  sharded across a pool of processes, each holding its own warm model
+  replica; with ``num_workers = 0`` everything runs in-process, which is
+  the right choice for unit tests and for callers that already manage
+  their own parallelism.
+
+The service speaks canonical block text at the boundary, so it composes
+with any transport (CLI, RPC, files) without pulling one in here.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.datasets import TARGET_MICROARCHITECTURES
+from repro.isa.basic_block import BasicBlock
+from repro.models import create_model
+from repro.models.base import ThroughputModel
+from repro.nn.serialization import load_checkpoint
+from repro.serve.batching import (
+    PredictionRequest,
+    PredictionResponse,
+    coalesce_requests,
+)
+from repro.utils.cache import LRUCache
+
+__all__ = ["ServiceConfig", "ServiceStats", "PredictionService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of a :class:`PredictionService`.
+
+    Attributes:
+        model_name: ``"granite"``, ``"ithemal"`` or ``"ithemal+"``.
+        tasks: Microarchitecture heads of the served model; ``None`` uses
+            the model family's default heads.
+        small_model: Serve the reduced CPU-friendly configuration.
+        seed: Weight initialisation seed (all worker replicas share it, so
+            they are numerically identical).
+        checkpoint_path: Optional ``.npz`` checkpoint restored into every
+            replica at warm-start (the trained weights to serve).
+        max_batch_size: Upper bound on blocks per micro-batch.
+        num_workers: Worker processes; 0 serves in-process.
+    """
+
+    model_name: str = "granite"
+    tasks: Optional[Tuple[str, ...]] = None
+    small_model: bool = True
+    seed: int = 0
+    checkpoint_path: Optional[str] = None
+    max_batch_size: int = 64
+    num_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters of one service instance."""
+
+    requests: int = 0
+    blocks: int = 0
+    batches: int = 0
+    seconds: float = 0.0
+
+    @property
+    def blocks_per_second(self) -> float:
+        return self.blocks / self.seconds if self.seconds > 0 else 0.0
+
+
+def _build_model(config: ServiceConfig) -> ThroughputModel:
+    """Constructs (and warm-starts) one model replica from the config."""
+    kwargs = {}
+    if config.tasks is not None:
+        kwargs["tasks"] = config.tasks
+    model = create_model(
+        config.model_name, small=config.small_model, seed=config.seed, **kwargs
+    )
+    if config.checkpoint_path is not None:
+        load_checkpoint(model, config.checkpoint_path)
+    return model
+
+
+# Per-worker warm model replica and parse cache, installed by the pool
+# initializer.  Module-level globals are the standard multiprocessing idiom:
+# they are populated once per worker process, not shared between them.
+_WORKER_MODEL: Optional[ThroughputModel] = None
+_WORKER_PARSE_CACHE: Optional[LRUCache] = None
+
+#: Capacity of the text -> parsed BasicBlock caches (service and workers).
+_PARSE_CACHE_SIZE = 8192
+
+
+def _initialize_worker(config: ServiceConfig) -> None:
+    global _WORKER_MODEL, _WORKER_PARSE_CACHE
+    _WORKER_MODEL = _build_model(config)
+    _WORKER_PARSE_CACHE = LRUCache(_PARSE_CACHE_SIZE)
+
+
+def _predict_texts(
+    model: ThroughputModel,
+    block_texts: Sequence[str],
+    parse_cache: Optional[LRUCache] = None,
+) -> Dict[str, np.ndarray]:
+    """Parses block texts (through ``parse_cache`` when given) and predicts.
+
+    Caching the parsed blocks keeps steady-state serving of repeated texts
+    from paying parse + render cost before the model's prediction cache can
+    even be consulted.
+    """
+    blocks = []
+    for text in block_texts:
+        block = parse_cache.get(text) if parse_cache is not None else None
+        if block is None:
+            block = BasicBlock.from_text(text)
+            if parse_cache is not None:
+                parse_cache.put(text, block)
+        blocks.append(block)
+    return model.predict(blocks)
+
+
+def _worker_predict(block_texts: Tuple[str, ...]) -> Dict[str, np.ndarray]:
+    assert _WORKER_MODEL is not None, "worker used before initialization"
+    return _predict_texts(_WORKER_MODEL, block_texts, _WORKER_PARSE_CACHE)
+
+
+class PredictionService:
+    """Coalescing, sharding prediction front end over a throughput model.
+
+    Args:
+        config: Service configuration.
+        model: Optional pre-built (e.g. freshly trained) model to serve
+            in-process.  Only valid with ``num_workers=0``; worker processes
+            always build their replicas from the config so that they can be
+            respawned.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        model: Optional[ThroughputModel] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        if model is not None and self.config.num_workers > 0:
+            raise ValueError(
+                "a pre-built model can only be served in-process; use "
+                "checkpoint_path to ship weights to worker processes"
+            )
+        self._model = model
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._parse_cache: LRUCache = LRUCache(_PARSE_CACHE_SIZE)
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------ #
+    # Warm start and lifecycle.
+    # ------------------------------------------------------------------ #
+    @property
+    def model(self) -> ThroughputModel:
+        """The in-process model replica (built on first access)."""
+        if self._model is None:
+            self._model = _build_model(self.config)
+        return self._model
+
+    def warm_start(self) -> "PredictionService":
+        """Eagerly builds the model (and worker pool), returning ``self``.
+
+        After ``warm_start`` returns, the first request pays no
+        construction, checkpoint-load or worker-spawn cost.
+        """
+        if self.config.num_workers > 0:
+            self._ensure_pool()
+        else:
+            _ = self.model
+        return self
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._validate_worker_config()
+            context = multiprocessing.get_context()
+            self._pool = context.Pool(
+                processes=self.config.num_workers,
+                initializer=_initialize_worker,
+                initargs=(self.config,),
+            )
+        return self._pool
+
+    def _validate_worker_config(self) -> None:
+        """Catches configs that would crash the worker initializer.
+
+        ``multiprocessing.Pool`` endlessly respawns workers whose
+        initializer raises, so a bad model name or a missing checkpoint
+        would livelock ``submit`` instead of surfacing an error; validate
+        those in the parent before spawning anything.
+        """
+        from repro.models import MODEL_NAMES
+
+        if self.config.model_name.lower() not in MODEL_NAMES:
+            raise ValueError(
+                f"unknown model {self.config.model_name!r}; "
+                f"expected one of {MODEL_NAMES}"
+            )
+        if self.config.checkpoint_path is not None and not os.path.exists(
+            self.config.checkpoint_path
+        ):
+            raise FileNotFoundError(
+                f"checkpoint not found: {self.config.checkpoint_path}"
+            )
+
+    def close(self) -> None:
+        """Shuts down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "PredictionService":
+        return self.warm_start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Serving.
+    # ------------------------------------------------------------------ #
+    def _served_tasks(self) -> Tuple[str, ...]:
+        """The microarchitecture heads the served model exposes.
+
+        Used to validate task filters when a submission contains no blocks
+        (so nothing came back from the model).  In worker mode the parent
+        process holds no model, but every replica is built from the config,
+        whose ``tasks=None`` resolves to the model families' shared default
+        heads.
+        """
+        if self._model is not None or self.config.num_workers == 0:
+            return tuple(self.model.tasks)
+        if self.config.tasks is not None:
+            return tuple(self.config.tasks)
+        return tuple(TARGET_MICROARCHITECTURES)
+
+    def submit(self, requests: Sequence[PredictionRequest]) -> List[PredictionResponse]:
+        """Serves a list of heterogeneous requests.
+
+        The requests' blocks are coalesced into micro-batches of at most
+        ``config.max_batch_size`` blocks, predicted (sharded across the
+        worker pool when one is configured), and reassembled into one
+        response per request, in request order.
+        """
+        start = time.perf_counter()
+        # Fail fast on unknown task filters, before any prediction work (and
+        # before spawning workers) is spent on the submission.
+        served_tasks = self._served_tasks()
+        for request in requests:
+            if request.tasks is not None:
+                unknown = sorted(set(request.tasks) - set(served_tasks))
+                if unknown:
+                    raise KeyError(
+                        f"request {request.request_id!r} asked for unknown "
+                        f"tasks: {unknown}"
+                    )
+
+        batches = coalesce_requests(requests, self.config.max_batch_size)
+        if batches:
+            if self.config.num_workers > 0:
+                pool = self._ensure_pool()
+                batch_results = pool.map(
+                    _worker_predict, [batch.block_texts for batch in batches]
+                )
+            else:
+                model = self.model
+                batch_results = [
+                    _predict_texts(model, batch.block_texts, self._parse_cache)
+                    for batch in batches
+                ]
+            tasks = tuple(batch_results[0].keys())
+        else:
+            batch_results = []
+            tasks = served_tasks
+
+        # Reassemble per-request arrays from the (request, position)
+        # origins: scatter every batch into one flat per-task array indexed
+        # by global block position (request offset + position), then slice
+        # per request.  Fully vectorized so reassembly stays negligible next
+        # to the (possibly cached) model work.
+        request_offsets = np.cumsum([0] + [request.num_blocks for request in requests])
+        total_blocks = int(request_offsets[-1])
+        flat: Dict[str, np.ndarray] = {
+            task: np.zeros(total_blocks) for task in tasks
+        }
+        for batch, result in zip(batches, batch_results):
+            origins = np.asarray(batch.origins, dtype=np.int64).reshape(-1, 2)
+            positions = request_offsets[origins[:, 0]] + origins[:, 1]
+            for task in tasks:
+                flat[task][positions] = np.asarray(result[task])
+
+        elapsed = time.perf_counter() - start
+        responses: List[PredictionResponse] = []
+        for index, request in enumerate(requests):
+            begin, end = request_offsets[index], request_offsets[index + 1]
+            request_tasks = request.tasks if request.tasks is not None else tasks
+            predictions = {task: flat[task][begin:end].copy() for task in request_tasks}
+            responses.append(
+                PredictionResponse(
+                    request_id=request.request_id,
+                    predictions=predictions,
+                    num_blocks=request.num_blocks,
+                    seconds=elapsed,
+                )
+            )
+        self.stats.requests += len(requests)
+        self.stats.blocks += total_blocks
+        self.stats.batches += len(batches)
+        self.stats.seconds += elapsed
+        return responses
+
+    def predict_blocks(
+        self, blocks: Sequence[Union[BasicBlock, str]]
+    ) -> Dict[str, np.ndarray]:
+        """Convenience wrapper: one request, returns its prediction arrays."""
+        request = PredictionRequest.of(blocks)
+        return self.submit([request])[0].predictions

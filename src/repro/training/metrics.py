@@ -17,6 +17,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 from scipy import stats
 
+from repro.nn.losses import ZERO_TARGET_THRESHOLD
+
 __all__ = [
     "RegressionMetrics",
     "compute_metrics",
@@ -26,6 +28,13 @@ __all__ = [
     "prediction_heatmap",
     "relative_error_histogram",
 ]
+
+
+# Targets with |value| <= ZERO_TARGET_THRESHOLD (imported from the training
+# losses so the exclusion sets stay in sync) are excluded from the
+# relative-error metrics; a single zero target would otherwise contribute an
+# ``|error| / epsilon`` term of order 1e9, poisoning the Table 5/6 MAPE
+# columns.
 
 
 def _validate(predicted: np.ndarray, actual: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -41,10 +50,13 @@ def _validate(predicted: np.ndarray, actual: np.ndarray) -> Tuple[np.ndarray, np
 
 
 def mape(predicted: np.ndarray, actual: np.ndarray) -> float:
-    """Mean absolute percentage error, as a fraction (0.069 for 6.9 %)."""
+    """Mean absolute percentage error over non-zero targets, as a fraction."""
     predicted, actual = _validate(predicted, actual)
-    denominator = np.maximum(np.abs(actual), 1e-9)
-    return float(np.mean(np.abs(actual - predicted) / denominator))
+    valid = np.abs(actual) > ZERO_TARGET_THRESHOLD
+    if not np.any(valid):
+        return 0.0
+    errors = np.abs(actual[valid] - predicted[valid]) / np.abs(actual[valid])
+    return float(np.mean(errors))
 
 
 def spearman_correlation(predicted: np.ndarray, actual: np.ndarray) -> float:
@@ -147,8 +159,8 @@ def relative_error_histogram(
         ``(counts, bin_edges)`` as produced by ``numpy.histogram``.
     """
     predicted, actual = _validate(predicted, actual)
-    denominator = np.maximum(np.abs(actual), 1e-9)
-    relative_error = (predicted - actual) / denominator
+    valid = np.abs(actual) > ZERO_TARGET_THRESHOLD
+    relative_error = (predicted[valid] - actual[valid]) / np.abs(actual[valid])
     clipped = np.clip(relative_error, -limit, limit)
     return np.histogram(clipped, bins=num_bins, range=(-limit, limit))
 

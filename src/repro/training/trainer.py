@@ -86,18 +86,14 @@ def evaluate_model(
     tasks = tuple(tasks if tasks is not None else model.tasks)
     if len(dataset) == 0:
         raise ValueError("cannot evaluate on an empty dataset")
-    predictions: Dict[str, List[np.ndarray]] = {task: [] for task in tasks}
-    blocks = dataset.blocks()
-    for start in range(0, len(blocks), batch_size):
-        chunk = blocks[start : start + batch_size]
-        chunk_predictions = model.predict(chunk)
-        for task in tasks:
-            predictions[task].append(chunk_predictions[task])
+    # The batched fast-path API micro-batches internally; repeated
+    # evaluations of the same dataset (the validation loop) additionally hit
+    # the model's encode caches.
+    predictions = model.predict(dataset.blocks(), batch_size=batch_size)
     results: Dict[str, RegressionMetrics] = {}
     for task in tasks:
-        predicted = np.concatenate(predictions[task])
         actual = dataset.throughputs(task)
-        results[task] = compute_metrics(predicted, actual)
+        results[task] = compute_metrics(predictions[task], actual)
     return results
 
 

@@ -1,0 +1,68 @@
+"""A minimal LRU cache with hit/miss accounting.
+
+``functools.lru_cache`` memoizes functions, but the models need an *object*
+cache they can key by canonical block text, inspect (hit rates feed the
+throughput benchmarks) and clear explicitly, so this module provides a tiny
+ordered-dict based implementation instead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, TypeVar
+
+__all__ = ["LRUCache"]
+
+KeyT = TypeVar("KeyT", bound=Hashable)
+ValueT = TypeVar("ValueT")
+
+
+class LRUCache(Generic[KeyT, ValueT]):
+    """Least-recently-used cache bounded to ``maxsize`` entries.
+
+    A ``maxsize`` of zero (or a negative value) disables the cache: ``get``
+    always misses and ``put`` is a no-op, which lets callers turn caching
+    off through configuration without branching at every call site.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[KeyT, ValueT]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: KeyT) -> bool:
+        return key in self._entries
+
+    def get(self, key: KeyT) -> Optional[ValueT]:
+        """Returns the cached value for ``key`` (marking it recent) or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: KeyT, value: ValueT) -> None:
+        """Inserts ``key``, evicting the least recently used entry if full."""
+        if self.maxsize <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Removes every entry (hit/miss counters are preserved)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

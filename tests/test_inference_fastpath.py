@@ -1,0 +1,261 @@
+"""Regression tests for the no-grad inference fast path.
+
+The fast path dispatches model forwards to raw numpy arrays whenever
+gradients are disabled (no autodiff tape, no Tensor wrappers).  These tests
+pin down the properties the eval harness and the serving layer rely on:
+
+* batched predictions are numerically identical to per-block predictions
+  and to the tape-tensor ("seed") path, for both model families;
+* ``no_grad`` restores gradient recording even when the body raises;
+* ``predict`` handles empty inputs and micro-batching;
+* the encode caches return correct results after retraining changes the
+  weights (graphs depend only on the block text, never on the weights).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import build_ithemal_like_dataset
+from repro.data.synthetic import BlockGenerator
+from repro.models import create_model
+from repro.models.config import TrainingConfig
+from repro.nn import losses
+from repro.nn.tensor import (
+    Tensor,
+    fast_path_active,
+    is_grad_enabled,
+    no_grad,
+    use_fast_path,
+)
+from repro.training.trainer import Trainer
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return BlockGenerator(seed=11).generate_blocks(48)
+
+
+@pytest.fixture(scope="module", params=["granite", "ithemal", "ithemal+"])
+def model(request):
+    return create_model(request.param, small=True, seed=3)
+
+
+class TestNoGradSwitch:
+    def test_no_grad_disables_and_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            assert fast_path_active()
+        assert is_grad_enabled()
+        assert not fast_path_active()
+
+    def test_no_grad_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_use_fast_path_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_fast_path(False):
+                raise RuntimeError("boom")
+        with no_grad():
+            assert fast_path_active()
+
+    def test_gradients_flow_after_fast_path_inference(self, blocks):
+        """A fast-path predict must not poison subsequent training steps."""
+        model = create_model("granite", small=True, seed=0)
+        model.predict(blocks[:4])
+        batch = model.encode_blocks(blocks[:4])
+        predictions = model.forward(batch)
+        loss = predictions[model.tasks[0]].sum()
+        assert isinstance(loss, Tensor)
+        model.zero_grad()
+        loss.backward()
+        assert any(p.grad is not None for p in model.parameters())
+
+
+class TestPredictBatching:
+    def test_empty_predict(self, model):
+        predictions = model.predict([])
+        assert set(predictions) == set(model.tasks)
+        for task in model.tasks:
+            assert predictions[task].shape == (0,)
+
+    def test_invalid_batch_size_rejected(self, model, blocks):
+        with pytest.raises(ValueError):
+            model.predict(blocks[:2], batch_size=0)
+
+    def test_batched_matches_single(self, model, blocks):
+        batched = model.predict(blocks)
+        for task in model.tasks:
+            assert batched[task].shape == (len(blocks),)
+        singles = {task: [] for task in model.tasks}
+        for block in blocks:
+            single = model.predict([block])
+            for task in model.tasks:
+                singles[task].append(single[task][0])
+        for task in model.tasks:
+            np.testing.assert_allclose(batched[task], np.array(singles[task]), rtol=1e-9)
+
+    def test_micro_batching_matches_one_batch(self, model, blocks):
+        full = model.predict(blocks)
+        micro = model.predict(blocks, batch_size=7)
+        for task in model.tasks:
+            np.testing.assert_allclose(full[task], micro[task], rtol=1e-12)
+
+    def test_fast_path_matches_tape_path(self, model, blocks):
+        fast = model.predict(blocks)
+        with use_fast_path(False):
+            tape = model.predict(blocks)
+        for task in model.tasks:
+            np.testing.assert_allclose(fast[task], tape[task], rtol=1e-12)
+
+    def test_fast_path_matches_grad_enabled_forward(self, model, blocks):
+        fast = model.predict(blocks)
+        predictions = model.forward(model.encode_blocks(blocks))
+        for task in model.tasks:
+            np.testing.assert_allclose(
+                fast[task], predictions[task].numpy().reshape(-1), rtol=1e-12
+            )
+
+
+class TestEncodeCache:
+    def test_cache_hits_on_repeated_blocks(self, blocks):
+        model = create_model("granite", small=True, seed=0)
+        model.prediction_cache_size = 0  # exercise the encode caches
+        model.predict(blocks)
+        stats_after_miss = model.encode_cache_stats
+        assert stats_after_miss["graph_misses"] == len(blocks)
+        model.predict(blocks)
+        stats_after_hit = model.encode_cache_stats
+        assert stats_after_hit["batch_hits"] >= 1
+        # The batch-level cache absorbed the lookup; no new graph builds.
+        assert stats_after_hit["graph_misses"] == stats_after_miss["graph_misses"]
+
+    def test_cache_cleared(self, blocks):
+        model = create_model("granite", small=True, seed=0)
+        model.prediction_cache_size = 0
+        model.predict(blocks[:4])
+        model.clear_encode_cache()
+        model.predict(blocks[:4])
+        assert model.encode_cache_stats["graph_misses"] == 8
+
+    def test_duplicate_blocks_computed_once(self, blocks):
+        model = create_model("granite", small=True, seed=0)
+        repeated = [blocks[0], blocks[1], blocks[0], blocks[0], blocks[1]]
+        predictions = model.predict(repeated)
+        # Only the two distinct blocks were encoded and forwarded.
+        assert model.encode_cache_stats["graph_misses"] == 2
+        for task in model.tasks:
+            assert predictions[task][0] == predictions[task][2] == predictions[task][3]
+            assert predictions[task][1] == predictions[task][4]
+        expected = model.predict([blocks[0], blocks[1]])
+        for task in model.tasks:
+            np.testing.assert_allclose(
+                predictions[task][:2], expected[task], rtol=1e-12
+            )
+
+    def test_caches_disabled_context(self, blocks):
+        model = create_model("granite", small=True, seed=0)
+        model.predict(blocks[:4])
+        with model.caches_disabled():
+            model.predict(blocks[:4])
+            assert model.encode_cache_stats["graph_misses"] >= 8
+            assert len(model._graph_cache) == 0
+        # Capacities restored afterwards.
+        assert model.prediction_cache_size > 0
+        assert model._graph_cache.maxsize > 0
+
+    def test_prediction_cache_serves_repeats(self, blocks):
+        model = create_model("granite", small=True, seed=0)
+        first = model.predict(blocks)
+        second = model.predict(blocks)  # served entirely from the cache
+        stats = model.prediction_cache_stats
+        assert stats["hits"] >= len(blocks)
+        for task in model.tasks:
+            np.testing.assert_array_equal(first[task], second[task])
+
+    def test_prediction_cache_invalidated_by_weight_update(self, blocks):
+        model = create_model("granite", small=True, seed=0)
+        before = model.predict(blocks[:4])
+        # Any state-dict load counts as a weight update and must drop the
+        # cached predictions.
+        state = model.state_dict()
+        for name in state:
+            state[name] = state[name] + 0.05
+        model.load_state_dict(state)
+        after = model.predict(blocks[:4])
+        assert any(
+            not np.allclose(before[task], after[task]) for task in model.tasks
+        )
+        fresh = create_model("granite", small=True, seed=0)
+        fresh.load_state_dict(state)
+        expected = fresh.predict(blocks[:4])
+        for task in model.tasks:
+            np.testing.assert_allclose(after[task], expected[task], rtol=1e-9)
+
+    @pytest.mark.parametrize("name", ["granite", "ithemal+"])
+    def test_cache_correct_after_retraining(self, name):
+        """Warm caches must keep predictions correct after weights change."""
+        dataset = build_ithemal_like_dataset(64, seed=5)
+        train_blocks = dataset.blocks()
+        model = create_model(name, small=True, seed=1)
+        before = model.predict(train_blocks)
+
+        trainer = Trainer(model, TrainingConfig(num_steps=5, batch_size=16, seed=0))
+        trainer.train(dataset)
+        after = model.predict(train_blocks)  # served from warm encode caches
+        assert any(
+            not np.allclose(before[task], after[task]) for task in model.tasks
+        ), "training changed no prediction; cache test is vacuous"
+
+        fresh = create_model(name, small=True, seed=1)
+        fresh.load_state_dict(model.state_dict())
+        expected = fresh.predict(train_blocks)  # cold caches, same weights
+        for task in model.tasks:
+            np.testing.assert_allclose(after[task], expected[task], rtol=1e-9)
+
+
+class TestLossZeroTargetGuard:
+    def test_mape_ignores_zero_targets(self):
+        predicted = Tensor(np.array([2.0, 5.0, 1.0]))
+        actual = Tensor(np.array([1.0, 0.0, 2.0]))
+        value = float(losses.mean_absolute_percentage_error(predicted, actual).item())
+        # mean over the two valid targets: (1/1 + 1/2) / 2
+        assert value == pytest.approx(0.75, rel=1e-6)
+
+    def test_mape_all_zero_targets_is_finite_zero(self):
+        predicted = Tensor(np.array([3.0, -4.0]))
+        actual = Tensor(np.zeros(2))
+        value = float(losses.mean_absolute_percentage_error(predicted, actual).item())
+        assert value == 0.0
+
+    @pytest.mark.parametrize(
+        "loss_name", ["mape", "relative_mse", "relative_huber"]
+    )
+    def test_relative_losses_share_the_guard(self, loss_name):
+        loss_fn = losses.LOSS_FUNCTIONS[loss_name]
+        predicted = Tensor(np.array([2.0, 7.5, 1.0]))
+        with_zero = float(
+            loss_fn(predicted, Tensor(np.array([1.0, 0.0, 2.0]))).item()
+        )
+        # A zero target must not contribute an |error|/epsilon ~ 1e6 term.
+        assert with_zero < 1e3
+
+    def test_guarded_mape_still_differentiable(self):
+        predicted = Tensor(np.array([2.0, 5.0, 1.0]), requires_grad=True)
+        actual = Tensor(np.array([1.0, 0.0, 2.0]))
+        loss = losses.mean_absolute_percentage_error(predicted, actual)
+        loss.backward()
+        assert predicted.grad is not None
+        # No gradient flows through the zero-target entry.
+        assert predicted.grad[1] == 0.0
+        assert predicted.grad[0] != 0.0

@@ -9,6 +9,8 @@ import numpy as np
 import pytest
 
 from repro.data.datasets import build_ithemal_like_dataset
+
+pytestmark = pytest.mark.slow  # full training loops; skipped by -m "not slow"
 from repro.models import create_model
 from repro.models.config import GraniteConfig, TrainingConfig
 from repro.models.granite import GraniteModel

@@ -30,6 +30,21 @@ class TestMape:
         with pytest.raises(ValueError):
             mape(np.zeros(0), np.zeros(0))
 
+    def test_zero_targets_excluded(self):
+        """A zero-throughput target must not poison the mean (Table 5/6)."""
+        predicted = np.array([90.0, 123456.0, 110.0])
+        actual = np.array([100.0, 0.0, 100.0])
+        assert mape(predicted, actual) == pytest.approx(0.1)
+
+    def test_all_zero_targets_finite(self):
+        assert mape(np.array([5.0, -3.0]), np.zeros(2)) == 0.0
+
+    def test_relative_error_histogram_ignores_zero_targets(self):
+        counts, _ = relative_error_histogram(
+            np.array([90.0, 1e9, 110.0]), np.array([100.0, 0.0, 100.0])
+        )
+        assert counts.sum() == 2
+
 
 class TestCorrelations:
     def test_perfect_rank_correlation(self):
