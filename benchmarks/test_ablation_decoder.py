@@ -7,7 +7,6 @@ the extra non-linearity relieves the LSTM of having to model the throughput
 computation itself.
 """
 
-import pytest
 
 from repro.eval import paper_reference as paper
 from repro.eval.ablations import DecoderAblationResult

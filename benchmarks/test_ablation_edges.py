@@ -9,7 +9,6 @@ graph is compared against a degraded graph that keeps only the sequential
 """
 
 import numpy as np
-import pytest
 
 from repro.eval.ablations import run_edge_ablation
 

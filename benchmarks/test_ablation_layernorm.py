@@ -9,7 +9,6 @@ and checks that removing it does not help and costs accuracy on average.
 """
 
 import numpy as np
-import pytest
 
 from repro.data.datasets import TARGET_MICROARCHITECTURES
 from repro.eval import paper_reference as paper

@@ -9,7 +9,6 @@ global feature, and compares accuracy and error balance.
 """
 
 import numpy as np
-import pytest
 
 from repro.eval.ablations import run_readout_ablation
 

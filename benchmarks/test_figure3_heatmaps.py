@@ -8,7 +8,6 @@ version of the plot.
 """
 
 import numpy as np
-import pytest
 
 from repro.data.datasets import TARGET_MICROARCHITECTURES
 from repro.eval.figures import compute_heatmaps, render_heatmap_ascii

@@ -8,7 +8,6 @@ fraction (blocks with predicted < measured) of the two model families.
 """
 
 import numpy as np
-import pytest
 
 from repro.data.datasets import TARGET_MICROARCHITECTURES
 from repro.eval.figures import compute_error_distributions

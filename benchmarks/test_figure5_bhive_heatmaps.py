@@ -6,8 +6,6 @@ balanced split between over- and under-estimation, on the 5x smaller
 dataset (hence sparser heatmaps).
 """
 
-import numpy as np
-import pytest
 
 from repro.data.datasets import TARGET_MICROARCHITECTURES
 from repro.eval.figures import compute_error_distributions, compute_heatmaps, render_heatmap_ascii

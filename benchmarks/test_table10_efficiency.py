@@ -11,7 +11,6 @@ Paper claims:
   three single-task models.  This claim is asserted.
 """
 
-import pytest
 
 from repro.eval import paper_reference as paper
 from repro.eval.timing import run_table10

@@ -8,7 +8,6 @@ iteration of message passing is needed for the best accuracy.
 """
 
 import numpy as np
-import pytest
 
 from repro.data.datasets import TARGET_MICROARCHITECTURES
 from repro.eval import paper_reference as paper

@@ -8,7 +8,6 @@ the exception — its dot-product decoder is too weak to benefit.)
 """
 
 import numpy as np
-import pytest
 
 from repro.data.datasets import TARGET_MICROARCHITECTURES
 from repro.eval import paper_reference as paper

@@ -8,7 +8,6 @@ of the high dynamic range of the throughput values (MSE-trained MAPE is
 """
 
 import numpy as np
-import pytest
 
 from repro.data.datasets import TARGET_MICROARCHITECTURES
 from repro.eval import paper_reference as paper

@@ -16,8 +16,12 @@ Run with::
 
 from __future__ import annotations
 
-import argparse
+import os
 import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import argparse
 
 from repro.graph import build_block_graph
 from repro.isa import BasicBlock

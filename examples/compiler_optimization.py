@@ -23,6 +23,11 @@ Run with::
 
 from __future__ import annotations
 
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
 import argparse
 from typing import Dict, List, Tuple
 

@@ -17,6 +17,11 @@ Run it with::
 
 from __future__ import annotations
 
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
 import argparse
 
 from repro.data import build_ithemal_like_dataset

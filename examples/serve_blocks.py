@@ -7,11 +7,43 @@ Demonstrates the serving stack added for the deployable-cost-model story:
 2. warm-start a :class:`repro.serve.PredictionService` from that checkpoint,
 3. submit heterogeneous requests (different clients, different batch sizes)
    that the service coalesces into size-bounded micro-batches,
-4. print per-request predictions and the service throughput counters.
+4. stand an :class:`repro.serve.AsyncPredictionService` front end in front
+   of the same service and stream prioritised requests through its queue,
+5. print per-request predictions and the service throughput counters.
+
+Serving architecture
+--------------------
+
+The serving stack has two front ends over one execution core:
+
+* **Synchronous** (:class:`repro.serve.PredictionService`): ``submit()``
+  takes a list of requests, coalesces their blocks into micro-batches of at
+  most ``max_batch_size``, predicts, and reassembles per-request responses
+  before returning.  Simple and deterministic — but every call flushes on
+  its own, so independent callers never share a batch.
+
+* **Asynchronous** (:class:`repro.serve.AsyncPredictionService`):
+  producers ``submit()`` single requests and immediately get futures; a
+  dispatcher thread drains the shared bounded queue and flushes a
+  micro-batch when ``max_batch_size`` blocks are pending OR the oldest
+  request has waited ``max_latency_ms`` — whichever fires first.  Those two
+  knobs *are* the latency/throughput trade-off.  Requests carry priorities
+  (:class:`repro.serve.Priority`): interactive traffic jumps queued bulk
+  work.  The queue is bounded in blocks; the ``backpressure`` policy either
+  blocks producers or rejects with :class:`repro.serve.QueueFullError`.
+
+Execution beneath either front end is controlled by ``ServiceConfig``:
+``num_workers=0`` runs in-process; ``num_workers=N`` shards work across N
+warm worker processes.  With ``sharding="hash"`` (the default) each block
+is routed by a stable hash of its canonical text, so every worker's encode
+and prediction caches own a fixed partition of the key space — repeated
+traffic stays hot no matter how clients slice it.  Crashed workers are
+respawned automatically and their in-flight work is resubmitted.
 
 Run it with::
 
-    python examples/serve_blocks.py [--steps 100] [--workers 0]
+    python examples/serve_blocks.py [--steps 100] [--workers 0] \
+        [--max-latency-ms 10]
 """
 
 from __future__ import annotations
@@ -27,8 +59,80 @@ from repro.data.datasets import build_ithemal_like_dataset
 from repro.models import create_model
 from repro.models.config import TrainingConfig
 from repro.nn.serialization import save_checkpoint
-from repro.serve import PredictionRequest, PredictionService, ServiceConfig
+from repro.serve import (
+    AsyncPredictionService,
+    AsyncServiceConfig,
+    PredictionRequest,
+    PredictionService,
+    Priority,
+    ServiceConfig,
+)
 from repro.training.trainer import Trainer
+
+
+def demo_synchronous(service: PredictionService, test_blocks, tasks) -> None:
+    """One synchronous submission of heterogeneous client requests."""
+    bulk = max(len(test_blocks) - 4, 1)
+    requests = [
+        PredictionRequest.of(test_blocks[:bulk], request_id="sweep"),
+        PredictionRequest.of(test_blocks[bulk : bulk + 1], request_id="interactive"),
+        PredictionRequest.of(
+            test_blocks[bulk + 1 :], request_id="tuner", tasks=tasks[:1]
+        ),
+    ]
+    responses = service.submit(requests)
+    for response in responses:
+        preview = {
+            task: [round(float(value), 2) for value in values[:3]]
+            for task, values in response.predictions.items()
+        }
+        print(
+            f"  {response.request_id}: {response.num_blocks} blocks, "
+            f"first predictions {preview}"
+        )
+    stats = service.stats
+    print(
+        f"served {stats.blocks} blocks in {stats.batches} micro-batches "
+        f"({stats.blocks_per_second:.0f} blocks/s)"
+    )
+
+
+def demo_asynchronous(
+    service: PredictionService, test_blocks, max_latency_ms: float
+) -> None:
+    """Streams prioritised requests through the queued async front end."""
+    config = AsyncServiceConfig(
+        max_batch_size=32, max_latency_ms=max_latency_ms, max_queue_blocks=1024
+    )
+    with AsyncPredictionService(config, service=service) as front_end:
+        futures = {}
+        # Bulk traffic first, then an interactive request that jumps it.
+        for index in range(0, len(test_blocks) - 2, 4):
+            request = PredictionRequest.of(
+                test_blocks[index : index + 4], request_id=f"bulk-{index // 4}"
+            )
+            futures[request.request_id] = front_end.submit(
+                request, priority=Priority.BULK
+            )
+        interactive = PredictionRequest.of(
+            test_blocks[-2:], request_id="interactive"
+        )
+        futures[interactive.request_id] = front_end.submit(
+            interactive, priority=Priority.INTERACTIVE
+        )
+        for request_id, future in futures.items():
+            future.result(timeout=120.0)
+        stats = front_end.stats
+        print(
+            f"  async: {stats.requests} requests -> {stats.flushes} flushes "
+            f"(size={stats.size_flushes}, deadline={stats.deadline_flushes}), "
+            f"mean {stats.mean_flush_blocks:.1f} blocks/flush"
+        )
+        print(
+            f"  flush wait p50={stats.flush_wait_percentile(0.5) * 1e3:.2f} ms "
+            f"p99={stats.flush_wait_percentile(0.99) * 1e3:.2f} ms "
+            f"(deadline {max_latency_ms} ms)"
+        )
 
 
 def main() -> None:
@@ -37,6 +141,12 @@ def main() -> None:
     parser.add_argument("--blocks", type=int, default=300, help="dataset size")
     parser.add_argument(
         "--workers", type=int, default=0, help="worker processes (0 = in-process)"
+    )
+    parser.add_argument(
+        "--max-latency-ms",
+        type=float,
+        default=10.0,
+        help="flush deadline of the async front end",
     )
     arguments = parser.parse_args()
 
@@ -61,33 +171,14 @@ def main() -> None:
         )
         print(
             f"warm-starting service (workers={config.num_workers}, "
-            f"max_batch_size={config.max_batch_size}) ..."
+            f"sharding={config.sharding}, max_batch_size={config.max_batch_size}) ..."
         )
         with PredictionService(config) as service:
             test_blocks = splits.test.blocks()
-            bulk = max(len(test_blocks) - 4, 1)
-            requests = [
-                PredictionRequest.of(test_blocks[:bulk], request_id="sweep"),
-                PredictionRequest.of(test_blocks[bulk : bulk + 1], request_id="interactive"),
-                PredictionRequest.of(
-                    test_blocks[bulk + 1 :], request_id="tuner", tasks=model.tasks[:1]
-                ),
-            ]
-            responses = service.submit(requests)
-            for response in responses:
-                preview = {
-                    task: [round(float(value), 2) for value in values[:3]]
-                    for task, values in response.predictions.items()
-                }
-                print(
-                    f"  {response.request_id}: {response.num_blocks} blocks, "
-                    f"first predictions {preview}"
-                )
-            stats = service.stats
-            print(
-                f"served {stats.blocks} blocks in {stats.batches} micro-batches "
-                f"({stats.blocks_per_second:.0f} blocks/s)"
-            )
+            print("synchronous front end:")
+            demo_synchronous(service, test_blocks, model.tasks)
+            print("async front end:")
+            demo_asynchronous(service, test_blocks, arguments.max_latency_ms)
 
 
 if __name__ == "__main__":

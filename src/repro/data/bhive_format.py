@@ -19,9 +19,9 @@ from __future__ import annotations
 import csv
 import io
 import os
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
-from repro.data.datasets import LabeledBlock, TARGET_MICROARCHITECTURES, ThroughputDataset
+from repro.data.datasets import LabeledBlock, ThroughputDataset
 from repro.isa.basic_block import BasicBlock
 
 __all__ = ["write_dataset_csv", "read_dataset_csv", "dataset_to_csv_text", "dataset_from_csv_text"]

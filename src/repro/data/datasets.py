@@ -17,8 +17,8 @@ split, and a further 98 % / 2 % train/validation split of the training part
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.data.measurement import (
 )
 from repro.data.synthetic import BlockGenerator, GeneratorConfig
 from repro.isa.basic_block import BasicBlock
-from repro.uarch.ports import MICROARCHITECTURES, MicroArchitecture
+from repro.uarch.ports import MICROARCHITECTURES
 from repro.uarch.scheduler import ThroughputOracle
 
 __all__ = [

@@ -217,19 +217,26 @@ class BlockGenerator:
                     )
                 prefixes: Tuple[str, ...] = ()
                 instructions.append(
-                    Instruction.create(mnemonic, (Operand.from_register(destination), source), prefixes)
+                    Instruction.create(
+                        mnemonic, (Operand.from_register(destination), source), prefixes
+                    )
                 )
             elif roll < 0.70:
                 mnemonic = str(self.rng.choice(_SHIFT_MNEMONICS))
                 instructions.append(
                     Instruction.create(
                         mnemonic,
-                        (Operand.from_register(destination), Operand.from_immediate(int(self.rng.integers(1, 32)))),
+                        (
+                            Operand.from_register(destination),
+                            Operand.from_immediate(int(self.rng.integers(1, 32))),
+                        ),
                     )
                 )
             elif roll < 0.82:
                 mnemonic = str(self.rng.choice(_INT_UNARY_MNEMONICS))
-                instructions.append(Instruction.create(mnemonic, (Operand.from_register(destination),)))
+                instructions.append(
+                    Instruction.create(mnemonic, (Operand.from_register(destination),))
+                )
             elif roll < 0.92:
                 source = Operand.from_register(self._pick_register(pool, recent))
                 instructions.append(
@@ -444,7 +451,9 @@ class BlockGenerator:
                 suffix = str(self.rng.choice(_CONDITION_SUFFIXES))
                 source = Operand.from_register(self._pick_register(_GPR32, recent))
                 instructions.append(
-                    Instruction.create(f"CMOV{suffix}", (Operand.from_register(destination), source))
+                    Instruction.create(
+                        f"CMOV{suffix}", (Operand.from_register(destination), source)
+                    )
                 )
             elif roll < 0.62:
                 suffix = str(self.rng.choice(_CONDITION_SUFFIXES))

@@ -9,7 +9,7 @@ global readout) and the data-dependency edges (vs a purely sequential graph).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -17,9 +17,8 @@ from repro.data.datasets import TARGET_MICROARCHITECTURES
 from repro.eval import paper_reference as paper
 from repro.eval.harness import ExperimentHarness, ExperimentScale, TrainedModel
 from repro.graph.builder import GraphBuilderConfig
-from repro.models.config import GraniteConfig, IthemalConfig
+from repro.models.config import GraniteConfig
 from repro.models.granite import GraniteModel
-from repro.models.ithemal import IthemalModel
 
 __all__ = [
     "DecoderAblationResult",

@@ -14,8 +14,8 @@ paper's hyper-parameters (Table 4) and is meant for long offline runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -28,9 +28,7 @@ from repro.data.datasets import (
 )
 from repro.models import create_model
 from repro.models.base import ThroughputModel
-from repro.models.config import GraniteConfig, IthemalConfig, TrainingConfig
-from repro.models.granite import GraniteModel
-from repro.models.ithemal import IthemalModel
+from repro.models.config import TrainingConfig
 from repro.training.metrics import RegressionMetrics
 from repro.training.trainer import Trainer, TrainingHistory, evaluate_model
 

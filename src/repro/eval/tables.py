@@ -9,8 +9,8 @@ qualitative claims (orderings) hold.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -77,7 +77,9 @@ class BaselineComparisonResult:
             for model_name, trained in self.models.items():
                 metric = trained.test_metrics[microarchitecture]
                 reference = self.paper_mape.get(model_name, {}).get(microarchitecture)
-                reference_text = f"{reference * 100:9.2f}%" if reference is not None else "      n/a"
+                reference_text = (
+                    f"{reference * 100:9.2f}%" if reference is not None else "      n/a"
+                )
                 lines.append(
                     f"{_display(microarchitecture):<14} {model_name:<10} "
                     f"{metric.mape * 100:7.2f}% {metric.spearman:9.4f} "
@@ -170,7 +172,9 @@ class MessagePassingSweepResult:
             for iterations in sorted(self.mape_by_iterations):
                 measured = self.mape_by_iterations[iterations][microarchitecture]
                 reference = self.paper_mape.get(microarchitecture, {}).get(iterations)
-                reference_text = f"{reference * 100:10.2f}%" if reference is not None else "       n/a"
+                reference_text = (
+                    f"{reference * 100:10.2f}%" if reference is not None else "       n/a"
+                )
                 lines.append(
                     f"{_display(microarchitecture):<14} {iterations:>10d} "
                     f"{measured * 100:7.2f}% {reference_text}"

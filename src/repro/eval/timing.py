@@ -19,11 +19,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.data.datasets import TARGET_MICROARCHITECTURES, ThroughputDataset, build_bhive_like_dataset
+from repro.data.datasets import (
+    TARGET_MICROARCHITECTURES,
+    ThroughputDataset,
+    build_bhive_like_dataset,
+)
 from repro.eval import paper_reference as paper
 from repro.eval.harness import ExperimentHarness, ExperimentScale
 from repro.models.base import ThroughputModel

@@ -17,7 +17,7 @@ disconnected graph, exactly like DeepMind's Graph Nets library.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

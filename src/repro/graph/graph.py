@@ -79,7 +79,9 @@ class BlockGraph:
 
     def add_node(self, token: str, node_type: NodeType, instruction_index: int = -1) -> int:
         """Appends a node and returns its index."""
-        self.nodes.append(GraphNode(token=token, node_type=node_type, instruction_index=instruction_index))
+        self.nodes.append(
+            GraphNode(token=token, node_type=node_type, instruction_index=instruction_index)
+        )
         return len(self.nodes) - 1
 
     def add_edge(self, sender: int, receiver: int, edge_type: EdgeType) -> None:

@@ -17,11 +17,7 @@ from repro.isa.instructions import Instruction, render_instructions
 from repro.isa.operands import Operand, OperandKind
 from repro.isa.parser import parse_block_text
 from repro.isa.registers import canonical_register
-from repro.isa.semantics import (
-    InstructionSemantics,
-    OperandAction,
-    semantics_for,
-)
+from repro.isa.semantics import OperandAction, semantics_for
 
 __all__ = ["InstructionAccesses", "BasicBlock", "DataDependency"]
 

@@ -19,7 +19,7 @@ prefixes (``LOCK``, ``REP`` …), labels, and comments.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 from repro.isa.instructions import KNOWN_PREFIXES, Instruction
 from repro.isa.operands import MemoryReference, Operand

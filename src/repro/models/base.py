@@ -43,9 +43,12 @@ class ThroughputModel(Module):
 
     #: Capacity of the per-block prediction cache (0 disables it).  Unlike
     #: the encode caches, cached *predictions* depend on the weights, so the
-    #: cache records the global parameter generation it was filled at and is
-    #: dropped whenever an optimizer step or ``load_state_dict`` bumps it
-    #: (retraining invalidates the cache).
+    #: cache records the generation of *this model's* parameters it was
+    #: filled at (:meth:`~repro.nn.module.Module.parameter_generation`) and
+    #: is dropped whenever an optimizer step or ``load_state_dict`` mutates
+    #: them.  The global :func:`~repro.nn.module.parameter_version` is only
+    #: used as an O(1) fast-path check, so training one model in a process
+    #: does not invalidate another model's cache.
     prediction_cache_size: int = 8192
 
     def encode_blocks(self, blocks: Sequence[BasicBlock]):
@@ -78,10 +81,16 @@ class ThroughputModel(Module):
         if cache is None or cache.maxsize != self.prediction_cache_size:
             cache = LRUCache(self.prediction_cache_size)
             self._prediction_cache = cache
-            self._prediction_cache_version = parameter_version()
-        if self._prediction_cache_version != parameter_version():
-            cache.clear()
-            self._prediction_cache_version = parameter_version()
+            self._prediction_cache_generation = self.parameter_generation()
+            self._prediction_cache_global_version = parameter_version()
+        if self._prediction_cache_global_version != parameter_version():
+            # Some model in the process trained since the last lookup; only
+            # drop the cache if it was *this* model's parameters that moved.
+            generation = self.parameter_generation()
+            if generation != self._prediction_cache_generation:
+                cache.clear()
+                self._prediction_cache_generation = generation
+            self._prediction_cache_global_version = parameter_version()
         return cache
 
     def clear_prediction_cache(self) -> None:
@@ -102,7 +111,12 @@ class ThroughputModel(Module):
         """
         saved_prediction_size = self.prediction_cache_size
         saved_prediction_cache = getattr(self, "_prediction_cache", None)
-        saved_prediction_version = getattr(self, "_prediction_cache_version", None)
+        saved_prediction_generation = getattr(
+            self, "_prediction_cache_generation", None
+        )
+        saved_prediction_global = getattr(
+            self, "_prediction_cache_global_version", None
+        )
         self.prediction_cache_size = 0
         self._prediction_cache = None  # a fresh zero-capacity cache inside
         encode_caches = self.encode_caches()
@@ -115,10 +129,11 @@ class ThroughputModel(Module):
         finally:
             self.prediction_cache_size = saved_prediction_size
             self._prediction_cache = saved_prediction_cache
-            if saved_prediction_version is not None:
+            if saved_prediction_generation is not None:
                 # Restore the generation the saved cache was filled at, so a
                 # weight update made inside the context still invalidates it.
-                self._prediction_cache_version = saved_prediction_version
+                self._prediction_cache_generation = saved_prediction_generation
+                self._prediction_cache_global_version = saved_prediction_global
             for cache, size in saved_sizes:
                 cache.maxsize = size
 
@@ -127,6 +142,32 @@ class ThroughputModel(Module):
         """Hit/miss counters of the prediction cache (for benchmarks)."""
         cache = self._current_prediction_cache()
         return {"hits": cache.hits, "misses": cache.misses, "entries": len(cache)}
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Uniform cache summary across model families.
+
+        Aggregates the (model-specific) encode caches and the prediction
+        cache into one flat counter dict.  The sharded worker pool reports
+        this per worker, which is how the serving benchmarks measure shard
+        affinity: stable hash sharding should give every worker a high hit
+        rate on its own partition of the block key space.
+        """
+        encode_hits = sum(cache.hits for cache in self.encode_caches())
+        encode_misses = sum(cache.misses for cache in self.encode_caches())
+        prediction = self.prediction_cache_stats
+        encode_total = encode_hits + encode_misses
+        prediction_total = prediction["hits"] + prediction["misses"]
+        return {
+            "encode_hits": encode_hits,
+            "encode_misses": encode_misses,
+            "encode_hit_rate": encode_hits / encode_total if encode_total else 0.0,
+            "prediction_hits": prediction["hits"],
+            "prediction_misses": prediction["misses"],
+            "prediction_hit_rate": (
+                prediction["hits"] / prediction_total if prediction_total else 0.0
+            ),
+            "prediction_entries": prediction["entries"],
+        }
 
     # ------------------------------------------------------------------ #
     # Inference.

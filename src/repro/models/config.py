@@ -14,7 +14,7 @@ values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence, Tuple
 
 from repro.data.datasets import TARGET_MICROARCHITECTURES

@@ -30,7 +30,7 @@ from repro.models.base import ThroughputModel
 from repro.models.config import IthemalConfig
 from repro.models.tokenizer import build_ithemal_vocabulary, tokenize_block
 from repro.graph.vocabulary import Vocabulary
-from repro.nn.layers import Dense, Embedding, ResidualMLP
+from repro.nn.layers import Embedding, ResidualMLP
 from repro.nn.lstm import LSTM
 from repro.nn.module import Parameter
 from repro.nn.tensor import Tensor, matmul

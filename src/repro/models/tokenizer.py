@@ -12,7 +12,7 @@ original Ithemal exposes address dependencies to the model.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from repro.graph.types import SpecialToken
 from repro.graph.vocabulary import Vocabulary, build_default_vocabulary

@@ -48,6 +48,8 @@ def zeros(shape: Tuple[int, ...]) -> np.ndarray:
     return np.zeros(shape, dtype=np.float64)
 
 
-def normal_embedding(shape: Tuple[int, ...], rng: np.random.Generator, scale: float = 0.1) -> np.ndarray:
+def normal_embedding(
+    shape: Tuple[int, ...], rng: np.random.Generator, scale: float = 0.1
+) -> np.ndarray:
     """Small-variance normal initialisation for embedding tables."""
     return rng.normal(0.0, scale, size=shape)

@@ -9,7 +9,7 @@ here are parameter discovery (for the optimizer), named parameter access
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -19,10 +19,13 @@ __all__ = ["Parameter", "Module", "parameter_version", "bump_parameter_version"]
 
 # Global generation counter of parameter mutations.  Optimizer steps and
 # ``load_state_dict`` bump it; weight-dependent caches (the prediction cache
-# in :class:`repro.models.base.ThroughputModel`) compare it to the version
-# they were filled at and drop stale entries.  A single global counter can
-# only over-invalidate (another model training clears this model's cache),
-# never serve stale predictions.
+# in :class:`repro.models.base.ThroughputModel`) use it as a cheap O(1)
+# "did anything train anywhere?" signal.  On its own a global counter
+# over-invalidates (another model training would clear this model's cache),
+# so every :class:`Parameter` additionally carries its own mutation counter
+# and :meth:`Module.parameter_generation` aggregates them per module: the
+# global version says *whether* to re-check, the per-module generation says
+# *whose* weights actually changed.
 _PARAMETER_VERSION = 0
 
 
@@ -50,6 +53,15 @@ class Parameter(Tensor):
         # Parameters must track gradients regardless of the global switch at
         # construction time.
         self.requires_grad = True
+        #: Per-parameter mutation counter.  Optimizer steps and state-dict
+        #: loads increment it, so per-module cache generations can tell which
+        #: model's weights a global version bump belongs to.
+        self.version = 0
+
+    def bump_version(self) -> int:
+        """Records an in-place mutation of this parameter's data."""
+        self.version += 1
+        return self.version
 
 
 class Module:
@@ -103,6 +115,19 @@ class Module:
         """Total number of scalar parameters in the module."""
         return sum(parameter.size for parameter in self.parameters())
 
+    def parameter_generation(self) -> int:
+        """Aggregate mutation generation of this module's parameters.
+
+        The sum of the per-parameter version counters.  Versions only ever
+        increment, so any tracked mutation of any parameter owned by this
+        module strictly increases the sum — equal generations mean no
+        optimizer step or state-dict load touched this module in between.
+        Mutations of *other* modules' parameters leave it unchanged, which is
+        what lets weight-dependent caches survive unrelated training (see
+        ``ThroughputModel._current_prediction_cache``).
+        """
+        return sum(parameter.version for parameter in self.parameters())
+
     # ------------------------------------------------------------------ #
     # State dict style serialization helpers.
     # ------------------------------------------------------------------ #
@@ -130,6 +155,7 @@ class Module:
                         f"expected {parameter.data.shape}"
                     )
                 parameter.data[...] = value
+                parameter.bump_version()
         finally:
             # Even a partial load mutated weights, so weight-dependent caches
             # must be invalidated whether or not the loop completed.

@@ -8,7 +8,7 @@ un-normalised models from diverging, so that is provided here too.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 import numpy as np
 
@@ -57,6 +57,7 @@ class SGD(Optimizer):
             velocity *= self.momentum
             velocity -= self.learning_rate * parameter.grad
             parameter.data += velocity
+            parameter.bump_version()
         bump_parameter_version()
 
 
@@ -103,6 +104,7 @@ class Adam(Optimizer):
             parameter.data -= (
                 self.learning_rate * corrected_first / (np.sqrt(corrected_second) + self.epsilon)
             )
+            parameter.bump_version()
         bump_parameter_version()
 
 

@@ -1,27 +1,61 @@
 """Batched prediction serving.
 
-This subpackage is the seed of the production serving story: a
-:class:`PredictionService` that accepts heterogeneous prediction requests,
-coalesces them into size-bounded micro-batches, optionally shards the
-micro-batches across a pool of warm worker processes, and reassembles
-per-request responses.  It builds on the no-grad inference fast path in
-:mod:`repro.nn.tensor` and the batched :meth:`ThroughputModel.predict` API.
+This subpackage is the production serving story of the reproduction, in two
+layers:
+
+* the synchronous :class:`PredictionService`: heterogeneous requests are
+  coalesced into size-bounded micro-batches, optionally sharded across a
+  pool of warm worker processes by a stable hash of each block's text
+  (cache affinity, health checks, automatic respawn), and reassembled into
+  per-request responses;
+* the async :class:`AsyncPredictionService` front end: producers enqueue
+  requests into a bounded priority queue with back-pressure and get
+  futures; a dispatcher thread flushes micro-batches on ``max_batch_size``
+  OR a ``max_latency_ms`` deadline, whichever fires first.
+
+Both build on the no-grad inference fast path in :mod:`repro.nn.tensor`
+and the batched :meth:`ThroughputModel.predict` API.
 """
 
+from repro.serve.async_service import (
+    AsyncPredictionService,
+    AsyncServiceConfig,
+    AsyncServiceStats,
+)
 from repro.serve.batching import (
     MicroBatch,
     PredictionRequest,
     PredictionResponse,
     coalesce_requests,
+    coalesce_requests_by_shard,
+    shard_key,
+)
+from repro.serve.queue import (
+    Priority,
+    QueuedRequest,
+    QueueFullError,
+    RequestQueue,
 )
 from repro.serve.service import PredictionService, ServiceConfig, ServiceStats
+from repro.serve.workers import ShardedWorkerPool, WorkerCrashError
 
 __all__ = [
     "MicroBatch",
     "PredictionRequest",
     "PredictionResponse",
     "coalesce_requests",
+    "coalesce_requests_by_shard",
+    "shard_key",
     "PredictionService",
     "ServiceConfig",
     "ServiceStats",
+    "AsyncPredictionService",
+    "AsyncServiceConfig",
+    "AsyncServiceStats",
+    "Priority",
+    "QueuedRequest",
+    "QueueFullError",
+    "RequestQueue",
+    "ShardedWorkerPool",
+    "WorkerCrashError",
 ]

@@ -1,0 +1,283 @@
+"""The async serving front end: queued, latency-bounded micro-batching.
+
+:class:`~repro.serve.service.PredictionService` is synchronous — every
+``submit`` call coalesces and flushes on its own, so concurrent clients
+never share a batch and there is no queueing, no latency/throughput knob
+and no back-pressure.  :class:`AsyncPredictionService` adds all three in
+front of it:
+
+* producers :meth:`~AsyncPredictionService.submit` individual requests and
+  immediately receive a :class:`concurrent.futures.Future`;
+* a dispatcher thread drains the shared :class:`~repro.serve.queue.RequestQueue`
+  into micro-batch flushes, each flush triggered by ``max_batch_size``
+  pending blocks OR the ``max_latency_ms`` deadline of the oldest request —
+  whichever fires first;
+* every flush is one synchronous ``PredictionService.submit`` call, so the
+  async front end composes unchanged with the in-process model or the
+  hash-sharded worker pool behind it.
+
+Flush-wait latencies (enqueue of the flush's oldest request to dispatch)
+are recorded in :class:`AsyncServiceStats`, whose percentiles are how the
+sustained-traffic benchmark checks the deadline is actually honored.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.serve.batching import PredictionRequest
+from repro.serve.queue import Priority, RequestQueue
+from repro.serve.service import PredictionService, ServiceConfig
+
+__all__ = ["AsyncServiceConfig", "AsyncServiceStats", "AsyncPredictionService"]
+
+
+@dataclass(frozen=True)
+class AsyncServiceConfig:
+    """Queueing and flushing knobs of an :class:`AsyncPredictionService`.
+
+    Attributes:
+        max_batch_size: Flush as soon as this many blocks are pending.
+        max_latency_ms: Flush the oldest pending request after at most this
+            long, however few blocks have accumulated (the latency bound of
+            the latency/throughput trade-off).
+        max_queue_blocks: Admission bound of the queue, in blocks.
+        backpressure: ``"block"`` (producers wait for space) or
+            ``"reject"`` (producers get :class:`~repro.serve.queue.QueueFullError`).
+    """
+
+    max_batch_size: int = 64
+    max_latency_ms: float = 10.0
+    max_queue_blocks: int = 4096
+    backpressure: str = "block"
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if self.max_latency_ms < 0:
+            raise ValueError("max_latency_ms must be >= 0")
+        # max_queue_blocks and backpressure are validated by RequestQueue.
+
+
+@dataclass
+class AsyncServiceStats:
+    """Counters and flush-latency samples of one async front end."""
+
+    requests: int = 0
+    blocks: int = 0
+    flushes: int = 0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
+    close_flushes: int = 0
+    flushed_blocks: int = 0
+    #: Wait of each flush's *oldest* request, enqueue -> dispatch, seconds.
+    #: Bounded so a long-lived service cannot grow without limit.
+    flush_waits: Deque[float] = field(default_factory=lambda: deque(maxlen=8192))
+
+    @property
+    def mean_flush_blocks(self) -> float:
+        return self.flushed_blocks / self.flushes if self.flushes else 0.0
+
+    def flush_wait_percentile(self, quantile: float) -> float:
+        """The ``quantile`` (0..1) of recorded flush waits, in seconds."""
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        # list(deque) is a single C-level copy, so it cannot interleave with
+        # the dispatcher thread appending mid-iteration (np.asarray on the
+        # live deque could).
+        samples = list(self.flush_waits)
+        if not samples:
+            return 0.0
+        return float(np.quantile(np.asarray(samples), quantile))
+
+
+class AsyncPredictionService:
+    """Queued prediction front end with latency-bounded micro-batching.
+
+    Args:
+        config: Flush/queue knobs; defaults are sensible for tests.
+        service: The synchronous service to flush into.  When ``None``, one
+            is built from ``service_config`` (or its defaults) and owned —
+            i.e. closed — by this front end; a caller-provided service is
+            left open on :meth:`close` so it can be shared.
+        service_config: Configuration of the owned service (mutually
+            exclusive with ``service``).
+    """
+
+    def __init__(
+        self,
+        config: Optional[AsyncServiceConfig] = None,
+        service: Optional[PredictionService] = None,
+        service_config: Optional[ServiceConfig] = None,
+    ) -> None:
+        if service is not None and service_config is not None:
+            raise ValueError("pass either a service or a service_config, not both")
+        self.config = config or AsyncServiceConfig()
+        self._owns_service = service is None
+        self.service = service or PredictionService(service_config)
+        self.queue = RequestQueue(
+            max_blocks=self.config.max_queue_blocks,
+            policy=self.config.backpressure,
+        )
+        self.stats = AsyncServiceStats()
+        # Guards the producer-side counters: submit() runs from many client
+        # threads, and `+=` on shared attributes is not atomic.
+        self._stats_lock = threading.Lock()
+        # Serializes start/close transitions against each other (close is
+        # documented idempotent, which includes concurrent callers).
+        self._lifecycle_lock = threading.Lock()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle.
+    # ------------------------------------------------------------------ #
+    def start(self) -> "AsyncPredictionService":
+        """Warm-starts the underlying service and the dispatcher thread.
+
+        The service is warmed in the caller's thread (worker processes must
+        not be forked from the dispatcher), then the dispatcher starts
+        draining.  Requests submitted before ``start`` simply wait in the
+        queue.  Idempotent while running.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if self._dispatcher is None:
+                self.service.warm_start()
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    name="repro-serve-dispatcher",
+                    daemon=True,
+                )
+                self._dispatcher.start()
+        return self
+
+    def close(self) -> None:
+        """Drains the queue, resolves every pending future, stops (idempotent).
+
+        Already-admitted requests are still flushed and answered; new
+        submissions fail immediately.  The underlying service is closed only
+        if this front end built it.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            dispatcher, self._dispatcher = self._dispatcher, None
+        self.queue.close()
+        if dispatcher is not None:
+            dispatcher.join()
+        else:
+            # Never started: resolve whatever was queued ourselves.
+            self._drain_queue(max_wait_s=0.0)
+        if self._owns_service:
+            self.service.close()
+
+    def __enter__(self) -> "AsyncPredictionService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Producer API.
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        request: PredictionRequest,
+        priority: int = Priority.NORMAL,
+        timeout: Optional[float] = None,
+    ) -> "Future":
+        """Enqueues one request; returns the future of its response.
+
+        Args:
+            request: The request to serve.
+            priority: Scheduling class (:class:`~repro.serve.queue.Priority`
+                or any int; lower drains first).
+            timeout: With the ``block`` back-pressure policy, how long to
+                wait for queue space before giving up (``None`` = forever).
+
+        Raises:
+            QueueFullError: The queue is full (``reject`` policy) or the
+                wait for space timed out (``block`` policy).
+        """
+        entry = self.queue.put(request, priority=priority, timeout=timeout)
+        with self._stats_lock:
+            self.stats.requests += 1
+            self.stats.blocks += request.num_blocks
+        return entry.future
+
+    def predict_blocks(
+        self,
+        blocks: Sequence[Union[BasicBlock, str]],
+        priority: int = Priority.INTERACTIVE,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Synchronous convenience: submit one request, wait for its arrays.
+
+        Defaults to :attr:`~repro.serve.queue.Priority.INTERACTIVE` since
+        the caller is, by construction, blocked on the answer.  ``timeout``
+        bounds each of the two waits (admission under the ``block``
+        back-pressure policy, then the result), so the call cannot hang
+        un-bounded on a full queue.
+        """
+        future = self.submit(
+            PredictionRequest.of(blocks), priority=priority, timeout=timeout
+        )
+        return future.result(timeout).predictions
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher.
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        self._drain_queue(self.config.max_latency_ms / 1000.0)
+
+    def _drain_queue(self, max_wait_s: float) -> None:
+        """Flushes batches until the queue reports closed-and-empty."""
+        while True:
+            entries, reason = self.queue.take_batch(
+                self.config.max_batch_size, max_wait_s
+            )
+            if not entries:
+                return  # closed and fully drained
+            self._flush(entries, reason)
+
+    def _flush(self, entries, reason: str) -> None:
+        now = time.monotonic()
+        # Transition every future to running; a False return means the
+        # client cancelled while queued — drop the entry, and never call
+        # set_result/set_exception on it (InvalidStateError would kill the
+        # dispatcher thread and strand every later request).
+        entries = [
+            entry for entry in entries if entry.future.set_running_or_notify_cancel()
+        ]
+        if not entries:
+            return
+        self.stats.flushes += 1
+        self.stats.flushed_blocks += sum(e.request.num_blocks for e in entries)
+        self.stats.flush_waits.append(
+            now - min(entry.enqueued_at for entry in entries)
+        )
+        if reason == "size":
+            self.stats.size_flushes += 1
+        elif reason == "deadline":
+            self.stats.deadline_flushes += 1
+        else:
+            self.stats.close_flushes += 1
+        try:
+            responses = self.service.submit([entry.request for entry in entries])
+        except Exception as error:
+            for entry in entries:
+                entry.future.set_exception(error)
+            return
+        for entry, response in zip(entries, responses):
+            entry.future.set_result(response)

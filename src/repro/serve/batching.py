@@ -16,6 +16,7 @@ from so responses can be reassembled exactly.
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -28,6 +29,8 @@ __all__ = [
     "PredictionResponse",
     "MicroBatch",
     "coalesce_requests",
+    "coalesce_requests_by_shard",
+    "shard_key",
 ]
 
 _REQUEST_COUNTER = itertools.count()
@@ -148,3 +151,66 @@ def coalesce_requests(
             )
         )
     return batches
+
+
+def shard_key(block_text: str) -> int:
+    """Stable shard key of a block's canonical text.
+
+    CRC32 rather than :func:`hash`: Python's string hash is salted per
+    process, so it would scatter the same block to different workers across
+    service restarts (and between the parent and respawned workers).  The
+    key only has to be stable and well-mixed, not cryptographic.
+    """
+    return zlib.crc32(block_text.encode("utf-8"))
+
+
+def coalesce_requests_by_shard(
+    requests: Sequence[PredictionRequest],
+    max_batch_size: int,
+    num_shards: int,
+) -> List[Tuple[int, MicroBatch]]:
+    """Merges requests into per-shard size-bounded micro-batches.
+
+    Every block is routed to shard ``shard_key(text) % num_shards``, so a
+    given block text always lands on the same shard no matter which request
+    carries it or how traffic is sliced.  Each shard's blocks (in submission
+    order) are then split into micro-batches of at most ``max_batch_size``.
+    This is what gives the sharded worker pool cache affinity: each worker's
+    encode and prediction caches only ever see a fixed partition of the key
+    space.
+
+    Args:
+        requests: The requests of one submission.
+        max_batch_size: Upper bound on the blocks per micro-batch.
+        num_shards: Number of shards (worker replicas).
+
+    Returns:
+        ``(shard_index, micro_batch)`` pairs covering every block exactly
+        once; shards with no blocks contribute no pairs.
+    """
+    if max_batch_size < 1:
+        raise ValueError("max_batch_size must be positive")
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    shard_texts: List[List[str]] = [[] for _ in range(num_shards)]
+    shard_origins: List[List[Tuple[int, int]]] = [[] for _ in range(num_shards)]
+    for request_index, request in enumerate(requests):
+        for position, text in enumerate(request.block_texts):
+            shard = shard_key(text) % num_shards
+            shard_texts[shard].append(text)
+            shard_origins[shard].append((request_index, position))
+    assignments: List[Tuple[int, MicroBatch]] = []
+    for shard in range(num_shards):
+        texts, origins = shard_texts[shard], shard_origins[shard]
+        for start in range(0, len(texts), max_batch_size):
+            stop = start + max_batch_size
+            assignments.append(
+                (
+                    shard,
+                    MicroBatch(
+                        block_texts=tuple(texts[start:stop]),
+                        origins=tuple(origins[start:stop]),
+                    ),
+                )
+            )
+    return assignments

@@ -1,0 +1,284 @@
+"""Bounded priority request queue with latency-deadline flushing.
+
+This is the producer/consumer core of the async serving front end
+(:class:`repro.serve.async_service.AsyncPredictionService`).  Producers
+:meth:`~RequestQueue.put` requests and immediately get a
+:class:`concurrent.futures.Future`; a single dispatcher thread calls
+:meth:`~RequestQueue.take_batch`, which blocks until a flush is due and
+returns the batch to predict.  The flush rule is the classic
+latency/throughput trade-off knob:
+
+* **size** — enough blocks are pending to fill ``max_batch_size``; flush
+  now, the batch is as dense as it gets;
+* **deadline** — the *oldest* pending request has waited ``max_wait_s``;
+  flush whatever is there, a straggler must not wait forever for company;
+* **close** — the queue is shutting down; flush the remainder so every
+  accepted request still gets an answer.
+
+Requests carry a :class:`Priority`: the flush drains strictly in priority
+order (ties broken by arrival), so an interactive autotuner request jumps
+ahead of queued bulk-eval traffic without any extra machinery.
+
+Admission is bounded in *blocks*, not requests — a thousand one-block
+requests and one thousand-block request cost the model the same.  When the
+queue is full, the configured back-pressure policy decides: ``"block"``
+makes ``put`` wait (optionally with a timeout) for the dispatcher to drain,
+``"reject"`` raises :class:`QueueFullError` immediately so the client can
+shed load itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+from repro.serve.batching import PredictionRequest
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "Priority",
+    "QueueFullError",
+    "QueuedRequest",
+    "RequestQueue",
+]
+
+#: Admission policies when the queue is at capacity.
+BACKPRESSURE_POLICIES = ("block", "reject")
+
+
+class Priority(IntEnum):
+    """Scheduling class of a request; lower values are served first.
+
+    The gap between the levels is deliberate: callers with finer needs can
+    pass any int in between (e.g. ``Priority.BULK - 1`` for "bulk but ahead
+    of the backfill job").
+    """
+
+    #: A caller is blocked on the answer (e.g. a compiler autotuner's inner
+    #: loop); jumps ahead of any queued bulk traffic.
+    INTERACTIVE = 0
+    #: Default traffic.
+    NORMAL = 10
+    #: Throughput-oriented batch evaluation; yields to everything else.
+    BULK = 20
+
+
+class QueueFullError(RuntimeError):
+    """The queue is at capacity and the back-pressure policy rejected."""
+
+
+@dataclass
+class QueuedRequest:
+    """One admitted request together with its delivery machinery.
+
+    Attributes:
+        request: The client's prediction request.
+        priority: Scheduling class (lower drains first).
+        sequence: Admission order, the tie-breaker within a priority.
+        enqueued_at: ``time.monotonic()`` of admission; deadline flushing
+            and the wait-latency stats are measured from here.
+        future: Resolves to the :class:`~repro.serve.batching.PredictionResponse`
+            (or the submission's exception).
+    """
+
+    request: PredictionRequest
+    priority: int
+    sequence: int
+    enqueued_at: float
+    future: Future = field(default_factory=Future)
+
+
+class RequestQueue:
+    """Thread-safe bounded priority queue of prediction requests.
+
+    Args:
+        max_blocks: Admission bound in blocks (not requests).
+        policy: ``"block"`` or ``"reject"`` (see module docstring).
+    """
+
+    def __init__(self, max_blocks: int = 4096, policy: str = "block") -> None:
+        if max_blocks < 1:
+            raise ValueError("max_blocks must be positive")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown back-pressure policy {policy!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}"
+            )
+        self.max_blocks = int(max_blocks)
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._work = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, QueuedRequest]] = []
+        self._by_arrival: "OrderedDict[int, QueuedRequest]" = OrderedDict()
+        self._sequence = itertools.count()
+        self._pending_blocks = 0
+        self._closed = False
+        #: Requests turned away (reject policy or block-policy timeout).
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_arrival)
+
+    @property
+    def pending_blocks(self) -> int:
+        """Blocks currently admitted and not yet drained."""
+        with self._lock:
+            return self._pending_blocks
+
+    # ------------------------------------------------------------------ #
+    # Producer side.
+    # ------------------------------------------------------------------ #
+    def put(
+        self,
+        request: PredictionRequest,
+        priority: int = Priority.NORMAL,
+        timeout: Optional[float] = None,
+    ) -> QueuedRequest:
+        """Admits ``request``, returning its queue entry (with the future).
+
+        Raises:
+            QueueFullError: Capacity exceeded and the policy is ``reject``,
+                the ``block`` wait timed out, or the request alone exceeds
+                ``max_blocks`` (it could never be admitted).
+            RuntimeError: The queue is closed.
+        """
+        blocks = request.num_blocks
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if blocks > self.max_blocks:
+                self.rejected += 1
+                raise QueueFullError(
+                    f"request {request.request_id!r} has {blocks} blocks, more "
+                    f"than the queue's total capacity of {self.max_blocks}"
+                )
+            if self._pending_blocks + blocks > self.max_blocks:
+                if self.policy == "reject":
+                    self.rejected += 1
+                    raise QueueFullError(
+                        f"queue full ({self._pending_blocks}/{self.max_blocks} "
+                        f"blocks); request {request.request_id!r} rejected"
+                    )
+                deadline = None if timeout is None else time.monotonic() + timeout
+                while self._pending_blocks + blocks > self.max_blocks:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        self.rejected += 1
+                        raise QueueFullError(
+                            f"timed out after {timeout:.3f}s waiting for queue "
+                            f"space for request {request.request_id!r}"
+                        )
+                    self._not_full.wait(remaining)
+                    if self._closed:
+                        raise RuntimeError("queue closed while waiting for space")
+            sequence = next(self._sequence)
+            entry = QueuedRequest(
+                request=request,
+                priority=int(priority),
+                sequence=sequence,
+                enqueued_at=time.monotonic(),
+            )
+            heapq.heappush(self._heap, (entry.priority, sequence, entry))
+            self._by_arrival[sequence] = entry
+            self._pending_blocks += blocks
+            self._work.notify_all()
+            return entry
+
+    # ------------------------------------------------------------------ #
+    # Consumer (dispatcher) side.
+    # ------------------------------------------------------------------ #
+    def take_batch(
+        self, max_blocks: int, max_wait_s: float
+    ) -> Tuple[List[QueuedRequest], str]:
+        """Blocks until a flush is due, then drains and returns one batch.
+
+        Returns ``(entries, reason)`` with ``reason`` one of ``"size"``,
+        ``"deadline"`` or ``"close"``.  Entries come out in priority order
+        (ties by arrival) and cover at most ``max_blocks`` blocks, with two
+        deliberate exceptions: the arrival-oldest entry is always included
+        (sustained high-priority traffic must not starve it past its
+        deadline), and an over-sized request rides along uncut (the
+        prediction service splits it into micro-batches anyway).  An empty
+        list (reason ``"close"``) means the queue was closed and fully
+        drained: the dispatcher should exit.
+        """
+        if max_blocks < 1:
+            raise ValueError("max_blocks must be positive")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        with self._lock:
+            while True:
+                if not self._by_arrival:
+                    if self._closed:
+                        return [], "close"
+                    self._work.wait()
+                    continue
+                oldest = next(iter(self._by_arrival.values()))
+                age = time.monotonic() - oldest.enqueued_at
+                if self._pending_blocks >= max_blocks:
+                    reason = "size"
+                elif self._closed:
+                    reason = "close"
+                elif age >= max_wait_s:
+                    reason = "deadline"
+                else:
+                    self._work.wait(timeout=max_wait_s - age)
+                    continue
+                return self._drain_locked(max_blocks), reason
+
+    def _drain_locked(self, max_blocks: int) -> List[QueuedRequest]:
+        # Anti-starvation: the arrival-oldest entry — whose age is what
+        # drives the deadline trigger — is always part of the flush,
+        # whatever its priority.  Otherwise sustained high-priority traffic
+        # filling every batch would leave an old bulk request (and every
+        # flush's "deadline" attribution) stuck behind it forever.
+        oldest_sequence, oldest_entry = next(iter(self._by_arrival.items()))
+        del self._by_arrival[oldest_sequence]
+        taken: List[QueuedRequest] = [oldest_entry]
+        total = oldest_entry.request.num_blocks
+        while self._heap:
+            _, sequence, entry = self._heap[0]
+            if sequence not in self._by_arrival:
+                heapq.heappop(self._heap)  # already drained (the oldest)
+                continue
+            if total + entry.request.num_blocks > max_blocks:
+                break
+            heapq.heappop(self._heap)
+            del self._by_arrival[sequence]
+            taken.append(entry)
+            total += entry.request.num_blocks
+        # The batch itself still leads with the highest-priority entries.
+        taken.sort(key=lambda entry: (entry.priority, entry.sequence))
+        self._pending_blocks -= total
+        self._not_full.notify_all()
+        return taken
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle.
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stops admissions; pending entries remain drainable (idempotent).
+
+        Producers blocked in ``put`` are woken and fail; the dispatcher
+        keeps receiving batches (reason ``"close"``) until the queue is
+        empty, so nothing already admitted is dropped.
+        """
+        with self._lock:
+            self._closed = True
+            self._work.notify_all()
+            self._not_full.notify_all()

@@ -9,11 +9,16 @@
   merged into size-bounded micro-batches
   (:func:`repro.serve.batching.coalesce_requests`), which keeps the numpy
   kernels dense regardless of how clients slice their traffic.
-* **Worker sharding** — with ``num_workers > 0`` the micro-batches are
-  sharded across a pool of processes, each holding its own warm model
-  replica; with ``num_workers = 0`` everything runs in-process, which is
-  the right choice for unit tests and for callers that already manage
-  their own parallelism.
+* **Worker sharding** — with ``num_workers > 0`` the work is sharded
+  across a pool of addressable worker processes, each holding its own warm
+  model replica.  With the default ``sharding="hash"`` every block is
+  routed by a stable hash of its canonical text, so each worker's encode
+  and prediction caches own a fixed partition of the key space;
+  ``sharding="round_robin"`` deals micro-batches out cyclically instead
+  (kept for comparison benchmarks).  Crashed workers are detected and
+  respawned transparently.  With ``num_workers = 0`` everything runs
+  in-process, which is the right choice for unit tests and for callers
+  that already manage their own parallelism.
 
 The service speaks canonical block text at the boundary, so it composes
 with any transport (CLI, RPC, files) without pulling one in here.
@@ -21,8 +26,8 @@ with any transport (CLI, RPC, files) without pulling one in here.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -31,17 +36,25 @@ import numpy as np
 
 from repro.data.datasets import TARGET_MICROARCHITECTURES
 from repro.isa.basic_block import BasicBlock
-from repro.models import create_model
 from repro.models.base import ThroughputModel
-from repro.nn.serialization import load_checkpoint
 from repro.serve.batching import (
     PredictionRequest,
     PredictionResponse,
     coalesce_requests,
+    coalesce_requests_by_shard,
+)
+from repro.serve.workers import (
+    PARSE_CACHE_SIZE,
+    ShardedWorkerPool,
+    build_model,
+    predict_texts,
 )
 from repro.utils.cache import LRUCache
 
-__all__ = ["ServiceConfig", "ServiceStats", "PredictionService"]
+__all__ = ["ServiceConfig", "ServiceStats", "PredictionService", "SHARDING_MODES"]
+
+#: Worker-sharding strategies accepted by :class:`ServiceConfig`.
+SHARDING_MODES = ("hash", "round_robin")
 
 
 @dataclass(frozen=True)
@@ -59,6 +72,9 @@ class ServiceConfig:
             replica at warm-start (the trained weights to serve).
         max_batch_size: Upper bound on blocks per micro-batch.
         num_workers: Worker processes; 0 serves in-process.
+        sharding: ``"hash"`` routes every block to the worker owning
+            ``shard_key(text) % num_workers`` (stable cache affinity);
+            ``"round_robin"`` deals micro-batches out cyclically.
     """
 
     model_name: str = "granite"
@@ -68,12 +84,18 @@ class ServiceConfig:
     checkpoint_path: Optional[str] = None
     max_batch_size: int = 64
     num_workers: int = 0
+    sharding: str = "hash"
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
         if self.num_workers < 0:
             raise ValueError("num_workers must be >= 0")
+        if self.sharding not in SHARDING_MODES:
+            raise ValueError(
+                f"unknown sharding mode {self.sharding!r}; "
+                f"expected one of {SHARDING_MODES}"
+            )
 
 
 @dataclass
@@ -84,66 +106,12 @@ class ServiceStats:
     blocks: int = 0
     batches: int = 0
     seconds: float = 0.0
+    #: Worker processes respawned after a crash (sharded mode only).
+    respawns: int = 0
 
     @property
     def blocks_per_second(self) -> float:
         return self.blocks / self.seconds if self.seconds > 0 else 0.0
-
-
-def _build_model(config: ServiceConfig) -> ThroughputModel:
-    """Constructs (and warm-starts) one model replica from the config."""
-    kwargs = {}
-    if config.tasks is not None:
-        kwargs["tasks"] = config.tasks
-    model = create_model(
-        config.model_name, small=config.small_model, seed=config.seed, **kwargs
-    )
-    if config.checkpoint_path is not None:
-        load_checkpoint(model, config.checkpoint_path)
-    return model
-
-
-# Per-worker warm model replica and parse cache, installed by the pool
-# initializer.  Module-level globals are the standard multiprocessing idiom:
-# they are populated once per worker process, not shared between them.
-_WORKER_MODEL: Optional[ThroughputModel] = None
-_WORKER_PARSE_CACHE: Optional[LRUCache] = None
-
-#: Capacity of the text -> parsed BasicBlock caches (service and workers).
-_PARSE_CACHE_SIZE = 8192
-
-
-def _initialize_worker(config: ServiceConfig) -> None:
-    global _WORKER_MODEL, _WORKER_PARSE_CACHE
-    _WORKER_MODEL = _build_model(config)
-    _WORKER_PARSE_CACHE = LRUCache(_PARSE_CACHE_SIZE)
-
-
-def _predict_texts(
-    model: ThroughputModel,
-    block_texts: Sequence[str],
-    parse_cache: Optional[LRUCache] = None,
-) -> Dict[str, np.ndarray]:
-    """Parses block texts (through ``parse_cache`` when given) and predicts.
-
-    Caching the parsed blocks keeps steady-state serving of repeated texts
-    from paying parse + render cost before the model's prediction cache can
-    even be consulted.
-    """
-    blocks = []
-    for text in block_texts:
-        block = parse_cache.get(text) if parse_cache is not None else None
-        if block is None:
-            block = BasicBlock.from_text(text)
-            if parse_cache is not None:
-                parse_cache.put(text, block)
-        blocks.append(block)
-    return model.predict(blocks)
-
-
-def _worker_predict(block_texts: Tuple[str, ...]) -> Dict[str, np.ndarray]:
-    assert _WORKER_MODEL is not None, "worker used before initialization"
-    return _predict_texts(_WORKER_MODEL, block_texts, _WORKER_PARSE_CACHE)
 
 
 class PredictionService:
@@ -169,8 +137,18 @@ class PredictionService:
                 "checkpoint_path to ship weights to worker processes"
             )
         self._model = model
-        self._pool: Optional[multiprocessing.pool.Pool] = None
-        self._parse_cache: LRUCache = LRUCache(_PARSE_CACHE_SIZE)
+        self._pool: Optional[ShardedWorkerPool] = None
+        self._parse_cache: LRUCache = LRUCache(PARSE_CACHE_SIZE)
+        # Round-robin sharding deals micro-batches out across *submissions*
+        # (not restarting at worker 0 every submit), like the former
+        # ``Pool.map`` pool did over time.
+        self._round_robin_position = 0
+        # Serializes submissions: the model caches, stats, parse cache and
+        # worker pipes are all single-submission state, so a service shared
+        # by several threads (e.g. two async front ends) flushes one
+        # submission at a time.
+        self._submit_lock = threading.Lock()
+        self._closed = False
         self.stats = ServiceStats()
 
     # ------------------------------------------------------------------ #
@@ -180,31 +158,44 @@ class PredictionService:
     def model(self) -> ThroughputModel:
         """The in-process model replica (built on first access)."""
         if self._model is None:
-            self._model = _build_model(self.config)
+            self._model = build_model(self.config)
         return self._model
 
     def warm_start(self) -> "PredictionService":
         """Eagerly builds the model (and worker pool), returning ``self``.
 
         After ``warm_start`` returns, the first request pays no
-        construction, checkpoint-load or worker-spawn cost.
+        construction, checkpoint-load or worker-spawn cost: in sharded mode
+        the pool is pinged, which blocks until every replica is built.
         """
         if self.config.num_workers > 0:
-            self._ensure_pool()
+            self._ensure_pool().ping()
         else:
             _ = self.model
         return self
 
-    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+    def _ensure_pool(self) -> ShardedWorkerPool:
+        if self._closed:
+            # Without this, any use after close() would silently respawn a
+            # whole new worker pool that nothing ever shuts down again.
+            raise RuntimeError("service is closed; worker pools do not restart")
         if self._pool is None:
             self._validate_worker_config()
-            context = multiprocessing.get_context()
-            self._pool = context.Pool(
-                processes=self.config.num_workers,
-                initializer=_initialize_worker,
-                initargs=(self.config,),
-            )
+            self._pool = ShardedWorkerPool(self.config)
         return self._pool
+
+    def check_health(self) -> int:
+        """Respawns any crashed worker; returns how many were respawned.
+
+        In-process services (``num_workers=0``) have nothing to check and
+        always return 0.  Sharded submissions call this implicitly, so an
+        explicit call is only needed for out-of-band monitoring loops.
+        """
+        if self.config.num_workers == 0 or self._pool is None:
+            return 0
+        respawned = self._pool.ensure_healthy()
+        self.stats.respawns = self._pool.respawns
+        return respawned
 
     def _validate_worker_config(self) -> None:
         """Catches configs that would crash the worker initializer.
@@ -229,10 +220,15 @@ class PredictionService:
             )
 
     def close(self) -> None:
-        """Shuts down the worker pool (idempotent)."""
+        """Shuts down the worker pool (idempotent).
+
+        A worker-mode service cannot be reused afterwards (submitting would
+        need a fresh pool); the in-process path holds no external resources
+        and keeps working.
+        """
+        self._closed = True
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._pool.close()
             self._pool = None
 
     def __enter__(self) -> "PredictionService":
@@ -266,7 +262,18 @@ class PredictionService:
         ``config.max_batch_size`` blocks, predicted (sharded across the
         worker pool when one is configured), and reassembled into one
         response per request, in request order.
+
+        Thread-safe: concurrent calls are serialized, one submission at a
+        time.  Callers wanting cross-request batching under concurrency
+        should put an :class:`~repro.serve.AsyncPredictionService` in front
+        instead of submitting from many threads.
         """
+        with self._submit_lock:
+            return self._submit_locked(requests)
+
+    def _submit_locked(
+        self, requests: Sequence[PredictionRequest]
+    ) -> List[PredictionResponse]:
         start = time.perf_counter()
         # Fail fast on unknown task filters, before any prediction work (and
         # before spawning workers) is spent on the submission.
@@ -280,23 +287,39 @@ class PredictionService:
                         f"tasks: {unknown}"
                     )
 
-        batches = coalesce_requests(requests, self.config.max_batch_size)
-        if batches:
-            if self.config.num_workers > 0:
-                pool = self._ensure_pool()
-                batch_results = pool.map(
-                    _worker_predict, [batch.block_texts for batch in batches]
+        if self.config.num_workers > 0 and any(
+            request.num_blocks for request in requests
+        ):
+            # No liveness pre-check needed: run_batches detects dead workers
+            # on send/recv, respawns them and resubmits the lost work.
+            pool = self._ensure_pool()
+            if self.config.sharding == "hash":
+                assignments = coalesce_requests_by_shard(
+                    requests, self.config.max_batch_size, pool.num_workers
                 )
             else:
-                model = self.model
-                batch_results = [
-                    _predict_texts(model, batch.block_texts, self._parse_cache)
-                    for batch in batches
+                assignments = [
+                    ((self._round_robin_position + index) % pool.num_workers, batch)
+                    for index, batch in enumerate(
+                        coalesce_requests(requests, self.config.max_batch_size)
+                    )
                 ]
-            tasks = tuple(batch_results[0].keys())
+                self._round_robin_position = (
+                    self._round_robin_position + len(assignments)
+                ) % pool.num_workers
+            batches = [batch for _, batch in assignments]
+            batch_results = pool.run_batches(
+                [(worker, batch.block_texts) for worker, batch in assignments]
+            )
+            self.stats.respawns = pool.respawns
         else:
-            batch_results = []
-            tasks = served_tasks
+            batches = coalesce_requests(requests, self.config.max_batch_size)
+            model = self.model if batches else None
+            batch_results = [
+                predict_texts(model, batch.block_texts, self._parse_cache)
+                for batch in batches
+            ]
+        tasks = tuple(batch_results[0].keys()) if batch_results else served_tasks
 
         # Reassemble per-request arrays from the (request, position)
         # origins: scatter every batch into one flat per-task array indexed

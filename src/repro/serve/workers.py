@@ -1,0 +1,402 @@
+"""Sharded worker processes with health checks and automatic respawn.
+
+The original worker pool was a ``multiprocessing.Pool`` whose ``map`` dealt
+micro-batches to whichever worker was free.  That wastes the workers' warm
+caches: the same block lands on a different replica every submission, so
+every replica slowly re-encodes (and re-predicts) the whole key space.  This
+module replaces it with a :class:`ShardedWorkerPool` of *addressable*
+workers:
+
+* each worker is a dedicated process with its own duplex pipe, so the
+  parent can route a micro-batch to a specific worker — which is what makes
+  stable block-text-hash sharding (see
+  :func:`repro.serve.batching.coalesce_requests_by_shard`) possible;
+* each worker owns a warm model replica plus parse cache, and can report
+  its cache counters (the per-worker shard-affinity stats used by the
+  serving benchmarks);
+* the parent detects crashed workers (dead process, broken pipe) both via
+  explicit health checks and mid-submission, respawns them from the service
+  config, and transparently resubmits the work that was in flight —
+  predictions are pure, so resubmission is always safe.
+
+The job protocol is deliberately tiny: ``(kind, job_id, payload)`` requests
+and ``(status, job_id, payload)`` replies, with kinds ``predict``, ``stats``,
+``ping`` and ``stop``.  Job ids let the parent discard stale replies after a
+respawn instead of mis-assigning them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.models import create_model
+from repro.models.base import ThroughputModel
+from repro.nn.serialization import load_checkpoint
+from repro.utils.cache import LRUCache
+
+__all__ = ["ShardedWorkerPool", "WorkerCrashError", "PARSE_CACHE_SIZE"]
+
+#: Capacity of the text -> parsed BasicBlock caches (service and workers).
+PARSE_CACHE_SIZE = 8192
+
+#: How often (seconds) the parent re-checks a worker's liveness while
+#: waiting for a reply.  Predictions may legitimately take much longer; the
+#: poll only bounds how quickly a *crash* is noticed, not the job itself.
+_POLL_INTERVAL_S = 0.05
+
+#: Respawn budget per ``run_batches`` call.  A worker that dies
+#: deterministically on some input would otherwise crash-loop forever.
+_MAX_RESPAWNS_PER_CALL = 3
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker crashed repeatedly and its work could not be completed."""
+
+
+def _worker_context():
+    """A fork-safe multiprocessing context for worker (re)spawns.
+
+    Workers are respawned wherever a crash is detected — including the async
+    front end's dispatcher thread — and ``fork`` in a multi-threaded parent
+    can inherit held locks into the child, wedging it inside
+    :func:`build_model` forever.  ``forkserver`` forks from a clean
+    single-threaded server instead (with this module preloaded so replicas
+    don't re-import numpy per spawn); platforms without it use ``spawn``.
+    """
+    try:
+        context = multiprocessing.get_context("forkserver")
+        context.set_forkserver_preload(["repro.serve.workers"])
+    except ValueError:
+        context = multiprocessing.get_context("spawn")
+    return context
+
+
+def build_model(config) -> ThroughputModel:
+    """Constructs (and warm-starts) one model replica from a service config."""
+    kwargs = {}
+    if config.tasks is not None:
+        kwargs["tasks"] = config.tasks
+    model = create_model(
+        config.model_name, small=config.small_model, seed=config.seed, **kwargs
+    )
+    if config.checkpoint_path is not None:
+        load_checkpoint(model, config.checkpoint_path)
+    return model
+
+
+def predict_texts(
+    model: ThroughputModel,
+    block_texts: Sequence[str],
+    parse_cache: Optional[LRUCache] = None,
+) -> Dict[str, np.ndarray]:
+    """Parses block texts (through ``parse_cache`` when given) and predicts.
+
+    Caching the parsed blocks keeps steady-state serving of repeated texts
+    from paying parse + render cost before the model's prediction cache can
+    even be consulted.
+    """
+    blocks = []
+    for text in block_texts:
+        block = parse_cache.get(text) if parse_cache is not None else None
+        if block is None:
+            block = BasicBlock.from_text(text)
+            if parse_cache is not None:
+                parse_cache.put(text, block)
+        blocks.append(block)
+    return model.predict(blocks)
+
+
+def _worker_main(config, connection) -> None:
+    """Entry point of one worker process: warm model, serve jobs until stop."""
+    model = build_model(config)
+    parse_cache = LRUCache(PARSE_CACHE_SIZE)
+    while True:
+        try:
+            kind, job_id, payload = connection.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        if kind == "stop":
+            return
+        try:
+            if kind == "predict":
+                result = predict_texts(model, payload, parse_cache)
+            elif kind == "stats":
+                result = dict(model.cache_stats())
+                result["parse_hits"] = parse_cache.hits
+                result["parse_misses"] = parse_cache.misses
+            elif kind == "ping":
+                result = os.getpid()
+            else:
+                raise ValueError(f"unknown worker job kind {kind!r}")
+            connection.send(("ok", job_id, result))
+        except Exception:
+            connection.send(("error", job_id, traceback.format_exc()))
+
+
+class _WorkerHandle:
+    """Parent-side handle of one worker: process, pipe, respawn bookkeeping."""
+
+    def __init__(self, config, shard_index: int, context) -> None:
+        self._config = config
+        self._context = context
+        self.shard_index = shard_index
+        self.spawn_count = 0
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.connection = None
+        self.spawn()
+
+    def spawn(self) -> None:
+        self.discard()
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(self._config, child_end),
+            name=f"repro-serve-worker-{self.shard_index}",
+            daemon=True,
+        )
+        process.start()
+        child_end.close()  # the parent keeps only its own end
+        self.process = process
+        self.connection = parent_end
+        self.spawn_count += 1
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def discard(self) -> None:
+        """Tears down the current process/pipe without replacing them."""
+        if self.connection is not None:
+            try:
+                self.connection.close()
+            except OSError:
+                pass
+            self.connection = None
+        if self.process is not None:
+            if self.process.is_alive():
+                self.process.terminate()
+            self.process.join(timeout=2.0)
+            self.process = None
+
+
+class ShardedWorkerPool:
+    """A pool of addressable warm-model workers, one per shard.
+
+    Unlike ``multiprocessing.Pool`` the assignment of work to workers is
+    entirely up to the caller (worker *i* always serves shard *i*), dead
+    workers are respawned automatically, and in-flight work lost to a crash
+    is resubmitted to the replacement.
+    """
+
+    def __init__(self, config, num_workers: Optional[int] = None) -> None:
+        self._config = config
+        self._context = _worker_context()
+        self._job_ids = itertools.count()
+        count = config.num_workers if num_workers is None else num_workers
+        if count < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        self._workers = [
+            _WorkerHandle(config, shard_index, self._context)
+            for shard_index in range(count)
+        ]
+        # One submission owns all pipes at a time: replies are correlated to
+        # jobs by per-worker FIFO order, which concurrent callers (e.g. two
+        # async front ends sharing one service) would interleave.
+        self._jobs_lock = threading.Lock()
+        self._closed = False
+        #: Total workers respawned over the pool's lifetime (health checks
+        #: and mid-submission crash recovery both count).
+        self.respawns = 0
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    # ------------------------------------------------------------------ #
+    # Health.
+    # ------------------------------------------------------------------ #
+    def ensure_healthy(self) -> int:
+        """Respawns any dead worker; returns how many were respawned.
+
+        Taken under the jobs lock so an out-of-band monitoring thread can
+        never replace a connection a concurrent submission is waiting on.
+        """
+        with self._jobs_lock:
+            self._check_open()
+            respawned = 0
+            for worker in self._workers:
+                if not worker.alive():
+                    worker.spawn()
+                    respawned += 1
+            self.respawns += respawned
+            return respawned
+
+    def ping(self) -> List[int]:
+        """Round-trips every worker, returning their PIDs.
+
+        Blocks until each worker has finished warm-starting its model and
+        answered, so it doubles as the pool's warm-up barrier.
+        """
+        results = self._run_jobs([(index, "ping", None) for index in range(self.num_workers)])
+        return [int(pid) for pid in results]
+
+    def worker_stats(self) -> List[Dict[str, float]]:
+        """Per-worker cache counters (encode/prediction/parse hits, misses)."""
+        results = self._run_jobs([(index, "stats", None) for index in range(self.num_workers)])
+        return [dict(stats) for stats in results]
+
+    # ------------------------------------------------------------------ #
+    # Work.
+    # ------------------------------------------------------------------ #
+    def run_batches(
+        self, assignments: Sequence[Tuple[int, Tuple[str, ...]]]
+    ) -> List[Dict[str, np.ndarray]]:
+        """Predicts every ``(worker_index, block_texts)`` assignment.
+
+        Workers run their assignments concurrently (each worker serially, in
+        order).  Results are returned aligned with ``assignments``.  Crashed
+        workers are respawned and their outstanding assignments resubmitted;
+        a worker that keeps crashing raises :class:`WorkerCrashError`.
+        """
+        return self._run_jobs(
+            [(worker_index, "predict", texts) for worker_index, texts in assignments]
+        )
+
+    #: In-flight jobs per worker.  Bounding this keeps both pipe directions
+    #: shallow, so neither side can block on a full OS pipe buffer while the
+    #: other side is blocked too (the classic fan-out deadlock of sending a
+    #: whole job list eagerly).
+    _MAX_IN_FLIGHT = 2
+
+    def _run_jobs(self, jobs: Sequence[Tuple[int, str, object]]) -> List[object]:
+        """Dispatches jobs to their workers and gathers results in order."""
+        with self._jobs_lock:
+            self._check_open()
+            return self._run_jobs_locked(jobs)
+
+    def _run_jobs_locked(self, jobs: Sequence[Tuple[int, str, object]]) -> List[object]:
+        results: List[object] = [None] * len(jobs)
+        # Per-worker queues of (job_id, job_index, kind, payload).  Workers
+        # answer in submission order, so the head of ``in_flight`` is always
+        # the reply expected next from that worker.
+        waiting: Dict[int, List[Tuple[int, int, str, object]]] = {}
+        in_flight: Dict[int, List[Tuple[int, int, str, object]]] = {}
+        for job_index, (worker_index, kind, payload) in enumerate(jobs):
+            if not 0 <= worker_index < self.num_workers:
+                raise IndexError(f"no such worker: {worker_index}")
+            job_id = next(self._job_ids)
+            waiting.setdefault(worker_index, []).append(
+                (job_id, job_index, kind, payload)
+            )
+            in_flight.setdefault(worker_index, [])
+        respawn_budget = _MAX_RESPAWNS_PER_CALL * self.num_workers
+        first_error: Optional[str] = None
+
+        def handle_crash(worker_index: int) -> None:
+            nonlocal respawn_budget
+            if respawn_budget <= 0:
+                raise WorkerCrashError(
+                    f"worker {worker_index} crashed repeatedly; giving up "
+                    f"after {self.respawns} respawns"
+                )
+            respawn_budget -= 1
+            self._workers[worker_index].spawn()
+            self.respawns += 1
+            # Everything sent but unanswered died with the process; put it
+            # back at the front so the replacement recomputes it first.
+            waiting[worker_index][:0] = in_flight[worker_index]
+            in_flight[worker_index].clear()
+
+        def handle_reply(worker_index: int, reply) -> None:
+            nonlocal first_error
+            status, job_id, payload = reply
+            if job_id != in_flight[worker_index][0][0]:
+                return  # stale reply from before a respawn; discard
+            _, job_index, _, _ = in_flight[worker_index].pop(0)
+            if status == "ok":
+                results[job_index] = payload
+            elif first_error is None:
+                first_error = payload
+
+        while any(waiting.values()) or any(in_flight.values()):
+            for worker_index in waiting:
+                # Top up this worker's in-flight window.
+                while (
+                    waiting[worker_index]
+                    and len(in_flight[worker_index]) < self._MAX_IN_FLIGHT
+                ):
+                    job = waiting[worker_index].pop(0)
+                    try:
+                        self._workers[worker_index].connection.send(
+                            (job[2], job[0], job[3])
+                        )
+                        in_flight[worker_index].append(job)
+                    except (BrokenPipeError, OSError):
+                        waiting[worker_index].insert(0, job)
+                        handle_crash(worker_index)
+            # Wait on every busy worker's pipe at once: the first reply (or
+            # EOF of a dying worker) wakes us, with no serial per-worker
+            # poll latency.
+            connection_owner = {
+                self._workers[worker_index].connection: worker_index
+                for worker_index, flight in in_flight.items()
+                if flight
+            }
+            if not connection_owner:
+                continue
+            ready = multiprocessing.connection.wait(
+                list(connection_owner), timeout=_POLL_INTERVAL_S
+            )
+            if not ready:
+                # No replies within the poll window; sweep for silent deaths
+                # (a SIGKILLed worker's pipe usually reports EOF via wait,
+                # but be defensive).
+                for connection, worker_index in connection_owner.items():
+                    if not self._workers[worker_index].alive():
+                        handle_crash(worker_index)
+                continue
+            for connection in ready:
+                worker_index = connection_owner[connection]
+                try:
+                    reply = connection.recv()
+                except (EOFError, BrokenPipeError, OSError):
+                    handle_crash(worker_index)
+                    continue
+                handle_reply(worker_index, reply)
+        if first_error is not None:
+            raise RuntimeError(f"worker job failed:\n{first_error}")
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle.
+    # ------------------------------------------------------------------ #
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+
+    def close(self) -> None:
+        """Stops every worker (idempotent).
+
+        Taken under the jobs lock: an in-flight ``run_batches`` finishes
+        (including any crash-recovery respawns it performs) before teardown,
+        so no worker process can be spawned after its pool is closed.
+        """
+        with self._jobs_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for worker in self._workers:
+                if worker.connection is not None and worker.alive():
+                    try:
+                        worker.connection.send(("stop", -1, None))
+                    except (BrokenPipeError, OSError):
+                        pass
+                worker.discard()

@@ -12,7 +12,7 @@ arrays, independent of any model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy import stats

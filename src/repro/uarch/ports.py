@@ -19,8 +19,8 @@ multi-task experiments in the paper exploit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.isa.instructions import Instruction
 from repro.isa.semantics import InstructionCategory, semantics_for

@@ -28,11 +28,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
-from repro.isa.basic_block import BasicBlock, MEMORY_LOCATION
+from repro.isa.basic_block import BasicBlock
 from repro.isa.instructions import Instruction
 from repro.isa.operands import OperandKind
 from repro.isa.semantics import OperandAction, semantics_for
@@ -215,7 +214,9 @@ class ThroughputOracle:
                 finish[flat_index] = ready + latencies[index]
                 for resource in accesses[index].writes:
                     last_writer[resource] = flat_index
-            iteration_max.append(max(finish[copy * num_instructions : (copy + 1) * num_instructions]))
+            iteration_max.append(
+                max(finish[copy * num_instructions : (copy + 1) * num_instructions])
+            )
 
         if unroll < 2:
             return iteration_max[-1]

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.data.synthetic import BlockGenerator, GeneratorConfig, WorkloadProfile
-from repro.isa.basic_block import BasicBlock
 from repro.isa.parser import parse_block_text
 from repro.isa.semantics import InstructionCategory, semantics_for
 

@@ -4,7 +4,6 @@ These tests check the encoding rules of Section 3.1 / Tables 2-3 of the
 paper, in particular on the Figure 1 example block.
 """
 
-import pytest
 
 from repro.graph.builder import GraphBuilder, GraphBuilderConfig, build_block_graph
 from repro.graph.types import EdgeType, NodeType, SpecialToken

@@ -7,7 +7,6 @@ from repro.graph.builder import build_block_graph
 from repro.graph.graph import BlockGraph, GraphsTuple, pack_graphs
 from repro.graph.types import EDGE_TYPE_INDEX, EdgeType, NodeType
 from repro.graph.vocabulary import build_default_vocabulary
-from repro.isa.basic_block import BasicBlock
 
 
 @pytest.fixture(scope="module")

@@ -12,8 +12,7 @@ from repro.data.datasets import build_ithemal_like_dataset
 
 pytestmark = pytest.mark.slow  # full training loops; skipped by -m "not slow"
 from repro.models import create_model
-from repro.models.config import GraniteConfig, TrainingConfig
-from repro.models.granite import GraniteModel
+from repro.models.config import TrainingConfig
 from repro.nn.serialization import load_checkpoint, save_checkpoint
 from repro.training.trainer import Trainer, evaluate_model
 from repro.uarch.ports import MICROARCHITECTURES

@@ -9,7 +9,6 @@ from repro.isa.basic_block import (
     instruction_accesses,
 )
 from repro.isa.instructions import Instruction
-from repro.isa.operands import Operand
 from repro.isa.parser import parse_instruction
 
 

@@ -1,9 +1,8 @@
 """Tests for instruction semantics (repro.isa.semantics)."""
 
-import pytest
 
 from repro.isa.instructions import Instruction
-from repro.isa.operands import MemoryReference, Operand
+from repro.isa.operands import Operand
 from repro.isa.parser import parse_instruction
 from repro.isa.semantics import (
     CONDITION_CODES,

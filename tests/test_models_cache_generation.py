@@ -1,0 +1,114 @@
+"""Per-module prediction-cache generations (repro.models.base).
+
+The prediction cache used to be keyed to a single *global* parameter
+generation, so training any model in the process invalidated every other
+model's cache.  These tests pin the per-module behaviour: a model's cache
+survives unrelated training and still invalidates on its own updates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import BlockGenerator, GeneratorConfig
+from repro.models import create_model
+from repro.nn.module import bump_parameter_version
+from repro.nn.optim import SGD
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return BlockGenerator(GeneratorConfig(seed=11)).generate_blocks(8)
+
+
+def _train_one_step(model, blocks):
+    """One tracked weight update: backprop-free, via the optimizer."""
+    optimizer = SGD(model.parameters(), learning_rate=1e-3)
+    for parameter in model.parameters():
+        parameter.grad = np.ones_like(parameter.data)
+    optimizer.step()
+
+
+class TestPerModuleGeneration:
+    def test_training_one_model_keeps_the_others_cache(self, blocks):
+        served = create_model("granite", small=True, seed=0)
+        trained = create_model("ithemal+", small=True, seed=1)
+        before = served.predict(blocks)
+        assert served.prediction_cache_stats["entries"] == len(blocks)
+
+        _train_one_step(trained, blocks)
+
+        # The served model's cache must survive the other model's training:
+        # every block is a hit and the values are identical.
+        hits_before = served.prediction_cache_stats["hits"]
+        after = served.predict(blocks)
+        assert served.prediction_cache_stats["entries"] == len(blocks)
+        assert served.prediction_cache_stats["hits"] == hits_before + len(blocks)
+        for task in served.tasks:
+            np.testing.assert_array_equal(after[task], before[task])
+
+    def test_own_training_still_invalidates(self, blocks):
+        model = create_model("granite", small=True, seed=3)
+        stale = model.predict(blocks)
+        assert model.prediction_cache_stats["entries"] == len(blocks)
+
+        _train_one_step(model, blocks)
+
+        fresh = model.predict(blocks)
+        assert model.prediction_cache_stats["entries"] == len(blocks)
+        # The update moved the weights, so cached values must not be served.
+        changed = any(
+            not np.allclose(fresh[task], stale[task]) for task in model.tasks
+        )
+        assert changed
+
+    def test_load_state_dict_invalidates_own_cache_only(self, blocks):
+        served = create_model("granite", small=True, seed=0)
+        reloaded = create_model("granite", small=True, seed=4)
+        donor = create_model("granite", small=True, seed=5)
+        served.predict(blocks)
+        stale = reloaded.predict(blocks)
+
+        reloaded.load_state_dict(donor.state_dict())
+
+        fresh = reloaded.predict(blocks)
+        changed = any(
+            not np.allclose(fresh[task], stale[task]) for task in reloaded.tasks
+        )
+        assert changed
+        # The bystander's cache is untouched: all hits.
+        hits_before = served.prediction_cache_stats["hits"]
+        served.predict(blocks)
+        assert served.prediction_cache_stats["hits"] == hits_before + len(blocks)
+
+    def test_global_bump_alone_does_not_drop_caches(self, blocks):
+        """A bare global version bump (no weights moved) keeps every cache."""
+        model = create_model("granite", small=True, seed=6)
+        model.predict(blocks)
+        bump_parameter_version()
+        hits_before = model.prediction_cache_stats["hits"]
+        model.predict(blocks)
+        assert model.prediction_cache_stats["hits"] == hits_before + len(blocks)
+
+    def test_parameter_generation_is_strictly_monotonic(self, blocks):
+        model = create_model("ithemal+", small=True, seed=7)
+        generation = model.parameter_generation()
+        _train_one_step(model, blocks)
+        stepped = model.parameter_generation()
+        assert stepped > generation
+        model.load_state_dict(model.state_dict())
+        assert model.parameter_generation() > stepped
+
+
+class TestCacheStatsHook:
+    def test_uniform_summary_across_model_families(self, blocks):
+        for name in ("granite", "ithemal+"):
+            model = create_model(name, small=True, seed=0)
+            for _ in range(2):
+                model.predict(blocks)
+            stats = model.cache_stats()
+            assert stats["encode_misses"] > 0
+            assert stats["prediction_hits"] == len(blocks)
+            assert stats["prediction_misses"] == len(blocks)
+            assert stats["prediction_hit_rate"] == pytest.approx(0.5)
+            assert stats["prediction_entries"] == len(blocks)
+            assert 0.0 <= stats["encode_hit_rate"] <= 1.0

@@ -1,6 +1,5 @@
 """Tests for the Ithemal tokenizer (repro.models.tokenizer)."""
 
-import pytest
 
 from repro.graph.types import SpecialToken
 from repro.isa.parser import parse_instruction

@@ -1,0 +1,169 @@
+"""Tests of hash sharding and the respawning worker pool (repro.serve)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import BlockGenerator, GeneratorConfig
+from repro.serve import (
+    PredictionRequest,
+    PredictionService,
+    ServiceConfig,
+    coalesce_requests_by_shard,
+    shard_key,
+)
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return BlockGenerator(GeneratorConfig(seed=33)).generate_blocks(32)
+
+
+class TestShardPartitioning:
+    def test_shard_key_is_stable(self, blocks):
+        text = blocks[0].canonical_text()
+        assert shard_key(text) == shard_key(text)
+        assert isinstance(shard_key(text), int)
+
+    def test_partition_covers_every_block_once(self, blocks):
+        requests = [
+            PredictionRequest.of(blocks[:20]),
+            PredictionRequest.of(blocks[20:]),
+        ]
+        assignments = coalesce_requests_by_shard(
+            requests, max_batch_size=8, num_shards=3
+        )
+        origins = [
+            origin for _, batch in assignments for origin in batch.origins
+        ]
+        assert sorted(origins) == [
+            (index, position)
+            for index, request in enumerate(requests)
+            for position in range(request.num_blocks)
+        ]
+        assert all(batch.num_blocks <= 8 for _, batch in assignments)
+
+    def test_blocks_routed_by_their_hash(self, blocks):
+        assignments = coalesce_requests_by_shard(
+            [PredictionRequest.of(blocks)], max_batch_size=8, num_shards=4
+        )
+        for shard, batch in assignments:
+            for text in batch.block_texts:
+                assert shard_key(text) % 4 == shard
+
+    def test_same_block_always_same_shard(self, blocks):
+        """Routing only depends on the text, not on request composition."""
+        solo = coalesce_requests_by_shard(
+            [PredictionRequest.of(blocks[:1])], max_batch_size=8, num_shards=4
+        )
+        mixed = coalesce_requests_by_shard(
+            [PredictionRequest.of(list(reversed(blocks)))],
+            max_batch_size=8,
+            num_shards=4,
+        )
+        target_text = blocks[0].canonical_text()
+        solo_shard = solo[0][0]
+        mixed_shards = {
+            shard
+            for shard, batch in mixed
+            if target_text in batch.block_texts
+        }
+        assert mixed_shards == {solo_shard}
+
+    def test_invalid_arguments(self, blocks):
+        request = PredictionRequest.of(blocks[:2])
+        with pytest.raises(ValueError):
+            coalesce_requests_by_shard([request], max_batch_size=0, num_shards=2)
+        with pytest.raises(ValueError):
+            coalesce_requests_by_shard([request], max_batch_size=4, num_shards=0)
+
+    def test_unknown_sharding_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(sharding="random")
+
+
+@pytest.mark.slow
+class TestShardedWorkerPool:
+    def test_hash_sharding_matches_in_process(self, blocks):
+        in_process = PredictionService(
+            ServiceConfig(model_name="granite", max_batch_size=5)
+        )
+        expected = in_process.predict_blocks(blocks)
+        config = ServiceConfig(
+            model_name="granite", max_batch_size=5, num_workers=2, sharding="hash"
+        )
+        with PredictionService(config) as sharded:
+            served = sharded.predict_blocks(blocks)
+        for task in in_process.model.tasks:
+            np.testing.assert_allclose(served[task], expected[task], rtol=1e-9)
+
+    def test_round_robin_mode_matches_in_process(self, blocks):
+        in_process = PredictionService(
+            ServiceConfig(model_name="granite", max_batch_size=5)
+        )
+        expected = in_process.predict_blocks(blocks)
+        config = ServiceConfig(
+            model_name="granite",
+            max_batch_size=5,
+            num_workers=2,
+            sharding="round_robin",
+        )
+        with PredictionService(config) as sharded:
+            served = sharded.predict_blocks(blocks)
+        for task in in_process.model.tasks:
+            np.testing.assert_allclose(served[task], expected[task], rtol=1e-9)
+
+    def test_worker_crash_respawns_mid_stream(self, blocks):
+        """Killing a worker between submissions must not lose any request."""
+        config = ServiceConfig(model_name="granite", max_batch_size=4, num_workers=2)
+        with PredictionService(config) as service:
+            first = service.predict_blocks(blocks)
+            victim = service._pool._workers[0]
+            victim.process.kill()
+            victim.process.join()
+            assert not victim.alive()
+            second = service.predict_blocks(blocks)
+            assert service.stats.respawns >= 1
+            assert service._pool._workers[0].alive()
+        for task in first:
+            np.testing.assert_allclose(second[task], first[task], rtol=1e-9)
+
+    def test_check_health_respawns_out_of_band(self, blocks):
+        config = ServiceConfig(model_name="granite", num_workers=2)
+        with PredictionService(config) as service:
+            assert service.check_health() == 0
+            victim = service._pool._workers[1]
+            victim.process.kill()
+            victim.process.join()
+            assert service.check_health() == 1
+            assert service.check_health() == 0
+            served = service.predict_blocks(blocks[:6])
+            assert all(len(values) == 6 for values in served.values())
+
+    def test_worker_stats_report_shard_affinity(self, blocks):
+        """Repeated traffic turns into per-worker cache hits under hashing."""
+        config = ServiceConfig(model_name="granite", num_workers=2, sharding="hash")
+        with PredictionService(config) as service:
+            for _ in range(3):
+                service.predict_blocks(blocks)
+            stats = service._pool.worker_stats()
+        assert len(stats) == 2
+        for worker_stats in stats:
+            # Every worker saw each of its shard's blocks three times: one
+            # miss, then hits — so its prediction hit rate lands at ~2/3.
+            assert worker_stats["prediction_hit_rate"] >= 0.5
+            assert worker_stats["parse_hits"] >= worker_stats["parse_misses"]
+
+    def test_in_process_check_health_is_noop(self):
+        service = PredictionService(ServiceConfig(model_name="granite"))
+        assert service.check_health() == 0
+
+    def test_closed_service_does_not_respawn_pool(self, blocks):
+        """Use after close must raise, not silently leak a fresh pool."""
+        service = PredictionService(
+            ServiceConfig(model_name="granite", num_workers=1)
+        ).warm_start()
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            service.predict_blocks(blocks[:2])
+        assert service._pool is None

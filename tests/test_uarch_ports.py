@@ -3,7 +3,6 @@
 import pytest
 
 from repro.isa.parser import parse_instruction
-from repro.isa.semantics import InstructionCategory
 from repro.uarch.ports import (
     HASWELL,
     IVY_BRIDGE,
