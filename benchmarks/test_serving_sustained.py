@@ -23,6 +23,7 @@ rates must measurably beat round-robin dealing on repeated traffic.
 """
 
 import random
+import threading
 import time
 
 import pytest
@@ -40,6 +41,8 @@ REQUEST_SIZE = 2
 NUM_REQUESTS = 200  # per measurement phase
 DEADLINE_MS = 25.0
 NUM_WORKERS = 2
+NUM_PRODUCERS = 4
+REQUESTS_PER_PRODUCER = 50
 
 
 def _requests(block_texts, start):
@@ -203,4 +206,105 @@ def test_hash_sharding_beats_round_robin_cache_affinity(block_texts, rounds):
     assert hash_rate > rr_rate + 0.05, (
         f"hash sharding's mean per-worker prediction hit rate ({hash_rate:.3f}) "
         f"is not measurably above round-robin's ({rr_rate:.3f})"
+    )
+
+
+def test_multi_producer_no_loss_within_deadline():
+    """Four concurrent threaded clients: no request loss, p99 wait bounded.
+
+    The async front end's submit path is hit from ``NUM_PRODUCERS`` threads
+    at once, each pacing its own novel-block traffic so the aggregate
+    offered load matches the sync service's measured steady-state rate.
+    Every future must resolve with its own request's blocks (no loss, no
+    cross-wiring) and the p99 flush wait must stay within 2x the deadline —
+    the same bar the single-producer test holds.
+    """
+    warmup = 20
+    total_requests = NUM_PRODUCERS * REQUESTS_PER_PRODUCER
+    calibration = 50
+    blocks = BlockGenerator(seed=77).generate_blocks(
+        warmup + (calibration + total_requests) * REQUEST_SIZE
+    )
+    texts = [block.canonical_text() for block in blocks]
+
+    config = ServiceConfig(
+        model_name="granite", max_batch_size=64, num_workers=NUM_WORKERS
+    )
+    async_config = AsyncServiceConfig(
+        max_batch_size=64, max_latency_ms=DEADLINE_MS, max_queue_blocks=8192
+    )
+    with PredictionService(config).warm_start() as service:
+        for start in range(0, warmup, REQUEST_SIZE):
+            service.submit([PredictionRequest.of(texts[start : start + REQUEST_SIZE])])
+
+        # Calibrate the offered load: the sync service's own sustained rate.
+        start_time = time.perf_counter()
+        for index in range(calibration):
+            begin = warmup + index * REQUEST_SIZE
+            service.submit([PredictionRequest.of(texts[begin : begin + REQUEST_SIZE])])
+        sync_rate = calibration * REQUEST_SIZE / (time.perf_counter() - start_time)
+        interarrival = NUM_PRODUCERS * REQUEST_SIZE / sync_rate
+
+        with AsyncPredictionService(async_config, service=service) as front_end:
+            results: dict = {}
+            errors: list = []
+            base = warmup + calibration * REQUEST_SIZE
+
+            def produce(producer: int) -> None:
+                futures = []
+                next_send = time.perf_counter()
+                try:
+                    for index in range(REQUESTS_PER_PRODUCER):
+                        offset = base + (
+                            producer * REQUESTS_PER_PRODUCER + index
+                        ) * REQUEST_SIZE
+                        request = PredictionRequest.of(
+                            texts[offset : offset + REQUEST_SIZE],
+                            request_id=f"producer-{producer}-{index}",
+                        )
+                        delay = next_send - time.perf_counter()
+                        if delay > 0:
+                            time.sleep(delay)
+                        futures.append((request.request_id, front_end.submit(request)))
+                        next_send += interarrival
+                    for request_id, future in futures:
+                        results[request_id] = future.result(timeout=120.0)
+                except Exception as error:  # noqa: BLE001 - reported below
+                    errors.append((producer, error))
+
+            producers = [
+                threading.Thread(target=produce, args=(producer,), daemon=True)
+                for producer in range(NUM_PRODUCERS)
+            ]
+            start_time = time.perf_counter()
+            for thread in producers:
+                thread.start()
+            for thread in producers:
+                thread.join(timeout=300.0)
+            elapsed = time.perf_counter() - start_time
+            stats = front_end.stats
+
+    assert not errors, f"producer threads failed: {errors}"
+    # No request loss: every submitted request resolved, with its own size.
+    assert len(results) == total_requests
+    for request_id, response in results.items():
+        assert response.request_id == request_id
+        assert response.num_blocks == REQUEST_SIZE
+    assert stats.requests == total_requests
+
+    p50 = stats.flush_wait_percentile(0.50) * 1e3
+    p99 = stats.flush_wait_percentile(0.99) * 1e3
+    print()
+    print(
+        f"--- {NUM_PRODUCERS} producers x {REQUESTS_PER_PRODUCER} requests "
+        f"@ {sync_rate:.0f} blocks/s aggregate ---"
+    )
+    print(
+        f"{total_requests * REQUEST_SIZE / elapsed:8.0f} blocks/s served, "
+        f"{stats.flushes} flushes, mean {stats.mean_flush_blocks:.1f} blocks/flush"
+    )
+    print(f"flush wait: p50={p50:.2f} ms  p99={p99:.2f} ms (deadline {DEADLINE_MS} ms)")
+    assert p99 <= 2.0 * DEADLINE_MS, (
+        f"p99 flush wait {p99:.2f} ms exceeds 2x the {DEADLINE_MS} ms deadline "
+        f"under {NUM_PRODUCERS} concurrent producers"
     )

@@ -102,11 +102,14 @@ def measure_model_timing(
             model.predict(batch)
             inference_times.append(time.perf_counter() - start)
 
+    # Median, not mean: per-batch wall times occasionally catch a collector
+    # pause or scheduler blip an order of magnitude above the true cost,
+    # and a handful of samples gives the mean no chance to absorb it.
     return TimingResult(
         model_name=type(model).__name__,
         tasks=tuple(model.tasks),
-        training_seconds_per_batch=float(np.mean(training_times)),
-        inference_seconds_per_batch=float(np.mean(inference_times)),
+        training_seconds_per_batch=float(np.median(training_times)),
+        inference_seconds_per_batch=float(np.median(inference_times)),
         batch_size=batch_size,
     )
 

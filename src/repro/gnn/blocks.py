@@ -35,6 +35,11 @@ class GraphState:
     Under gradient recording these are :class:`Tensor` values; on the
     ``no_grad`` inference fast path they are raw ``numpy.ndarray`` values and
     every block below operates on them without building the autodiff tape.
+    The blocks are dtype-transparent: whatever compute dtype the input
+    features carry (``float64`` by default, ``float32`` inside a
+    ``repro.nn.tensor.compute_dtype("float32")`` context) is preserved by
+    every gather/concat/aggregate/update along the way — segment sums
+    accumulate in float64 and cast back (see ``repro.nn.tensor.segment_sum``).
 
     Attributes:
         nodes: ``[total_nodes, node_size]`` node features.

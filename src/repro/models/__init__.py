@@ -43,6 +43,7 @@ def create_model(
     small: bool = True,
     seed: int = 0,
     num_message_passing_iterations: Optional[int] = None,
+    inference_dtype: Optional[str] = None,
 ) -> ThroughputModel:
     """Creates one of the paper's models by name.
 
@@ -53,7 +54,14 @@ def create_model(
             of the paper-scale Table 4 configuration.
         seed: Seed for weight initialisation.
         num_message_passing_iterations: Optional override for GRANITE.
+        inference_dtype: Optional compute dtype of the no-grad inference
+            fast path (``"float64"`` / ``"float32"``); ``None`` keeps the
+            config default, which honours the ``INFERENCE_DTYPE``
+            environment variable.  Weights are identical across dtypes for
+            a given seed — only inference math changes.
     """
+    from dataclasses import replace
+
     key = name.lower()
     if key == "granite":
         if small:
@@ -61,11 +69,11 @@ def create_model(
         else:
             config = GraniteConfig.paper_defaults(tasks=tasks)
         if num_message_passing_iterations is not None:
-            from dataclasses import replace
-
             config = replace(
                 config, num_message_passing_iterations=num_message_passing_iterations
             )
+        if inference_dtype is not None:
+            config = replace(config, inference_dtype=inference_dtype)
         return GraniteModel(config)
     if key in ("ithemal", "ithemal+"):
         plus = key == "ithemal+"
@@ -73,5 +81,7 @@ def create_model(
             config = IthemalConfig.small(tasks=tasks, plus=plus, seed=seed)
         else:
             config = IthemalConfig.paper_defaults(tasks=tasks, plus=plus)
+        if inference_dtype is not None:
+            config = replace(config, inference_dtype=inference_dtype)
         return IthemalModel(config)
     raise ValueError(f"unknown model {name!r}; expected one of {MODEL_NAMES}")

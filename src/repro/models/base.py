@@ -23,16 +23,21 @@ import numpy as np
 
 from repro.isa.basic_block import BasicBlock
 from repro.nn.module import Module, parameter_version
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor, compute_dtype, no_grad
 from repro.utils.cache import LRUCache
 
 __all__ = ["ThroughputModel"]
 
 
 def _as_array(values) -> np.ndarray:
-    """Normalises a forward output (Tensor or ndarray) to a flat array."""
+    """Normalises a forward output (Tensor or ndarray) to a flat float64 array.
+
+    Predictions computed by the float32 fast path are widened here, at the
+    inference boundary, so callers always receive float64 arrays whatever
+    the model's :attr:`~ThroughputModel.inference_dtype` is.
+    """
     array = values.data if isinstance(values, Tensor) else np.asarray(values)
-    return array.reshape(-1)
+    return array.reshape(-1).astype(np.float64, copy=False)
 
 
 class ThroughputModel(Module):
@@ -40,6 +45,14 @@ class ThroughputModel(Module):
 
     #: Target microarchitecture keys, one prediction head per entry.
     tasks: Tuple[str, ...]
+
+    #: Compute dtype of the no-grad inference fast path (``"float64"`` or
+    #: ``"float32"``).  Subclasses set it from their config; it only affects
+    #: :meth:`predict` (training and the tape path always run float64).  The
+    #: dtype is part of the prediction-cache key, so flipping it — or serving
+    #: a float32 clone next to a float64 original — never aliases cached
+    #: values across precisions.
+    inference_dtype: str = "float64"
 
     #: Capacity of the per-block prediction cache (0 disables it).  Unlike
     #: the encode caches, cached *predictions* depend on the weights, so the
@@ -176,7 +189,7 @@ class ThroughputModel(Module):
         self, blocks: List[BasicBlock], batch_size: Optional[int]
     ) -> Dict[str, np.ndarray]:
         """Batched no-grad forward over ``blocks`` (no prediction cache)."""
-        with no_grad():
+        with no_grad(), compute_dtype(self.inference_dtype):
             if batch_size is None or batch_size >= len(blocks):
                 predictions = self.forward(self.encode_blocks(blocks))
                 return {
@@ -197,7 +210,9 @@ class ThroughputModel(Module):
     ) -> Dict[str, np.ndarray]:
         """Inference: predicts throughputs for ``blocks`` without gradients.
 
-        Runs on the no-grad fast path (raw numpy, no autodiff tape).  With
+        Runs on the no-grad fast path (raw numpy, no autodiff tape) in the
+        model's :attr:`inference_dtype`; results are widened to float64
+        arrays at this boundary either way.  With
         ``batch_size`` the blocks are processed in micro-batches of at most
         that many blocks, which bounds the peak memory of the packed
         representation; the result is identical to one large batch.  Blocks
@@ -222,7 +237,11 @@ class ThroughputModel(Module):
         if cache.maxsize <= 0:
             return self._predict_uncached(blocks, batch_size)
 
-        keys = [block.canonical_text() for block in blocks]
+        # The compute dtype is part of the key: a float32 clone of a float64
+        # model (or one model whose inference_dtype is flipped) must neither
+        # serve the other precision's cached values nor evict them.
+        dtype = self.inference_dtype
+        keys = [(block.canonical_text(), dtype) for block in blocks]
         results = {task: np.empty(len(blocks)) for task in self.tasks}
         missing: List[int] = []
         for index, key in enumerate(keys):

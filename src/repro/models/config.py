@@ -14,12 +14,30 @@ values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 from typing import Sequence, Tuple
 
 from repro.data.datasets import TARGET_MICROARCHITECTURES
+from repro.nn.tensor import SUPPORTED_DTYPES
 
-__all__ = ["GraniteConfig", "IthemalConfig", "TrainingConfig"]
+__all__ = [
+    "GraniteConfig",
+    "IthemalConfig",
+    "TrainingConfig",
+    "default_inference_dtype",
+]
+
+
+def default_inference_dtype() -> str:
+    """The process-wide default inference dtype.
+
+    ``float64`` unless the ``INFERENCE_DTYPE`` environment variable says
+    otherwise — which is how the CI matrix runs the whole tier-1 suite with
+    float32 inference without touching any individual test.  Training is
+    always float64 regardless (see ``repro.nn.tensor.compute_dtype``).
+    """
+    return os.environ.get("INFERENCE_DTYPE", "float64")
 
 
 @dataclass(frozen=True)
@@ -55,6 +73,12 @@ class GraniteConfig:
         output_scale: Constant multiplier applied to decoder outputs; keeps
             the per-instruction contributions in a numerically convenient
             range given that labels are cycles per 100 iterations.
+        inference_dtype: Compute dtype of the no-grad inference fast path
+            (``"float64"`` default, ``"float32"`` for mixed-precision
+            serving).  Master weights and training stay float64; predictions
+            computed in float32 must pass the tolerance harness in
+            ``tests/equivalence``.  The default honours the
+            ``INFERENCE_DTYPE`` environment variable (CI matrix leg).
         seed: Seed for weight initialisation.
         encode_cache_size: Capacity of the per-block graph LRU cache used by
             :meth:`repro.models.granite.GraniteModel.encode_blocks` (0
@@ -77,6 +101,7 @@ class GraniteConfig:
     aggregation: str = "mean"
     readout: str = "per_instruction"
     output_scale: float = 100.0
+    inference_dtype: str = field(default_factory=default_inference_dtype)
     seed: int = 0
     encode_cache_size: int = 8192
     batch_cache_size: int = 64
@@ -86,6 +111,11 @@ class GraniteConfig:
             raise ValueError("readout must be 'per_instruction' or 'global'")
         if self.aggregation not in ("sum", "mean"):
             raise ValueError("aggregation must be 'sum' or 'mean'")
+        if self.inference_dtype not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"inference_dtype must be one of {SUPPORTED_DTYPES}, "
+                f"got {self.inference_dtype!r}"
+            )
 
     @staticmethod
     def paper_defaults(tasks: Sequence[str] = TARGET_MICROARCHITECTURES) -> "GraniteConfig":
@@ -129,6 +159,8 @@ class IthemalConfig:
         tasks: Target microarchitecture keys (one per decoder head).
         use_layer_norm: Layer normalisation at the MLP decoder input.
         output_scale: Constant multiplier on decoder outputs.
+        inference_dtype: Compute dtype of the no-grad inference fast path
+            (see :attr:`GraniteConfig.inference_dtype`).
         seed: Seed for weight initialisation.
         encode_cache_size: Capacity of the per-block tokenization LRU cache
             (0 disables caching); valid across retraining because the
@@ -144,6 +176,7 @@ class IthemalConfig:
     tasks: Tuple[str, ...] = TARGET_MICROARCHITECTURES
     use_layer_norm: bool = True
     output_scale: float = 100.0
+    inference_dtype: str = field(default_factory=default_inference_dtype)
     seed: int = 0
     encode_cache_size: int = 8192
     batch_cache_size: int = 64
@@ -151,6 +184,11 @@ class IthemalConfig:
     def __post_init__(self) -> None:
         if self.decoder not in ("dot_product", "mlp"):
             raise ValueError("decoder must be 'dot_product' or 'mlp'")
+        if self.inference_dtype not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"inference_dtype must be one of {SUPPORTED_DTYPES}, "
+                f"got {self.inference_dtype!r}"
+            )
 
     @staticmethod
     def paper_defaults(

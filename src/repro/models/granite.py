@@ -32,7 +32,13 @@ from repro.isa.basic_block import BasicBlock
 from repro.models.base import ThroughputModel
 from repro.models.config import GraniteConfig
 from repro.nn.layers import Dense, Embedding, ResidualMLP
-from repro.nn.tensor import Tensor, fast_path_active, gather_rows, segment_sum
+from repro.nn.tensor import (
+    Tensor,
+    active_dtype,
+    fast_path_active,
+    gather_rows,
+    segment_sum,
+)
 from repro.utils.cache import LRUCache
 
 __all__ = ["GraniteModel", "GraniteBatch"]
@@ -66,6 +72,7 @@ class GraniteModel(ThroughputModel):
         self.vocabulary = vocabulary or build_default_vocabulary()
         self.graph_builder = GraphBuilder(graph_config)
         self.tasks = tuple(self.config.tasks)
+        self.inference_dtype = self.config.inference_dtype
         if not self.tasks:
             raise ValueError("GraniteModel needs at least one task")
 
@@ -189,17 +196,20 @@ class GraniteModel(ThroughputModel):
         """
         graphs = batch.graphs
         grad = not fast_path_active()
+        dtype = np.float64 if grad else active_dtype()
         node_features = self.node_embedding(graphs.node_token_ids)
         if graphs.num_edges > 0:
             edge_features = self.edge_embedding(graphs.edge_type_ids)
         else:
-            zeros = np.zeros((0, self.config.edge_embedding_size))
+            zeros = np.zeros((0, self.config.edge_embedding_size), dtype=dtype)
             edge_features = Tensor(zeros) if grad else zeros
         if self.config.use_global_features:
             globals_input = Tensor(graphs.globals_features) if grad else graphs.globals_features
             global_features = self.global_encoder(globals_input)
         else:
-            zeros = np.zeros((graphs.num_graphs, self.config.global_embedding_size))
+            zeros = np.zeros(
+                (graphs.num_graphs, self.config.global_embedding_size), dtype=dtype
+            )
             global_features = Tensor(zeros) if grad else zeros
         state = GraphState(nodes=node_features, edges=edge_features, globals_=global_features)
         return self.graph_network(state, batch.topology)

@@ -79,6 +79,7 @@ class IthemalModel(ThroughputModel):
         self.config = config or IthemalConfig()
         self.vocabulary = vocabulary or build_ithemal_vocabulary()
         self.tasks = tuple(self.config.tasks)
+        self.inference_dtype = self.config.inference_dtype
         if not self.tasks:
             raise ValueError("IthemalModel needs at least one task")
 
@@ -215,7 +216,10 @@ class IthemalModel(ThroughputModel):
             )
             position_in_block[block_index] += 1
         if isinstance(instruction_embeddings, np.ndarray):
-            flat = np.zeros((num_blocks * max_instructions, hidden_size), dtype=np.float64)
+            flat = np.zeros(
+                (num_blocks * max_instructions, hidden_size),
+                dtype=instruction_embeddings.dtype,
+            )
             flat[slots] = instruction_embeddings
             packed = flat.reshape(num_blocks, max_instructions, hidden_size)
         else:
@@ -240,7 +244,7 @@ class IthemalModel(ThroughputModel):
                 if isinstance(block_embeddings, np.ndarray):
                     # Stay on the raw-numpy fast path: a Parameter operand
                     # would pull the matmul back onto tape Tensors.
-                    output = block_embeddings @ weight.data
+                    output = block_embeddings @ weight.data_as(block_embeddings.dtype)
                 else:
                     output = matmul(block_embeddings, weight)
             else:

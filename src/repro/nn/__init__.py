@@ -31,8 +31,11 @@ from repro.nn.optim import (
 )
 from repro.nn.serialization import checkpoint_to_dict, load_checkpoint, save_checkpoint
 from repro.nn.tensor import (
+    SUPPORTED_DTYPES,
     Tensor,
+    active_dtype,
     as_tensor,
+    compute_dtype,
     concatenate,
     fast_path_active,
     gather_rows,
@@ -40,6 +43,7 @@ from repro.nn.tensor import (
     matmul,
     no_grad,
     raw,
+    resolve_dtype,
     relu,
     segment_mean,
     segment_sum,
@@ -76,10 +80,14 @@ __all__ = [
     "checkpoint_to_dict",
     "load_checkpoint",
     "save_checkpoint",
+    "SUPPORTED_DTYPES",
     "Tensor",
+    "active_dtype",
     "as_tensor",
+    "compute_dtype",
     "concatenate",
     "fast_path_active",
+    "resolve_dtype",
     "gather_rows",
     "is_grad_enabled",
     "matmul",

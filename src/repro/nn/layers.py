@@ -16,7 +16,14 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, as_tensor, fast_path_active, raw, sigmoid
+from repro.nn.tensor import (
+    Tensor,
+    active_dtype,
+    as_tensor,
+    fast_path_active,
+    raw,
+    sigmoid,
+)
 
 __all__ = [
     "Dense",
@@ -60,10 +67,13 @@ class Dense(Module):
 
     def forward(self, inputs: Tensor) -> Tensor:
         if fast_path_active():
-            # Inference fast path: raw numpy, in-place where possible.
-            outputs = raw(inputs) @ self.weight.data
+            # Inference fast path: raw numpy, in-place where possible, in
+            # the active compute dtype (weights cast once per weight update,
+            # see Parameter.data_as).
+            dtype = active_dtype()
+            outputs = raw(inputs) @ self.weight.data_as(dtype)
             if self.bias is not None:
-                outputs += self.bias.data
+                outputs += self.bias.data_as(dtype)
             if self.activation == "relu":
                 np.maximum(outputs, 0.0, out=outputs)
             elif self.activation == "tanh":
@@ -145,6 +155,14 @@ class LayerNorm(Module):
     every update network and decoder.
     """
 
+    #: Epsilon floor applied when normalising in float32.  The spacing of
+    #: float32 around 1.0 is ~1.2e-7, so a variance computed from float32
+    #: features carries rounding noise of that order; an epsilon far below
+    #: it (some configs use 1e-8 and tighter) no longer regularises the
+    #: rsqrt and near-constant features blow up.  float64 keeps whatever
+    #: epsilon was configured.
+    FLOAT32_EPSILON_FLOOR = 1e-5
+
     def __init__(self, size: int, epsilon: float = 1e-5) -> None:
         if size <= 0:
             raise ValueError("LayerNorm size must be positive")
@@ -153,21 +171,50 @@ class LayerNorm(Module):
         self.epsilon = float(epsilon)
         self.size = size
 
+    def epsilon_for(self, dtype) -> float:
+        """The dtype-aware epsilon actually added to the variance."""
+        if np.dtype(dtype) == np.float32:
+            return max(self.epsilon, self.FLOAT32_EPSILON_FLOOR)
+        return self.epsilon
+
     def forward(self, inputs: Tensor) -> Tensor:
         if fast_path_active():
             array = raw(inputs)
-            mean = array.mean(axis=-1, keepdims=True)
-            centered = array - mean
-            if centered.ndim == 2:
-                # einsum computes the row-wise sum of squares in one pass,
-                # noticeably faster than materialising centered**2.
-                variance = np.einsum("ij,ij->i", centered, centered)[:, None]
-                variance /= centered.shape[-1]
+            dtype = array.dtype
+            if dtype == np.float64:
+                mean = array.mean(axis=-1, keepdims=True)
+                centered = array - mean
+                if centered.ndim == 2:
+                    # einsum computes the row-wise sum of squares in one
+                    # pass, noticeably faster than materialising centered**2.
+                    variance = np.einsum("ij,ij->i", centered, centered)[:, None]
+                    variance /= centered.shape[-1]
+                else:
+                    variance = (centered * centered).mean(axis=-1, keepdims=True)
+                scale = (variance + self.epsilon) ** -0.5
             else:
-                variance = (centered * centered).mean(axis=-1, keepdims=True)
-            centered *= (variance + self.epsilon) ** -0.5
-            centered *= self.gain.data
-            centered += self.offset.data
+                # float32 inference: the mean and the sum of squares are
+                # reductions over the feature axis, where float32 suffers
+                # catastrophic cancellation on near-constant features (a
+                # single-precision two-pass variance can even come out
+                # negative).  Accumulate both in float64, then fold the
+                # rsqrt factor back to float32 — the per-feature work stays
+                # single precision, only the [rows, 1] statistics don't.
+                mean = array.mean(axis=-1, keepdims=True, dtype=np.float64)
+                centered = array - mean.astype(dtype)
+                if centered.ndim == 2:
+                    variance = np.einsum(
+                        "ij,ij->i", centered, centered, dtype=np.float64
+                    )[:, None]
+                    variance /= centered.shape[-1]
+                else:
+                    variance = (centered * centered).mean(
+                        axis=-1, keepdims=True, dtype=np.float64
+                    )
+                scale = ((variance + self.epsilon_for(dtype)) ** -0.5).astype(dtype)
+            centered *= scale
+            centered *= self.gain.data_as(dtype)
+            centered += self.offset.data_as(dtype)
             return centered
         inputs = as_tensor(inputs)
         mean = inputs.mean(axis=-1, keepdims=True)
@@ -201,7 +248,7 @@ class Embedding(Module):
                 f"min={indices.min()}, max={indices.max()}"
             )
         if fast_path_active():
-            return self.table.data[indices]
+            return self.table.data_as(active_dtype())[indices]
         return self.table.gather_rows(indices)
 
 

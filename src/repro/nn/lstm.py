@@ -18,6 +18,7 @@ from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import (
     Tensor,
+    active_dtype,
     as_tensor,
     concatenate,
     fast_path_active,
@@ -69,9 +70,10 @@ class LSTMCell(Module):
         """
         hidden_state, cell_state = state
         if fast_path_active():
-            gates = raw(inputs) @ self.weight_input.data
-            gates += raw(hidden_state) @ self.weight_hidden.data
-            gates += self.bias.data
+            dtype = active_dtype()
+            gates = raw(inputs) @ self.weight_input.data_as(dtype)
+            gates += raw(hidden_state) @ self.weight_hidden.data_as(dtype)
+            gates += self.bias.data_as(dtype)
             size = self.hidden_size
             input_gate = sigmoid(gates[:, 0 * size : 1 * size])
             forget_gate = sigmoid(gates[:, 1 * size : 2 * size])
@@ -159,12 +161,13 @@ class LSTM(Module):
         lengths = np.asarray(lengths, dtype=np.int64)
 
         size = self.hidden_size
-        weight_input = self.cell.weight_input.data
-        weight_hidden = self.cell.weight_hidden.data
-        bias = self.cell.bias.data
-        hidden = np.zeros((batch_size, size), dtype=np.float64)
-        cell = np.zeros((batch_size, size), dtype=np.float64)
-        outputs = np.empty((batch_size, max_time, size), dtype=np.float64)
+        dtype = inputs.dtype
+        weight_input = self.cell.weight_input.data_as(dtype)
+        weight_hidden = self.cell.weight_hidden.data_as(dtype)
+        bias = self.cell.bias.data_as(dtype)
+        hidden = np.zeros((batch_size, size), dtype=dtype)
+        cell = np.zeros((batch_size, size), dtype=dtype)
+        outputs = np.empty((batch_size, max_time, size), dtype=dtype)
         for time in range(max_time):
             gates = inputs[:, time, :] @ weight_input
             gates += hidden @ weight_hidden

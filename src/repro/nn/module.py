@@ -57,11 +57,33 @@ class Parameter(Tensor):
         #: loads increment it, so per-module cache generations can tell which
         #: model's weights a global version bump belongs to.
         self.version = 0
+        # (version, array) of the last reduced-precision cast of ``data``;
+        # see :meth:`data_as`.
+        self._cast_cache: Optional[Tuple[int, np.ndarray]] = None
 
     def bump_version(self) -> int:
         """Records an in-place mutation of this parameter's data."""
         self.version += 1
         return self.version
+
+    def data_as(self, dtype) -> np.ndarray:
+        """This parameter's values cast to ``dtype`` (cached per version).
+
+        The float64 master weights are the single source of truth; reduced
+        precision views are derived caches keyed by :attr:`version`, so an
+        optimizer step or ``load_state_dict`` (both bump the version)
+        invalidates them and the next inference forward re-casts.  The cast
+        therefore happens once per weight update rather than once per
+        forward, which is what keeps the float32 fast path fast.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self.data.dtype:
+            return self.data
+        cached = self._cast_cache
+        if cached is None or cached[0] != self.version or cached[1].dtype != dtype:
+            cached = (self.version, self.data.astype(dtype))
+            self._cast_cache = cached
+        return cached[1]
 
 
 class Module:

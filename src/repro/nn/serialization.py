@@ -4,6 +4,17 @@ Checkpoints are plain ``.npz`` archives keyed by the parameter attribute
 paths produced by :meth:`repro.nn.Module.named_parameters`, which makes them
 portable, inspectable with numpy alone, and independent of pickling the
 model classes.
+
+Dtype contract: checkpoints always store the float64 master weights —
+:meth:`~repro.nn.Module.state_dict` copies ``Parameter.data``, which is
+float64 regardless of any ``inference_dtype`` the model serves in, and
+:meth:`~repro.nn.Module.load_state_dict` coerces stored arrays back to
+float64 on the way in.  Reduced-precision views (``Parameter.data_as``) are
+derived caches keyed to the parameter version, never persisted; loading a
+checkpoint bumps the versions, so a float32 serving replica re-casts from
+the freshly loaded float64 weights on its next forward.  A checkpoint
+round-trip therefore neither narrows weights nor silently upcasts a float32
+inference configuration back to float64.
 """
 
 from __future__ import annotations

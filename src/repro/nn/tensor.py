@@ -30,10 +30,26 @@ arrays inside :class:`no_grad` (see :func:`fast_path_active`), so a whole
 model forward stays on numpy end to end during inference.  Model code written
 against the functional API transparently accepts and returns either
 representation, which is what makes the batched prediction service fast.
+
+Compute dtype
+-------------
+
+The fast path is additionally dtype-configurable: inside a
+``compute_dtype("float32")`` context, :func:`raw` coerces operands to
+``float32`` and every fast-path op preserves that dtype, so a whole no-grad
+forward runs in single precision (roughly halving the Dense/LayerNorm
+matmul cost on BLAS backends).  Reductions that are numerically delicate
+(:func:`segment_sum` via ``bincount``, LayerNorm statistics in
+``repro.nn.layers``) still accumulate in ``float64`` and cast the result
+back.  The tape path is unaffected: differentiable :class:`Tensor` data is
+always ``float64`` — master weights and training never run in reduced
+precision, only inference does (see
+``repro.models.base.ThroughputModel.predict``).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -45,6 +61,10 @@ __all__ = [
     "is_grad_enabled",
     "use_fast_path",
     "fast_path_active",
+    "compute_dtype",
+    "active_dtype",
+    "resolve_dtype",
+    "SUPPORTED_DTYPES",
     "raw",
     "matmul",
     "gather_rows",
@@ -62,6 +82,75 @@ ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
 _FAST_PATH_ENABLED = True
+
+#: Dtype names accepted by :func:`resolve_dtype` / inference configurations.
+SUPPORTED_DTYPES = ("float64", "float32")
+
+
+class _ComputeDtypeState(threading.local):
+    """Per-thread compute dtype.
+
+    Thread-local rather than a module global because the serving stack runs
+    predicts on several threads at once (async dispatcher + client threads),
+    and a float32 service may share the process with a float64 one — each
+    thread's forward must see only its own ``compute_dtype`` context, or a
+    float64 predict could silently compute (and cache) float32 values.
+    """
+
+    def __init__(self) -> None:
+        self.value = np.dtype(np.float64)
+
+
+_COMPUTE_DTYPE = _ComputeDtypeState()
+
+
+def resolve_dtype(dtype: Union[str, np.dtype, type]) -> np.dtype:
+    """Normalises a dtype spec (``"float32"``, ``np.float32``, ...) to a dtype.
+
+    Raises:
+        ValueError: If the dtype is not one of :data:`SUPPORTED_DTYPES`.
+    """
+    resolved = np.dtype(dtype)
+    if resolved.name not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported compute dtype {dtype!r}; expected one of {SUPPORTED_DTYPES}"
+        )
+    return resolved
+
+
+def active_dtype() -> np.dtype:
+    """The dtype fast-path operations compute in (``float64`` by default).
+
+    Per-thread: see :class:`compute_dtype`.
+    """
+    return _COMPUTE_DTYPE.value
+
+
+class compute_dtype:
+    """Context manager selecting the no-grad fast path's compute dtype.
+
+    Only the raw-numpy fast path honours it: tape :class:`Tensor` data stays
+    ``float64`` regardless, so gradients and master weights keep full
+    precision.  Typical use is ``with no_grad(), compute_dtype("float32"):``
+    around an inference forward — which is exactly what
+    ``ThroughputModel.predict`` does when its ``inference_dtype`` says so.
+
+    The state is per-thread, so concurrent predicts in different precisions
+    (e.g. a float32 worker service next to a float64 model, or the async
+    dispatcher flushing while a client thread predicts) never leak their
+    dtype into each other's forwards.
+    """
+
+    def __init__(self, dtype: Union[str, np.dtype, type] = np.float64) -> None:
+        self._dtype = resolve_dtype(dtype)
+
+    def __enter__(self) -> "compute_dtype":
+        self._previous = _COMPUTE_DTYPE.value
+        _COMPUTE_DTYPE.value = self._dtype
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        _COMPUTE_DTYPE.value = self._previous
 
 
 class use_fast_path:
@@ -617,12 +706,24 @@ def where(condition: np.ndarray, on_true: Tensor, on_false: Tensor) -> Tensor:
 # numpy arrays without allocating a Tensor wrapper per operation.
 # ---------------------------------------------------------------------- #
 def raw(value: ArrayLike) -> np.ndarray:
-    """Unwraps ``value`` to its underlying float64 ``numpy.ndarray``."""
+    """Unwraps ``value`` to a ``numpy.ndarray`` of the active compute dtype.
+
+    Under the default ``float64`` compute dtype this is the identity for
+    tensor data and float64 arrays; inside a ``compute_dtype("float32")``
+    context it casts (once, at the fast path's entry points — the fast-path
+    ops themselves preserve dtype, so whole forwards cast each input a
+    single time).
+    """
+    dtype = _COMPUTE_DTYPE.value
     if isinstance(value, Tensor):
-        return value.data
-    if isinstance(value, np.ndarray) and value.dtype == np.float64:
-        return value
-    return np.asarray(value, dtype=np.float64)
+        data = value.data
+    elif isinstance(value, np.ndarray):
+        data = value
+    else:
+        return np.asarray(value, dtype=dtype)
+    if data.dtype == dtype:
+        return data
+    return data.astype(dtype)
 
 
 def matmul(left: ArrayLike, right: ArrayLike) -> Tensor:
@@ -645,6 +746,9 @@ def segment_sum(values: ArrayLike, segment_ids: np.ndarray, num_segments: int) -
     The fast path uses a flattened ``np.bincount`` instead of ``np.add.at``,
     which is ~2.5x faster for the 2-D feature matrices the graph network
     aggregates (``add.at`` falls back to a slow element-wise ufunc loop).
+    ``bincount`` accumulates in float64 whatever the compute dtype, so the
+    float32 inference mode keeps full-precision sums and only the stored
+    result is cast back.
     """
     if not isinstance(values, Tensor):
         array = raw(values)
@@ -652,16 +756,18 @@ def segment_sum(values: ArrayLike, segment_ids: np.ndarray, num_segments: int) -
         if array.ndim == 2:
             num_features = array.shape[1]
             flat_ids = segment_ids[:, None] * num_features + np.arange(num_features)
-            return np.bincount(
+            summed = np.bincount(
                 flat_ids.ravel(),
                 weights=array.ravel(),
                 minlength=num_segments * num_features,
             ).reshape(num_segments, num_features)
+            return summed.astype(array.dtype, copy=False)
         if array.ndim == 1:
-            return np.bincount(segment_ids, weights=array, minlength=num_segments)
+            summed = np.bincount(segment_ids, weights=array, minlength=num_segments)
+            return summed.astype(array.dtype, copy=False)
         output = np.zeros((num_segments,) + array.shape[1:], dtype=np.float64)
         np.add.at(output, segment_ids, array)
-        return output
+        return output.astype(array.dtype, copy=False)
     return values.segment_sum(segment_ids, num_segments)
 
 

@@ -14,7 +14,9 @@ front of it:
   whichever fires first;
 * every flush is one synchronous ``PredictionService.submit`` call, so the
   async front end composes unchanged with the in-process model or the
-  hash-sharded worker pool behind it.
+  hash-sharded worker pool behind it — including that service's
+  ``inference_dtype``: put the queue in front of a float32 service config
+  and every flush runs mixed-precision across the whole sharded pool.
 
 Flush-wait latencies (enqueue of the flush's oldest request to dispatch)
 are recorded in :class:`AsyncServiceStats`, whose percentiles are how the
@@ -136,6 +138,11 @@ class AsyncPredictionService:
         self._lifecycle_lock = threading.Lock()
         self._dispatcher: Optional[threading.Thread] = None
         self._closed = False
+
+    @property
+    def inference_dtype(self) -> str:
+        """Compute dtype of the service this front end flushes into."""
+        return self.service.inference_dtype
 
     # ------------------------------------------------------------------ #
     # Lifecycle.

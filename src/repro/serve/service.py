@@ -29,7 +29,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -37,6 +37,8 @@ import numpy as np
 from repro.data.datasets import TARGET_MICROARCHITECTURES
 from repro.isa.basic_block import BasicBlock
 from repro.models.base import ThroughputModel
+from repro.models.config import default_inference_dtype
+from repro.nn.tensor import SUPPORTED_DTYPES
 from repro.serve.batching import (
     PredictionRequest,
     PredictionResponse,
@@ -75,6 +77,13 @@ class ServiceConfig:
         sharding: ``"hash"`` routes every block to the worker owning
             ``shard_key(text) % num_workers`` (stable cache affinity);
             ``"round_robin"`` deals micro-batches out cyclically.
+        inference_dtype: Compute dtype of every replica's no-grad inference
+            fast path (``"float64"`` default, ``"float32"`` for
+            mixed-precision serving).  Propagated to all worker processes —
+            a whole hash-sharded pool runs float32 behind the same queue —
+            and into the replicas' prediction-cache keys, so float32 and
+            float64 services never alias cached values.  The default
+            honours the ``INFERENCE_DTYPE`` environment variable.
     """
 
     model_name: str = "granite"
@@ -85,6 +94,7 @@ class ServiceConfig:
     max_batch_size: int = 64
     num_workers: int = 0
     sharding: str = "hash"
+    inference_dtype: str = field(default_factory=default_inference_dtype)
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -95,6 +105,11 @@ class ServiceConfig:
             raise ValueError(
                 f"unknown sharding mode {self.sharding!r}; "
                 f"expected one of {SHARDING_MODES}"
+            )
+        if self.inference_dtype not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"inference_dtype must be one of {SUPPORTED_DTYPES}, "
+                f"got {self.inference_dtype!r}"
             )
 
 
@@ -122,7 +137,8 @@ class PredictionService:
         model: Optional pre-built (e.g. freshly trained) model to serve
             in-process.  Only valid with ``num_workers=0``; worker processes
             always build their replicas from the config so that they can be
-            respawned.
+            respawned.  A pre-built model keeps its own ``inference_dtype``
+            (the config's dtype only governs replicas the service builds).
     """
 
     def __init__(
@@ -160,6 +176,17 @@ class PredictionService:
         if self._model is None:
             self._model = build_model(self.config)
         return self._model
+
+    @property
+    def inference_dtype(self) -> str:
+        """The compute dtype this service predicts in.
+
+        The served model's dtype when one is (or has been) built, else the
+        config dtype every replica will be built with.
+        """
+        if self._model is not None:
+            return self._model.inference_dtype
+        return self.config.inference_dtype
 
     def warm_start(self) -> "PredictionService":
         """Eagerly builds the model (and worker pool), returning ``self``.

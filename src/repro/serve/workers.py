@@ -81,10 +81,19 @@ def _worker_context():
 
 
 def build_model(config) -> ThroughputModel:
-    """Constructs (and warm-starts) one model replica from a service config."""
+    """Constructs (and warm-starts) one model replica from a service config.
+
+    The config's ``inference_dtype`` is threaded into the replica, which is
+    how a sharded pool ends up with every worker predicting in float32 when
+    the service says so — replicas respawned after a crash come through this
+    same path, so the dtype survives respawns too.
+    """
     kwargs = {}
     if config.tasks is not None:
         kwargs["tasks"] = config.tasks
+    dtype = getattr(config, "inference_dtype", None)
+    if dtype is not None:
+        kwargs["inference_dtype"] = dtype
     model = create_model(
         config.model_name, small=config.small_model, seed=config.seed, **kwargs
     )
@@ -133,6 +142,9 @@ def _worker_main(config, connection) -> None:
                 result = dict(model.cache_stats())
                 result["parse_hits"] = parse_cache.hits
                 result["parse_misses"] = parse_cache.misses
+                # Which precision this replica actually predicts in; lets
+                # the parent (and tests) verify dtype propagation.
+                result["inference_dtype"] = model.inference_dtype
             elif kind == "ping":
                 result = os.getpid()
             else:
@@ -249,7 +261,8 @@ class ShardedWorkerPool:
         return [int(pid) for pid in results]
 
     def worker_stats(self) -> List[Dict[str, float]]:
-        """Per-worker cache counters (encode/prediction/parse hits, misses)."""
+        """Per-worker cache counters (encode/prediction/parse hits, misses)
+        plus the replica's ``inference_dtype``."""
         results = self._run_jobs([(index, "stats", None) for index in range(self.num_workers)])
         return [dict(stats) for stats in results]
 

@@ -1,0 +1,28 @@
+"""Reusable test harnesses (numerical equivalence, golden corpora).
+
+Kept inside the package — not under ``tests/`` — so benchmarks, CI legs and
+downstream users can all import the same tolerance logic the unit tests
+enforce.
+"""
+
+from repro.testing.equivalence import (
+    EquivalenceReport,
+    TaskEquivalence,
+    assert_allclose_for_dtype,
+    assert_prediction_equivalent,
+    compare_predictions,
+    load_golden,
+    relative_errors,
+    save_golden,
+)
+
+__all__ = [
+    "EquivalenceReport",
+    "TaskEquivalence",
+    "assert_allclose_for_dtype",
+    "assert_prediction_equivalent",
+    "compare_predictions",
+    "load_golden",
+    "relative_errors",
+    "save_golden",
+]

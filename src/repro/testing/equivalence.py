@@ -1,0 +1,290 @@
+"""Tolerance-aware equivalence harness for mixed-precision inference.
+
+The float32 inference mode (``inference_dtype="float32"``) is only safe to
+ship if its predictions are *numerically equivalent* to the float64 path —
+not bit-identical, which single precision cannot be, but within an explicit
+tolerance contract.  This module is that contract, in executable form:
+
+* :func:`relative_errors` — element-wise relative deviation with a robust
+  denominator (``max(|a|, |b|, floor)``), so near-zero predictions do not
+  manufacture infinite relative errors;
+* :func:`compare_predictions` — per-task comparison of two prediction
+  dicts, optionally against ground-truth labels, yielding an
+  :class:`EquivalenceReport` with per-task max/mean relative error and the
+  MAPE delta (in percentage points) the reduced precision costs;
+* :func:`assert_prediction_equivalent` — the one-call harness used by
+  ``tests/equivalence`` and the throughput benchmarks: predicts the same
+  blocks with a reference (float64) and a candidate (float32) model and
+  asserts both the relative-error tolerance and the MAPE-delta budget;
+* :func:`save_golden` / :func:`load_golden` — checked-in golden float64
+  predictions for a fixed seed corpus, so the float64 path itself is pinned
+  against drift and float32 is judged against a stable reference.
+
+The thresholds are arguments, not constants: the serving SLO owns them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.models.base import ThroughputModel
+from repro.training.metrics import mape
+
+__all__ = [
+    "TaskEquivalence",
+    "EquivalenceReport",
+    "relative_errors",
+    "compare_predictions",
+    "assert_prediction_equivalent",
+    "assert_allclose_for_dtype",
+    "save_golden",
+    "load_golden",
+]
+
+#: Denominator floor of :func:`relative_errors`.  Predictions are cycles per
+#: hundred loop iterations, i.e. O(100); deviations below the floor are
+#: judged absolutely rather than relatively.
+DEFAULT_FLOOR = 1.0
+
+
+def relative_errors(
+    reference: np.ndarray, candidate: np.ndarray, floor: float = DEFAULT_FLOOR
+) -> np.ndarray:
+    """Element-wise relative deviation of ``candidate`` from ``reference``.
+
+    Uses ``|a - b| / max(|a|, |b|, floor)``: symmetric in the operands and
+    bounded even when an (untrained or adversarial) model predicts values
+    near zero.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if reference.shape != candidate.shape:
+        raise ValueError(
+            f"shape mismatch: reference {reference.shape} vs candidate "
+            f"{candidate.shape}"
+        )
+    denominator = np.maximum(
+        np.maximum(np.abs(reference), np.abs(candidate)), float(floor)
+    )
+    return np.abs(reference - candidate) / denominator
+
+
+@dataclass(frozen=True)
+class TaskEquivalence:
+    """Equivalence measurements of one prediction head.
+
+    Attributes:
+        task: Microarchitecture key of the head.
+        max_rel_error: Worst element-wise relative deviation.
+        mean_rel_error: Mean element-wise relative deviation.
+        mape_reference: Reference-model MAPE against labels, in percent
+            (``None`` without labels).
+        mape_candidate: Candidate-model MAPE against labels, in percent.
+        mape_delta: ``mape_candidate - mape_reference`` in percentage
+            points — the accuracy the reduced precision actually costs.
+    """
+
+    task: str
+    max_rel_error: float
+    mean_rel_error: float
+    mape_reference: Optional[float] = None
+    mape_candidate: Optional[float] = None
+    mape_delta: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Per-task equivalence of a candidate prediction set vs a reference."""
+
+    tasks: tuple
+
+    @property
+    def max_rel_error(self) -> float:
+        return max(entry.max_rel_error for entry in self.tasks)
+
+    @property
+    def max_abs_mape_delta(self) -> float:
+        """Largest |MAPE delta| across tasks (0.0 when labels were absent)."""
+        deltas = [
+            abs(entry.mape_delta)
+            for entry in self.tasks
+            if entry.mape_delta is not None
+        ]
+        return max(deltas) if deltas else 0.0
+
+    def summary(self) -> str:
+        lines = []
+        for entry in self.tasks:
+            line = (
+                f"{entry.task}: rel err max={entry.max_rel_error:.2e} "
+                f"mean={entry.mean_rel_error:.2e}"
+            )
+            if entry.mape_delta is not None:
+                line += (
+                    f", MAPE {entry.mape_reference:.3f}% -> "
+                    f"{entry.mape_candidate:.3f}% "
+                    f"(delta {entry.mape_delta:+.3f} pp)"
+                )
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def compare_predictions(
+    reference: Mapping[str, np.ndarray],
+    candidate: Mapping[str, np.ndarray],
+    labels: Optional[Mapping[str, np.ndarray]] = None,
+    floor: float = DEFAULT_FLOOR,
+) -> EquivalenceReport:
+    """Builds an :class:`EquivalenceReport` from two prediction dicts.
+
+    Args:
+        reference: Per-task reference predictions (typically float64).
+        candidate: Per-task candidate predictions (typically float32).
+        labels: Optional per-task ground truth; enables the MAPE columns.
+        floor: Denominator floor of :func:`relative_errors`.
+    """
+    missing = sorted(set(reference) - set(candidate))
+    if missing:
+        raise KeyError(f"candidate predictions are missing tasks: {missing}")
+    entries: List[TaskEquivalence] = []
+    for task in reference:
+        errors = relative_errors(reference[task], candidate[task], floor=floor)
+        mape_reference = mape_candidate = mape_delta = None
+        if labels is not None and task in labels:
+            actual = np.asarray(labels[task], dtype=np.float64)
+            mape_reference = 100.0 * mape(np.asarray(reference[task]), actual)
+            mape_candidate = 100.0 * mape(np.asarray(candidate[task]), actual)
+            mape_delta = mape_candidate - mape_reference
+        entries.append(
+            TaskEquivalence(
+                task=task,
+                max_rel_error=float(errors.max()) if errors.size else 0.0,
+                mean_rel_error=float(errors.mean()) if errors.size else 0.0,
+                mape_reference=mape_reference,
+                mape_candidate=mape_candidate,
+                mape_delta=mape_delta,
+            )
+        )
+    return EquivalenceReport(tasks=tuple(entries))
+
+
+def assert_prediction_equivalent(
+    model64: ThroughputModel,
+    model32: ThroughputModel,
+    blocks: Sequence[BasicBlock],
+    rel_tol: float = 1e-3,
+    mape_budget: float = 0.5,
+    labels: Optional[Mapping[str, np.ndarray]] = None,
+    batch_size: Optional[int] = None,
+    floor: float = DEFAULT_FLOOR,
+) -> EquivalenceReport:
+    """Asserts the two models' predictions are numerically equivalent.
+
+    Predicts ``blocks`` with both models and raises :class:`AssertionError`
+    (with the full per-task report in the message) unless:
+
+    * every element-wise relative deviation is at most ``rel_tol``, and
+    * with ``labels``, every per-task |MAPE delta| is at most
+      ``mape_budget`` percentage points — the acceptance criterion of the
+      mixed-precision serving mode.
+
+    The models are expected to hold identical weights (same seed or an
+    explicit ``load_state_dict``); the harness verifies the *dtype* contract,
+    not training.  Returns the report for printing/recording on success.
+    """
+    if not len(blocks):
+        raise ValueError("cannot check equivalence on an empty block list")
+    reference = model64.predict(blocks, batch_size=batch_size)
+    candidate = model32.predict(blocks, batch_size=batch_size)
+    report = compare_predictions(reference, candidate, labels=labels, floor=floor)
+    problems = []
+    if report.max_rel_error > rel_tol:
+        problems.append(
+            f"max relative error {report.max_rel_error:.3e} exceeds "
+            f"rel_tol {rel_tol:.3e}"
+        )
+    if labels is not None and report.max_abs_mape_delta > mape_budget:
+        problems.append(
+            f"|MAPE delta| {report.max_abs_mape_delta:.3f} pp exceeds "
+            f"budget {mape_budget:.3f} pp"
+        )
+    if problems:
+        raise AssertionError(
+            f"{model32.inference_dtype} predictions are not equivalent to "
+            f"{model64.inference_dtype}: " + "; ".join(problems) + "\n"
+            + report.summary()
+        )
+    return report
+
+
+def assert_allclose_for_dtype(
+    actual,
+    desired,
+    dtype,
+    strict_rtol: float = 1e-9,
+    rtol32: float = 1e-5,
+    atol32: float = 1e-4,
+) -> None:
+    """``assert_allclose`` whose tolerance follows the inference dtype.
+
+    Float64 inference is bit-stable across batching, sharding and process
+    boundaries, so tests hold it to ``strict_rtol``.  Float32 (e.g. under
+    the ``INFERENCE_DTYPE=float32`` CI leg) is a tolerance contract instead:
+    BLAS kernels may round differently across micro-batch shapes, so
+    equality is judged at single-precision resolution (``rtol32/atol32``).
+    ``dtype`` accepts a name ("float32") or a numpy dtype — pass the
+    model's or service's ``inference_dtype``.
+    """
+    if np.dtype(dtype) == np.float32:
+        np.testing.assert_allclose(actual, desired, rtol=rtol32, atol=atol32)
+    else:
+        np.testing.assert_allclose(actual, desired, rtol=strict_rtol)
+
+
+# ---------------------------------------------------------------------- #
+# Golden prediction files.
+# ---------------------------------------------------------------------- #
+def save_golden(
+    path: str,
+    predictions: Mapping[str, np.ndarray],
+    metadata: Optional[Mapping[str, object]] = None,
+) -> None:
+    """Writes per-task float64 predictions (plus metadata) as JSON.
+
+    JSON keeps goldens reviewable in diffs; float64 values round-trip
+    exactly through ``repr``-style JSON floats.
+    """
+    payload = {
+        "metadata": dict(metadata or {}),
+        "predictions": {
+            task: [float(value) for value in np.asarray(values).reshape(-1)]
+            for task, values in predictions.items()
+        },
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_golden(path: str) -> tuple:
+    """Loads ``(predictions, metadata)`` saved by :func:`save_golden`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(
+            f"golden prediction file not found: {path} "
+            "(regenerate with `python tests/equivalence/harness.py --regenerate`)"
+        )
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    predictions: Dict[str, np.ndarray] = {
+        task: np.asarray(values, dtype=np.float64)
+        for task, values in payload["predictions"].items()
+    }
+    return predictions, payload.get("metadata", {})

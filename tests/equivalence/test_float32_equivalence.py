@@ -1,0 +1,142 @@
+"""The mixed-precision equivalence suite.
+
+Three layers of protection around ``inference_dtype="float32"``:
+
+1. **Drift guard** — the float64 path must reproduce the checked-in golden
+   predictions for the fixed corpus, so the reference itself cannot move
+   silently.
+2. **Relative tolerance** — float32 predictions must stay within
+   ``REL_TOL`` element-wise relative deviation of float64 on every task,
+   on synthetic and BHive-format blocks alike.
+3. **MAPE budget** — against the corpus labels, float32 may cost at most
+   ``MAPE_BUDGET_PP`` percentage points of MAPE versus the golden float64
+   predictions (the acceptance criterion of the serving mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import harness
+from repro.testing.equivalence import (
+    assert_prediction_equivalent,
+    compare_predictions,
+    relative_errors,
+)
+
+#: Element-wise relative tolerance of float32 vs float64 predictions.
+REL_TOL = 1e-3
+
+#: MAPE delta budget, in percentage points (ISSUE acceptance criterion).
+MAPE_BUDGET_PP = 0.5
+
+#: Float64-vs-golden drift tolerance (allows BLAS reassociation across
+#: platforms, catches any real change to the inference math).
+DRIFT_TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return harness.build_corpus()
+
+
+@pytest.fixture(scope="module")
+def models():
+    """(float64, float32) golden-model pairs per family, built once."""
+    return {
+        name: (harness.build_model(name, "float64"), harness.build_model(name, "float32"))
+        for name in harness.MODEL_NAMES
+    }
+
+
+class TestCorpus:
+    def test_corpus_shape_and_labels(self, corpus):
+        blocks, labels = corpus
+        assert len(blocks) == harness.NUM_SYNTHETIC_BLOCKS + harness.NUM_BHIVE_BLOCKS
+        for task, values in labels.items():
+            assert values.shape == (len(blocks),)
+            assert np.all(values > 0), f"non-positive labels for {task}"
+
+    def test_bhive_part_comes_from_csv_format(self):
+        from repro.data.bhive_format import read_dataset_csv
+
+        dataset = read_dataset_csv(harness.bhive_corpus_path())
+        assert len(dataset.samples) == harness.NUM_BHIVE_BLOCKS
+        assert all(len(sample.block) > 0 for sample in dataset.samples)
+
+
+@pytest.mark.parametrize("model_name", harness.MODEL_NAMES)
+class TestGoldenEquivalence:
+    def test_float64_matches_golden(self, model_name, corpus, models):
+        blocks, _ = corpus
+        model64, _ = models[model_name]
+        golden = harness.load_golden_predictions(model_name)
+        predictions = model64.predict(blocks)
+        for task, values in golden.items():
+            errors = relative_errors(values, predictions[task])
+            assert errors.max() <= DRIFT_TOL, (
+                f"float64 {model_name}/{task} drifted from golden: "
+                f"max rel err {errors.max():.3e}"
+            )
+
+    def test_float32_within_tolerance_of_float64(self, model_name, corpus, models):
+        blocks, labels = corpus
+        model64, model32 = models[model_name]
+        report = assert_prediction_equivalent(
+            model64,
+            model32,
+            blocks,
+            rel_tol=REL_TOL,
+            mape_budget=MAPE_BUDGET_PP,
+            labels=labels,
+        )
+        print(f"\n--- {model_name} float32 vs float64 ---\n{report.summary()}")
+
+    def test_float32_within_mape_budget_of_golden(self, model_name, corpus, models):
+        """The budget also holds against the *checked-in* reference."""
+        blocks, labels = corpus
+        _, model32 = models[model_name]
+        golden = harness.load_golden_predictions(model_name)
+        report = compare_predictions(golden, model32.predict(blocks), labels=labels)
+        assert report.max_abs_mape_delta <= MAPE_BUDGET_PP, report.summary()
+        assert report.max_rel_error <= REL_TOL, report.summary()
+
+    def test_float32_batched_equals_unbatched(self, model_name, corpus, models):
+        """Micro-batching must not change float32 results (same reduction
+        order per block regardless of batch composition is NOT guaranteed,
+        but per-block rows are independent through every layer, so values
+        must match to float32 resolution)."""
+        blocks, _ = corpus
+        _, model32 = models[model_name]
+        model32.clear_prediction_cache()
+        whole = model32.predict(blocks)
+        model32.clear_prediction_cache()
+        chunked = model32.predict(blocks, batch_size=7)
+        for task in whole:
+            errors = relative_errors(whole[task], chunked[task])
+            assert errors.max() <= 1e-5
+
+
+class TestHarnessSelfChecks:
+    def test_relative_errors_floor_guards_near_zero(self):
+        errors = relative_errors(np.array([0.0, 100.0]), np.array([0.5, 101.0]))
+        # First entry: |0 - 0.5| / max(0, 0.5, floor=1) = 0.5, not inf.
+        assert errors[0] == pytest.approx(0.5)
+        assert errors[1] == pytest.approx(1.0 / 101.0)
+
+    def test_compare_predictions_rejects_missing_tasks(self):
+        with pytest.raises(KeyError, match="missing tasks"):
+            compare_predictions({"haswell": np.ones(2)}, {})
+
+    def test_assert_raises_on_genuinely_different_models(self, corpus):
+        blocks, _ = corpus
+        model_a = harness.build_model("granite", "float64")
+        model_b = harness.create_model_with_other_weights()
+        with pytest.raises(AssertionError, match="not equivalent"):
+            assert_prediction_equivalent(model_a, model_b, blocks[:8], rel_tol=1e-3)
+
+    def test_assert_rejects_empty_corpus(self):
+        model = harness.build_model("granite", "float64")
+        with pytest.raises(ValueError, match="empty"):
+            assert_prediction_equivalent(model, model, [])

@@ -126,8 +126,10 @@ class TestTiming:
     def test_measure_model_timing(self):
         dataset = build_bhive_like_dataset(30, seed=1)
         model = create_model("granite", small=True, seed=0)
+        # Enough samples for the median to shrug off a stray GC pause or
+        # scheduler blip (each batch is tens of milliseconds at most).
         timing = measure_model_timing(
-            model, dataset, batch_size=10, num_training_batches=2, num_inference_batches=2
+            model, dataset, batch_size=10, num_training_batches=3, num_inference_batches=5
         )
         assert timing.training_seconds_per_batch > 0
         assert timing.inference_seconds_per_batch > 0

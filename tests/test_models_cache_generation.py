@@ -99,6 +99,66 @@ class TestPerModuleGeneration:
         assert model.parameter_generation() > stepped
 
 
+class TestDtypeCacheIsolation:
+    """The prediction cache key includes the inference dtype.
+
+    A float64 training model and a float32 serving clone must neither
+    cross-hit (serving reduced-precision values as full-precision ones or
+    vice versa) nor cross-invalidate each other's prediction caches.
+    """
+
+    def test_float32_clone_never_hits_float64_entries(self, blocks):
+        model = create_model("granite", small=True, seed=8, inference_dtype="float64")
+        first = model.predict(blocks)
+        assert model.prediction_cache_stats["entries"] == len(blocks)
+
+        # Same model object flipped to float32: the same block texts must
+        # miss (different key), recompute, and coexist with the float64
+        # entries rather than evict them.
+        model.inference_dtype = "float32"
+        flipped = model.predict(blocks)
+        stats = model.prediction_cache_stats
+        assert stats["entries"] == 2 * len(blocks)
+        changed = any(
+            not np.array_equal(flipped[task], first[task]) for task in model.tasks
+        )
+        assert changed, "float32 predictions served bit-identical float64 values"
+
+        # Flipping back serves the original float64 entries from cache.
+        model.inference_dtype = "float64"
+        hits_before = model.prediction_cache_stats["hits"]
+        again = model.predict(blocks)
+        assert model.prediction_cache_stats["hits"] == hits_before + len(blocks)
+        for task in model.tasks:
+            np.testing.assert_array_equal(again[task], first[task])
+
+    def test_training_float64_model_keeps_float32_clones_cache(self, blocks):
+        trained = create_model("granite", small=True, seed=8, inference_dtype="float64")
+        served = create_model("granite", small=True, seed=8, inference_dtype="float32")
+        served.load_state_dict(trained.state_dict())
+        before = served.predict(blocks)
+        assert served.prediction_cache_stats["entries"] == len(blocks)
+
+        _train_one_step(trained, blocks)
+
+        # The float32 clone's cache survives the float64 model's training
+        # (separate modules, separate generations) and serves identical
+        # values from cache.
+        hits_before = served.prediction_cache_stats["hits"]
+        after = served.predict(blocks)
+        assert served.prediction_cache_stats["hits"] == hits_before + len(blocks)
+        for task in served.tasks:
+            np.testing.assert_array_equal(after[task], before[task])
+
+        # And the trained model's own (float64) cache was invalidated: its
+        # next predictions are fresh, not the clone's float32 values.
+        fresh = trained.predict(blocks)
+        changed = any(
+            not np.allclose(fresh[task], before[task]) for task in trained.tasks
+        )
+        assert changed
+
+
 class TestCacheStatsHook:
     def test_uniform_summary_across_model_families(self, blocks):
         for name in ("granite", "ithemal+"):

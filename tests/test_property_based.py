@@ -7,11 +7,19 @@ invariants, the throughput oracle's bounds, and the metric definitions.
 
 from __future__ import annotations
 
+import functools
+import os
+import tempfile
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.data.synthetic import BlockGenerator
 from repro.graph.builder import build_block_graph
+from repro.models import create_model
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.testing.equivalence import relative_errors
 from repro.graph.graph import pack_graphs
 from repro.graph.types import EdgeType, NodeType
 from repro.graph.vocabulary import build_default_vocabulary
@@ -264,3 +272,76 @@ class TestAutodiffProperties:
         rng = np.random.default_rng(size)
         output = layer(Tensor(rng.normal(5.0, 3.0, size=(4, size)))).data
         np.testing.assert_allclose(output.mean(axis=-1), 0.0, atol=1e-6)
+
+
+# --------------------------------------------------------------------- #
+# Mixed-precision inference properties.
+# --------------------------------------------------------------------- #
+@functools.lru_cache(maxsize=None)
+def _dtype_model_pair(name: str):
+    """One (float64, float32) pair per family, shared across examples.
+
+    Same seed -> bit-identical master weights; only inference math differs.
+    """
+    return (
+        create_model(name, small=True, seed=321, inference_dtype="float64"),
+        create_model(name, small=True, seed=321, inference_dtype="float32"),
+    )
+
+
+class TestDtypeEquivalenceProperties:
+    #: Element-wise relative tolerance of float32 vs float64 predictions on
+    #: arbitrary random blocks (matches tests/equivalence's REL_TOL).
+    REL_TOL = 1e-3
+
+    @given(
+        st.sampled_from(["granite", "ithemal+"]),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_float32_and_float64_predictions_agree(self, name, seed, count):
+        blocks = BlockGenerator(seed=seed).generate_blocks(count)
+        model64, model32 = _dtype_model_pair(name)
+        predictions64 = model64.predict(blocks)
+        predictions32 = model32.predict(blocks)
+        for task in model64.tasks:
+            errors = relative_errors(predictions64[task], predictions32[task])
+            assert errors.max() <= self.REL_TOL, (
+                f"{name}/{task} float32 deviates by {errors.max():.3e} "
+                f"on blocks from seed {seed}"
+            )
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_dtype_round_trips_through_checkpoints(self, seed):
+        """Checkpoint save/load never narrows or silently upcasts.
+
+        Whatever weights a float32-serving model holds, the checkpoint
+        stores float64 masters, a reload restores them as float64, and the
+        reloaded float32 predictions are bit-identical to the donor's
+        (the cast caches are derived state, refreshed on load).
+        """
+        rng = np.random.default_rng(seed)
+        donor = create_model("granite", small=True, seed=9, inference_dtype="float32")
+        # Random weights so every example round-trips a different model.
+        donor.load_state_dict(
+            {
+                name: value + rng.normal(scale=0.05, size=value.shape)
+                for name, value in donor.state_dict().items()
+            }
+        )
+        blocks = BlockGenerator(seed=seed).generate_blocks(3)
+        expected = donor.predict(blocks)
+
+        restored = create_model("granite", small=True, seed=10, inference_dtype="float32")
+        with tempfile.TemporaryDirectory() as directory:
+            path = os.path.join(directory, "model.npz")
+            save_checkpoint(donor, path)
+            load_checkpoint(restored, path)
+        for name, parameter in restored.named_parameters():
+            assert parameter.data.dtype == np.float64, f"{name} was narrowed"
+            assert parameter.data_as(np.float32).dtype == np.float32
+        actual = restored.predict(blocks)
+        for task in donor.tasks:
+            np.testing.assert_array_equal(actual[task], expected[task])

@@ -12,6 +12,7 @@ from repro.serve import (
     ServiceConfig,
     coalesce_requests,
 )
+from repro.testing.equivalence import assert_allclose_for_dtype
 
 
 @pytest.fixture(scope="module")
@@ -153,6 +154,37 @@ class TestInProcessService:
             np.testing.assert_allclose(served[task], expected[task], rtol=1e-12)
 
 
+class TestDtypeServing:
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError, match="inference_dtype"):
+            ServiceConfig(inference_dtype="float16")
+
+    def test_in_process_service_uses_config_dtype(self, blocks):
+        float32_service = PredictionService(
+            ServiceConfig(model_name="granite", inference_dtype="float32")
+        )
+        assert float32_service.inference_dtype == "float32"
+        assert float32_service.model.inference_dtype == "float32"
+        served = float32_service.predict_blocks(blocks[:6])
+        reference = PredictionService(
+            ServiceConfig(model_name="granite", inference_dtype="float64")
+        ).predict_blocks(blocks[:6])
+        # Equivalent within tolerance, but genuinely computed in another
+        # precision (bit-identical everywhere would mean float64 ran).
+        different = False
+        for task, expected in reference.items():
+            np.testing.assert_allclose(served[task], expected, rtol=1e-3, atol=1e-2)
+            different = different or not np.array_equal(served[task], expected)
+        assert different
+
+    def test_prebuilt_model_keeps_its_own_dtype(self):
+        model = create_model("granite", small=True, seed=0, inference_dtype="float32")
+        service = PredictionService(
+            ServiceConfig(model_name="granite", inference_dtype="float64"), model=model
+        )
+        assert service.inference_dtype == "float32"
+
+
 @pytest.mark.slow
 class TestShardedService:
     def test_worker_pool_matches_in_process(self, blocks):
@@ -164,7 +196,30 @@ class TestShardedService:
         with PredictionService(config) as sharded:
             served = sharded.predict_blocks(blocks)
         for task in in_process.model.tasks:
-            np.testing.assert_allclose(served[task], expected[task], rtol=1e-9)
+            assert_allclose_for_dtype(
+                served[task], expected[task], in_process.inference_dtype
+            )
+
+    def test_float32_propagates_to_every_worker(self, blocks):
+        """The whole sharded pool serves the configured precision."""
+        config = ServiceConfig(
+            model_name="granite",
+            max_batch_size=5,
+            num_workers=2,
+            inference_dtype="float32",
+        )
+        in_process = PredictionService(
+            ServiceConfig(model_name="granite", max_batch_size=5, inference_dtype="float32")
+        )
+        expected = in_process.predict_blocks(blocks)
+        with PredictionService(config) as sharded:
+            served = sharded.predict_blocks(blocks)
+            worker_stats = sharded._pool.worker_stats()
+        assert [stats["inference_dtype"] for stats in worker_stats] == ["float32"] * 2
+        for task in in_process.model.tasks:
+            # Same float32 math in every replica; only BLAS-kernel rounding
+            # across the different batch shapes may differ.
+            assert_allclose_for_dtype(served[task], expected[task], "float32")
 
     def test_close_is_idempotent(self):
         service = PredictionService(ServiceConfig(num_workers=1)).warm_start()

@@ -11,11 +11,17 @@ from repro.serve import (
     coalesce_requests_by_shard,
     shard_key,
 )
+from repro.testing.equivalence import assert_allclose_for_dtype
 
 
 @pytest.fixture(scope="module")
 def blocks():
     return BlockGenerator(GeneratorConfig(seed=33)).generate_blocks(32)
+
+
+def _assert_served_close(service, served, expected):
+    """Worker-pool results vs a reference, tolerant of the serving dtype."""
+    assert_allclose_for_dtype(served, expected, service.inference_dtype)
 
 
 class TestShardPartitioning:
@@ -94,7 +100,7 @@ class TestShardedWorkerPool:
         with PredictionService(config) as sharded:
             served = sharded.predict_blocks(blocks)
         for task in in_process.model.tasks:
-            np.testing.assert_allclose(served[task], expected[task], rtol=1e-9)
+            _assert_served_close(in_process, served[task], expected[task])
 
     def test_round_robin_mode_matches_in_process(self, blocks):
         in_process = PredictionService(
@@ -110,7 +116,7 @@ class TestShardedWorkerPool:
         with PredictionService(config) as sharded:
             served = sharded.predict_blocks(blocks)
         for task in in_process.model.tasks:
-            np.testing.assert_allclose(served[task], expected[task], rtol=1e-9)
+            _assert_served_close(in_process, served[task], expected[task])
 
     def test_worker_crash_respawns_mid_stream(self, blocks):
         """Killing a worker between submissions must not lose any request."""
@@ -125,7 +131,7 @@ class TestShardedWorkerPool:
             assert service.stats.respawns >= 1
             assert service._pool._workers[0].alive()
         for task in first:
-            np.testing.assert_allclose(second[task], first[task], rtol=1e-9)
+            _assert_served_close(service, second[task], first[task])
 
     def test_check_health_respawns_out_of_band(self, blocks):
         config = ServiceConfig(model_name="granite", num_workers=2)
