@@ -17,8 +17,16 @@ weights-versioned prediction cache.  The scenarios measured here:
   and over): warm encode caches and a warm prediction cache.
 
 Wall-clock measurements use best-of-N to be robust against CI noise.
+
+Scale: by default the seed-vs-fast-path scenarios use the reduced "small"
+model configs (fast enough for a smoke run) with loose speedup margins.
+Setting ``REPRO_BENCH_STEPS`` to a paper-ish budget (>= 1000) switches
+them to the paper-scale (Table 4) configurations, where the numpy kernels
+dominate and the margins tighten — the float64-vs-float32 comparison
+always runs at paper scale, as before.
 """
 
+import os
 import time
 
 import numpy as np
@@ -38,6 +46,26 @@ BATCH_SIZE = 64
 FLOAT32_SPEEDUP_TARGET = 1.5
 
 
+def _paper_scale() -> bool:
+    """Whether this run asked for a paper-scale benchmark budget."""
+    return int(os.environ.get("REPRO_BENCH_STEPS", "0") or 0) >= 1000
+
+
+def _speedup_targets():
+    """``(cold_batched, warm_single, warm_batched)`` speedup floors.
+
+    Quick scale runs the reduced models, where fixed per-call overhead
+    (parsing, packing, cache keys) dilutes the kernel win — the floors stay
+    loose so the smoke run never flakes.  At paper scale the matmuls
+    dominate: the steady-state paths are answered from the prediction
+    cache while the seed path pays a full 256-wide forward, so the floors
+    tighten substantially.
+    """
+    if _paper_scale():
+        return 1.5, 10.0, 40.0
+    return 1.5, 5.0, 20.0
+
+
 def _measure(function, repeats: int = 3) -> float:
     """Returns the best-of-``repeats`` wall time of ``function()``."""
     function()  # warm-up run, excluded
@@ -49,9 +77,9 @@ def _measure(function, repeats: int = 3) -> float:
     return best
 
 
-def _seed_replica(model, name: str):
+def _seed_replica(model, name: str, small: bool):
     """A cache-free replica of ``model`` matching the pre-PR code path."""
-    replica = create_model(name, small=True, seed=99)
+    replica = create_model(name, small=small, seed=99)
     replica.load_state_dict(model.state_dict())
     replica.prediction_cache_size = 0
     # Zero-capacity encode caches: every call re-encodes, like the seed.
@@ -69,8 +97,9 @@ def blocks():
 @pytest.mark.parametrize("name", ["granite", "ithemal+"])
 def test_inference_throughput(name, blocks):
     """Records blocks/sec per scenario and checks the PR's speedup targets."""
-    model = create_model(name, small=True, seed=99)
-    seed_model = _seed_replica(model, name)
+    small = not _paper_scale()
+    model = create_model(name, small=small, seed=99)
+    seed_model = _seed_replica(model, name, small)
 
     def seed_per_block():
         with use_fast_path(False):
@@ -116,7 +145,8 @@ def test_inference_throughput(name, blocks):
         return f"{1.0 / seconds:10.0f} blocks/s ({seconds * 1e3:7.3f} ms/block)"
 
     print()
-    print(f"--- {name} inference throughput ---")
+    scale_label = "paper scale" if _paper_scale() else "small configs"
+    print(f"--- {name} inference throughput ({scale_label}) ---")
     print(f"seed (per-block, tape):    {rate(seconds_seed)}   1.0x")
     for label, seconds in [
         ("single, cold caches", seconds_single_cold),
@@ -139,22 +169,25 @@ def test_inference_throughput(name, blocks):
     for task in model.tasks:
         assert np.allclose(batched[task], reference[task])
 
-    # Speedup targets of the PR.  The 5x/20x targets are quoted for the
-    # steady-state serving workload (repeated blocks); batching alone must
-    # still beat the seed path on completely cold caches.
-    assert seconds_batched_cold < seconds_seed / 1.5, (
+    # Speedup targets of the PR, scaled with the benchmark budget: loose on
+    # the reduced configs (overhead-bound), tighter at paper scale where
+    # the steady-state workload answers from the prediction cache while the
+    # seed path pays a full-width forward.  Batching alone must still beat
+    # the seed path on completely cold caches at either scale.
+    cold_target, warm_single_target, warm_batched_target = _speedup_targets()
+    assert seconds_batched_cold < seconds_seed / cold_target, (
         f"cold batched path only {seconds_seed / seconds_batched_cold:.1f}x "
-        "over the seed path (expected >= 1.5x)"
+        f"over the seed path (expected >= {cold_target}x)"
     )
-    assert seconds_single_warm < seconds_seed / 5.0, (
+    assert seconds_single_warm < seconds_seed / warm_single_target, (
         f"steady-state per-block path only "
         f"{seconds_seed / seconds_single_warm:.1f}x over the seed path "
-        "(expected >= 5x)"
+        f"(expected >= {warm_single_target}x)"
     )
-    assert seconds_batched_warm < seconds_seed / 20.0, (
+    assert seconds_batched_warm < seconds_seed / warm_batched_target, (
         f"steady-state batched path only "
         f"{seconds_seed / seconds_batched_warm:.1f}x over the seed path "
-        "(expected >= 20x)"
+        f"(expected >= {warm_batched_target}x)"
     )
 
 

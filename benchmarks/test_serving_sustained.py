@@ -19,9 +19,27 @@ Three measurements over the same hash-sharded two-worker service:
 
 A separate test checks shard affinity: under hash sharding every worker's
 caches own a stable partition of the block key space, so per-worker hit
-rates must measurably beat round-robin dealing on repeated traffic.
+rates must measurably beat round-robin dealing on repeated traffic — both
+single-producer and with 8 concurrent producers over a Zipf-skewed block
+popularity mix.
+
+The load-adaptive serving additions are benchmarked here too:
+
+* **adaptive vs. static flushing** on the same bursty workload — the
+  adaptive policy must cut p99 enqueue->response latency on the idle-heavy
+  phase while sustaining the static policy's blocks/s when saturated;
+* **elastic scaling** N -> N+1 -> N under live load — no request lost,
+  consistent-ring key movement ~1/(N+1), and per-worker cache hit rates
+  recovering once the pool returns to its original size;
+* **cancellation goodput** — a producer abandoning half its in-flight
+  requests must complete the wanted half measurably faster than a
+  no-cancellation baseline, because dropped requests never reach a worker.
+
+Wall-clock margins follow the repo convention: loose at the default quick
+scale, tightening when ``REPRO_BENCH_STEPS`` asks for a paper-scale run.
 """
 
+import os
 import random
 import threading
 import time
@@ -32,9 +50,11 @@ from repro.data.synthetic import BlockGenerator
 from repro.serve import (
     AsyncPredictionService,
     AsyncServiceConfig,
+    HashRing,
     PredictionRequest,
     PredictionService,
     ServiceConfig,
+    shard_key,
 )
 
 REQUEST_SIZE = 2
@@ -43,6 +63,20 @@ DEADLINE_MS = 25.0
 NUM_WORKERS = 2
 NUM_PRODUCERS = 4
 REQUESTS_PER_PRODUCER = 50
+#: The higher-producer-count scenario (skewed-popularity test).
+NUM_PRODUCERS_SKEW = 8
+
+
+def _throughput_margin() -> float:
+    """Wall-clock comparison margin, scaled with the benchmark budget.
+
+    Two same-workload runs on a busy CI box differ by several percent of
+    noise; at the default quick scale the saturated-phase comparison keeps
+    a loose 0.85x margin, tightening to near-strict when REPRO_BENCH_STEPS
+    asks for a paper-scale run (longer runs, less relative noise).
+    """
+    steps = int(os.environ.get("REPRO_BENCH_STEPS", "0") or 0)
+    return 0.95 if steps >= 1000 else 0.85
 
 
 def _requests(block_texts, start):
@@ -307,4 +341,434 @@ def test_multi_producer_no_loss_within_deadline():
     assert p99 <= 2.0 * DEADLINE_MS, (
         f"p99 flush wait {p99:.2f} ms exceeds 2x the {DEADLINE_MS} ms deadline "
         f"under {NUM_PRODUCERS} concurrent producers"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Adaptive vs. static flushing on bursty traffic.
+# --------------------------------------------------------------------- #
+
+IDLE_REQUESTS = 60
+IDLE_INTERARRIVAL_S = 0.030  # slower than the 25 ms deadline: idle-heavy
+SATURATED_REQUESTS = 200  # per repeat, submitted all at once
+
+
+def _percentile(samples, quantile):
+    ordered = sorted(samples)
+    index = min(int(quantile * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
+def _run_flush_policy(policy, idle_runs, saturated_runs, warm_texts):
+    """One policy's measurement over the shared bursty workload.
+
+    Returns ``(idle_p99s_s, idle_p50s_s, best_saturated_rate, snapshot)``
+    with one idle percentile pair per repeat.  A fresh in-process service
+    per policy keeps the comparison cache-fair; the same block texts make
+    the workloads identical.  Both phases repeat (best-of-N) because
+    single-shot wall-clock tails on a busy CI box are scheduler noise, not
+    policy behaviour.
+    """
+    async_config = AsyncServiceConfig(
+        max_batch_size=64,
+        max_latency_ms=DEADLINE_MS,
+        flush_policy=policy,
+        min_latency_ms=1.0,
+        max_queue_blocks=8192,
+    )
+    idle_p99s, idle_p50s = [], []
+    with AsyncPredictionService(
+        async_config,
+        service_config=ServiceConfig(model_name="granite", max_batch_size=64),
+    ) as front_end:
+        front_end.predict_blocks(warm_texts)  # warm model + code paths
+        time.sleep(0.3)  # let the warm-up burst leave the controller window
+
+        # Idle-heavy phase: sparse lone requests.  Under the static policy
+        # each one sits out the full deadline; adaptive should flush fast.
+        for idle_texts in idle_runs:
+            latencies = []
+            futures = []
+            next_send = time.perf_counter()
+            for index in range(0, len(idle_texts), REQUEST_SIZE):
+                delay = next_send - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                sent_at = time.perf_counter()
+                future = front_end.submit(
+                    PredictionRequest.of(idle_texts[index : index + REQUEST_SIZE])
+                )
+                future.add_done_callback(
+                    lambda _, sent_at=sent_at: latencies.append(
+                        time.perf_counter() - sent_at
+                    )
+                )
+                futures.append(future)
+                next_send += IDLE_INTERARRIVAL_S
+            for future in futures:
+                future.result(timeout=300.0)
+            # result() can return before the last done callback has
+            # appended its sample (set_result notifies waiters first);
+            # join on the sample count so no latency goes missing.
+            join_deadline = time.monotonic() + 5.0
+            while len(latencies) < len(futures) and time.monotonic() < join_deadline:
+                time.sleep(0.001)
+            assert len(latencies) == len(futures)
+            idle_p99s.append(_percentile(latencies, 0.99))
+            idle_p50s.append(_percentile(latencies, 0.50))
+
+        # Saturated phase: everything enqueued at once; size flushes must
+        # dominate under either policy.
+        best_rate = 0.0
+        for run_texts in saturated_runs:
+            start = time.perf_counter()
+            futures = [
+                front_end.submit(
+                    PredictionRequest.of(run_texts[index : index + REQUEST_SIZE])
+                )
+                for index in range(0, len(run_texts), REQUEST_SIZE)
+            ]
+            for future in futures:
+                future.result(timeout=300.0)
+            rate = len(run_texts) / (time.perf_counter() - start)
+            best_rate = max(best_rate, rate)
+        snapshot = front_end.snapshot()
+    return idle_p99s, idle_p50s, best_rate, snapshot
+
+
+def test_adaptive_flush_beats_static_on_bursty_traffic():
+    """The tentpole acceptance bar: on the same bursty workload the
+    adaptive policy must cut idle-phase p99 enqueue->response latency
+    versus static while sustaining the static policy's saturated
+    throughput."""
+    repeats = 2
+    idle_run_size = IDLE_REQUESTS * REQUEST_SIZE
+    run_size = SATURATED_REQUESTS * REQUEST_SIZE
+    blocks = BlockGenerator(seed=97).generate_blocks(
+        16 + repeats * (idle_run_size + run_size)
+    )
+    texts = [block.canonical_text() for block in blocks]
+    warm_texts = texts[:16]
+    idle_texts = texts[16 : 16 + repeats * idle_run_size]
+    saturated_texts = texts[16 + repeats * idle_run_size :]
+    idle_runs = [
+        idle_texts[run * idle_run_size : (run + 1) * idle_run_size]
+        for run in range(repeats)
+    ]
+    saturated_runs = [
+        saturated_texts[run * run_size : (run + 1) * run_size]
+        for run in range(repeats)
+    ]
+
+    results = {}
+    for policy in ("static", "adaptive"):
+        results[policy] = _run_flush_policy(
+            policy, idle_runs, saturated_runs, warm_texts
+        )
+
+    print()
+    print("--- bursty traffic: static vs adaptive flush policy ---")
+    for policy, (p99s, p50s, rate, snapshot) in results.items():
+        print(
+            f"{policy:<9} idle p50={min(p50s) * 1e3:7.2f} ms  "
+            f"p99={min(p99s) * 1e3:7.2f} ms (runs: "
+            f"{['%.1f' % (p * 1e3) for p in p99s]})   "
+            f"saturated {rate:8.0f} blocks/s   "
+            f"flush deadline p50={snapshot['flush_deadline_p50_ms']:.2f} ms"
+        )
+
+    # Best-of-N on both sides: a single scheduler stall in one run must not
+    # decide the comparison in either direction.
+    static_p99 = min(results["static"][0])
+    adaptive_p99 = min(results["adaptive"][0])
+    static_rate = results["static"][2]
+    adaptive_rate = results["adaptive"][2]
+    margin = _throughput_margin()
+
+    # Idle-heavy phase: the static policy charges every lone request the
+    # full deadline; adaptive must be decisively below it, not merely tied.
+    assert adaptive_p99 < 0.8 * static_p99, (
+        f"adaptive idle-phase p99 ({adaptive_p99 * 1e3:.2f} ms) is not below "
+        f"the static policy's ({static_p99 * 1e3:.2f} ms)"
+    )
+    # Saturated phase: size flushes dominate either way; adaptive must
+    # sustain the static policy's throughput (loose margin at quick scale).
+    assert adaptive_rate >= margin * static_rate, (
+        f"adaptive saturated throughput ({adaptive_rate:.0f} blocks/s) fell "
+        f"below {margin:.2f}x the static policy's ({static_rate:.0f} blocks/s)"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Elastic scaling under live load.
+# --------------------------------------------------------------------- #
+
+
+def _hit_rates_from(stats_before, stats_after):
+    """Per-worker prediction hit rates over the window between snapshots."""
+    rates = []
+    for before, after in zip(stats_before, stats_after):
+        hits = after["prediction_hits"] - before["prediction_hits"]
+        misses = after["prediction_misses"] - before["prediction_misses"]
+        total = hits + misses
+        rates.append(hits / total if total else 0.0)
+    return rates
+
+
+def test_elastic_scaling_no_loss_and_affinity_recovery():
+    """The elasticity acceptance bar: scaling N -> N+1 -> N under load
+    loses no requests, moves only ~1/(N+1) of the key space (all of it to
+    the new worker), and the surviving workers' cache hit rates recover
+    once the pool is back at N."""
+    population = [
+        block.canonical_text()
+        for block in BlockGenerator(seed=103).generate_blocks(64)
+    ]
+    config = ServiceConfig(
+        model_name="granite", max_batch_size=16, num_workers=NUM_WORKERS
+    )
+    rng = random.Random(19)
+
+    def drive_round(service):
+        shuffled = population[:]
+        rng.shuffle(shuffled)
+        for start in range(0, len(shuffled), 4):
+            service.submit([PredictionRequest.of(shuffled[start : start + 4])])
+
+    with PredictionService(config).warm_start() as service:
+        for _ in range(3):
+            drive_round(service)  # warm every worker's caches
+        warm_stats = service.worker_stats()
+
+        # Scale up and back down while a producer thread keeps submitting.
+        results = []
+        errors = []
+
+        def produce():
+            try:
+                for _ in range(6):
+                    shuffled = population[:]
+                    random.Random(23).shuffle(shuffled)
+                    for start in range(0, len(shuffled), 4):
+                        request = PredictionRequest.of(shuffled[start : start + 4])
+                        results.append(service.submit([request])[0])
+            except Exception as error:  # noqa: BLE001 - reported below
+                errors.append(error)
+
+        producer = threading.Thread(target=produce, daemon=True)
+        producer.start()
+        time.sleep(0.05)
+        service.scale_workers(NUM_WORKERS + 1)
+        time.sleep(0.2)
+        service.scale_workers(NUM_WORKERS)
+        producer.join(timeout=300.0)
+        assert not producer.is_alive()
+
+        resized_stats = service.worker_stats()
+        for _ in range(2):
+            drive_round(service)  # post-reshard traffic: caches still warm?
+        recovered_stats = service.worker_stats()
+        events = list(service._pool.resize_events)
+
+    # No request lost or mangled while the pool resized under load.
+    assert not errors, f"submissions failed during resize: {errors}"
+    assert len(results) == 6 * len(population) // 4
+    assert all(response.num_blocks == 4 for response in results)
+    assert [event["action"] for event in events] == ["add", "remove"]
+
+    # Consistent-ring movement: growing to N+1 moves ~1/(N+1) of the
+    # population, every moved key landing on the new worker only.
+    before_ring = HashRing(nodes=range(NUM_WORKERS))
+    after_ring = HashRing(nodes=range(NUM_WORKERS + 1))
+    moved = 0
+    for text in population:
+        old = before_ring.owner(shard_key(text))
+        new = after_ring.owner(shard_key(text))
+        if old != new:
+            moved += 1
+            assert new == NUM_WORKERS, "a key moved to a pre-existing worker"
+    moved_fraction = moved / len(population)
+    assert 0.0 < moved_fraction <= 2.0 / (NUM_WORKERS + 1)
+
+    # Cache-affinity recovery: back at N workers the ring topology is the
+    # original, so the surviving workers answer the same partition from
+    # their still-warm caches.
+    warm_rates = [entry["prediction_hit_rate"] for entry in warm_stats]
+    recovered_rates = _hit_rates_from(resized_stats, recovered_stats)
+    print()
+    print(f"--- elastic {NUM_WORKERS} -> {NUM_WORKERS + 1} -> {NUM_WORKERS} ---")
+    print(f"moved keys: {moved}/{len(population)} ({moved_fraction:.2f})")
+    print(f"pre-resize cumulative hit rates: {['%.3f' % r for r in warm_rates]}")
+    print(f"post-reshard window hit rates:   {['%.3f' % r for r in recovered_rates]}")
+    mean_warm = sum(warm_rates) / len(warm_rates)
+    mean_recovered = sum(recovered_rates) / len(recovered_rates)
+    assert mean_recovered >= 0.75 * mean_warm, (
+        f"post-reshard hit rate {mean_recovered:.3f} did not recover to "
+        f"within 0.75x of the pre-reshard {mean_warm:.3f}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Cancellation goodput.
+# --------------------------------------------------------------------- #
+
+
+def _goodput_run(texts, abandon):
+    """Submits ``len(texts)/2``-request backlog, optionally abandoning half.
+
+    Every odd request is the "abandoned" half.  Returns the goodput in
+    blocks/s over the *wanted* (even, never-cancelled) requests, measured
+    from dispatcher start to the last wanted completion.
+    """
+    service = AsyncPredictionService(
+        AsyncServiceConfig(
+            max_batch_size=32, max_latency_ms=DEADLINE_MS, max_queue_blocks=65536
+        ),
+        service_config=ServiceConfig(model_name="granite", max_batch_size=32),
+    )
+    wanted, abandoned = [], []
+    for index in range(0, len(texts), REQUEST_SIZE):
+        future = service.submit(
+            PredictionRequest.of(texts[index : index + REQUEST_SIZE])
+        )
+        if (index // REQUEST_SIZE) % 2:
+            abandoned.append(future)
+        else:
+            wanted.append(future)
+    if abandon:
+        for future in abandoned:
+            assert future.cancel()
+    start = time.perf_counter()
+    service.start()
+    for future in wanted:
+        future.result(timeout=600.0)
+    elapsed = time.perf_counter() - start
+    if not abandon:
+        for future in abandoned:
+            future.result(timeout=600.0)
+    snapshot = service.snapshot()
+    service.close()
+    goodput = len(wanted) * REQUEST_SIZE / elapsed
+    return goodput, snapshot
+
+
+def test_cancellation_increases_goodput():
+    """The cancellation acceptance bar: abandoning 50% of the in-flight
+    requests must measurably raise the goodput (completed non-cancelled
+    blocks/s) over the no-cancellation baseline, because dropped requests
+    never consume prediction time."""
+    num_requests = 150  # per half; the backlog is 2x this
+    # One corpus for both legs: each leg gets a fresh service (no cache
+    # carryover), so identical blocks make the workloads identical and the
+    # measured difference purely the cancellation effect.
+    texts = [
+        block.canonical_text()
+        for block in BlockGenerator(seed=113).generate_blocks(
+            2 * num_requests * REQUEST_SIZE
+        )
+    ]
+    legs = {}
+    for leg, abandon in (("baseline", False), ("cancelling", True)):
+        legs[leg] = _goodput_run(texts, abandon)
+
+    baseline, baseline_snapshot = legs["baseline"]
+    cancelling, cancelling_snapshot = legs["cancelling"]
+    print()
+    print("--- goodput with 50% of requests abandoned in-queue ---")
+    print(f"baseline (no cancels): {baseline:8.0f} wanted blocks/s")
+    print(
+        f"cancelling:            {cancelling:8.0f} wanted blocks/s "
+        f"({cancelling / baseline:.2f}x), "
+        f"{cancelling_snapshot['cancelled_drops']} drops"
+    )
+    assert baseline_snapshot["cancelled_drops"] == 0
+    assert cancelling_snapshot["cancelled_drops"] == num_requests
+    # The cancelled half never reaches a worker, so the wanted half should
+    # finish in roughly half the time; demand a conservative 1.3x.
+    assert cancelling >= 1.3 * baseline, (
+        f"goodput with cancellation ({cancelling:.0f} blocks/s) is only "
+        f"{cancelling / baseline:.2f}x the baseline ({baseline:.0f} blocks/s)"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Many producers over a skewed (Zipf-like) popularity mix.
+# --------------------------------------------------------------------- #
+
+
+def test_hash_sharding_keeps_hit_rate_edge_under_skewed_producers():
+    """8 concurrent producers sampling blocks from a Zipf-like popularity
+    distribution: hash sharding's per-worker cache-affinity edge over
+    round-robin dealing must survive both the concurrency and the skew."""
+    population = [
+        block.canonical_text()
+        for block in BlockGenerator(seed=131).generate_blocks(64)
+    ]
+    # Zipf-like: popularity ~ 1/rank.  The head blocks recur constantly,
+    # the tail rarely — the traffic shape of a real autotuner corpus.
+    weights = [1.0 / rank for rank in range(1, len(population) + 1)]
+    # Few enough repeats that round-robin's duplicated first-miss cost (a
+    # block must miss once per worker it is dealt to) stays visible next to
+    # hash sharding's single miss per block.
+    requests_per_producer = 24
+    rates = {}
+    flushes = {}
+    for mode in ("hash", "round_robin"):
+        config = ServiceConfig(
+            model_name="granite",
+            max_batch_size=16,
+            num_workers=NUM_WORKERS,
+            sharding=mode,
+        )
+        async_config = AsyncServiceConfig(
+            max_batch_size=16, max_latency_ms=DEADLINE_MS, max_queue_blocks=8192
+        )
+        with AsyncPredictionService(async_config, service_config=config) as front_end:
+            errors = []
+
+            def produce(producer_index, front_end=front_end, errors=errors):
+                rng = random.Random(500 + producer_index)
+                try:
+                    futures = [
+                        front_end.submit(
+                            PredictionRequest.of(
+                                rng.choices(population, weights=weights, k=4)
+                            )
+                        )
+                        for _ in range(requests_per_producer)
+                    ]
+                    for future in futures:
+                        future.result(timeout=300.0)
+                except Exception as error:  # noqa: BLE001 - reported below
+                    errors.append((producer_index, error))
+
+            producers = [
+                threading.Thread(target=produce, args=(index,), daemon=True)
+                for index in range(NUM_PRODUCERS_SKEW)
+            ]
+            for thread in producers:
+                thread.start()
+            for thread in producers:
+                thread.join(timeout=300.0)
+            assert not errors, f"producers failed under {mode}: {errors}"
+            worker_stats = front_end.service.worker_stats()
+            flushes[mode] = front_end.stats.flushes
+        rates[mode] = [entry["prediction_hit_rate"] for entry in worker_stats]
+
+    print()
+    print(
+        f"--- {NUM_PRODUCERS_SKEW} producers, Zipf-skewed popularity, "
+        f"{NUM_WORKERS} workers ---"
+    )
+    for mode, mode_rates in rates.items():
+        print(
+            f"{mode:<12} per-worker hit rates "
+            f"{['%.3f' % rate for rate in mode_rates]} "
+            f"({flushes[mode]} flushes)"
+        )
+    hash_rate = sum(rates["hash"]) / len(rates["hash"])
+    rr_rate = sum(rates["round_robin"]) / len(rates["round_robin"])
+    assert hash_rate > rr_rate + 0.05, (
+        f"hash sharding's mean per-worker hit rate ({hash_rate:.3f}) lost its "
+        f"edge over round-robin ({rr_rate:.3f}) under skewed concurrent load"
     )

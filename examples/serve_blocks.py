@@ -47,10 +47,34 @@ whole sharded pool — run its no-grad forward in single precision, roughly
 store float64 master weights, and ``tests/equivalence`` pins float32
 predictions to the float64 path within an explicit tolerance/MAPE budget.
 
-Run it with::
+Load-adaptive serving
+---------------------
 
-    python examples/serve_blocks.py [--steps 100] [--workers 0] \
-        [--max-latency-ms 10] [--dtype float32]
+``--flush-policy adaptive`` replaces the fixed flush deadline with the
+load-adaptive controller: when the queue is idle a lone request flushes
+after ~``min_latency_ms`` instead of sitting out the whole deadline, and
+under saturation the deadline stretches back to ``--max-latency-ms`` so
+flushes stay dense (the ``REPRO_FLUSH_POLICY`` environment variable sets
+the default).  With ``--workers N --min-workers LO --max-workers HI`` the
+sharded pool also becomes *elastic*: an autoscale monitor grows it when
+the queue backs up and shrinks it after sustained idleness, with a
+consistent hash ring keeping ~(N-1)/N of every worker's cache partition
+in place across each resize.  Requests carry optional per-request
+deadlines and their futures can be ``cancel()``-ed while queued — both
+drop paths show up in ``AsyncPredictionService.snapshot()``.
+
+Usage::
+
+    # static flushing, fixed in-process serving (the PR 2/3 behaviour)
+    python examples/serve_blocks.py --steps 100 --workers 0
+
+    # adaptive flushing over an elastic 1..3-worker hash-sharded pool
+    python examples/serve_blocks.py --workers 1 --min-workers 1 \
+        --max-workers 3 --flush-policy adaptive --max-latency-ms 25
+
+    # mixed precision on top: float32 replicas behind the same queue
+    python examples/serve_blocks.py --workers 2 --dtype float32 \
+        --flush-policy adaptive
 """
 
 from __future__ import annotations
@@ -73,6 +97,7 @@ from repro.serve import (
     PredictionService,
     Priority,
     ServiceConfig,
+    default_flush_policy,
 )
 from repro.training.trainer import Trainer
 
@@ -105,11 +130,14 @@ def demo_synchronous(service: PredictionService, test_blocks, tasks) -> None:
 
 
 def demo_asynchronous(
-    service: PredictionService, test_blocks, max_latency_ms: float
+    service: PredictionService, test_blocks, max_latency_ms: float, flush_policy: str
 ) -> None:
     """Streams prioritised requests through the queued async front end."""
     config = AsyncServiceConfig(
-        max_batch_size=32, max_latency_ms=max_latency_ms, max_queue_blocks=1024
+        max_batch_size=32,
+        max_latency_ms=max_latency_ms,
+        flush_policy=flush_policy,
+        max_queue_blocks=1024,
     )
     with AsyncPredictionService(config, service=service) as front_end:
         futures = {}
@@ -135,11 +163,19 @@ def demo_asynchronous(
             f"(size={stats.size_flushes}, deadline={stats.deadline_flushes}), "
             f"mean {stats.mean_flush_blocks:.1f} blocks/flush"
         )
+        snapshot = front_end.snapshot()
         print(
-            f"  flush wait p50={stats.flush_wait_percentile(0.5) * 1e3:.2f} ms "
-            f"p99={stats.flush_wait_percentile(0.99) * 1e3:.2f} ms "
-            f"(deadline {max_latency_ms} ms)"
+            f"  flush wait p50={snapshot['flush_wait_p50_ms']:.2f} ms "
+            f"p99={snapshot['flush_wait_p99_ms']:.2f} ms "
+            f"(policy {snapshot['flush_policy']}, "
+            f"deadline ceiling {max_latency_ms} ms, "
+            f"realized p50 {snapshot['flush_deadline_p50_ms']:.2f} ms)"
         )
+        if snapshot["cancelled_drops"] or snapshot["expired_drops"]:
+            print(
+                f"  drops: {snapshot['cancelled_drops']} cancelled, "
+                f"{snapshot['expired_drops']} expired"
+            )
 
 
 def main() -> None:
@@ -153,7 +189,29 @@ def main() -> None:
         "--max-latency-ms",
         type=float,
         default=10.0,
-        help="flush deadline of the async front end",
+        help="flush deadline (ceiling, for the adaptive policy) of the "
+        "async front end",
+    )
+    parser.add_argument(
+        "--flush-policy",
+        choices=("static", "adaptive"),
+        default=None,
+        help="flush-deadline policy of the async front end: 'static' always "
+        "waits --max-latency-ms, 'adaptive' scales the deadline with load "
+        "(default honours REPRO_FLUSH_POLICY, falling back to static)",
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=None,
+        help="lower elastic bound of the worker pool (requires --workers >= 1; "
+        "enables the autoscale monitor when the bounds allow another size)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="upper elastic bound of the worker pool (see --min-workers)",
     )
     parser.add_argument(
         "--dtype",
@@ -177,16 +235,25 @@ def main() -> None:
         checkpoint = os.path.join(directory, "granite.npz")
         save_checkpoint(model, checkpoint)
 
+        flush_policy = arguments.flush_policy or default_flush_policy()
         config = ServiceConfig(
             model_name="granite",
             checkpoint_path=checkpoint,
             max_batch_size=32,
             num_workers=arguments.workers,
+            min_workers=arguments.min_workers,
+            max_workers=arguments.max_workers,
             inference_dtype=arguments.dtype,
         )
+        elastic = (
+            f"elastic {config.min_workers}..{config.max_workers}, "
+            if arguments.min_workers is not None or arguments.max_workers is not None
+            else ""
+        )
         print(
-            f"warm-starting service (workers={config.num_workers}, "
+            f"warm-starting service (workers={config.num_workers}, {elastic}"
             f"sharding={config.sharding}, max_batch_size={config.max_batch_size}, "
+            f"flush_policy={flush_policy}, "
             f"inference_dtype={config.inference_dtype}) ..."
         )
         with PredictionService(config) as service:
@@ -194,7 +261,9 @@ def main() -> None:
             print("synchronous front end:")
             demo_synchronous(service, test_blocks, model.tasks)
             print("async front end:")
-            demo_asynchronous(service, test_blocks, arguments.max_latency_ms)
+            demo_asynchronous(
+                service, test_blocks, arguments.max_latency_ms, flush_policy
+            )
 
 
 if __name__ == "__main__":

@@ -4,14 +4,18 @@ This subpackage is the production serving story of the reproduction, in two
 layers:
 
 * the synchronous :class:`PredictionService`: heterogeneous requests are
-  coalesced into size-bounded micro-batches, optionally sharded across a
-  pool of warm worker processes by a stable hash of each block's text
-  (cache affinity, health checks, automatic respawn), and reassembled into
-  per-request responses;
+  coalesced into size-bounded micro-batches, optionally sharded across an
+  *elastic* pool of warm worker processes via a consistent hash ring over
+  each block's text (cache affinity, health checks, automatic respawn,
+  runtime ``scale_workers`` with ~1/N cache movement per resize), and
+  reassembled into per-request responses;
 * the async :class:`AsyncPredictionService` front end: producers enqueue
   requests into a bounded priority queue with back-pressure and get
-  futures; a dispatcher thread flushes micro-batches on ``max_batch_size``
-  OR a ``max_latency_ms`` deadline, whichever fires first.
+  futures (cancellable while queued, with optional per-request deadlines);
+  a dispatcher thread flushes micro-batches on ``max_batch_size`` OR a
+  latency deadline governed by a static or load-adaptive
+  :mod:`~repro.serve.flush` policy, and an autoscale monitor feeds queue
+  depth into the pool's elasticity bounds.
 
 Both build on the no-grad inference fast path in :mod:`repro.nn.tensor`
 and the batched :meth:`ThroughputModel.predict` API.
@@ -27,23 +31,39 @@ from repro.serve.batching import (
     PredictionRequest,
     PredictionResponse,
     coalesce_requests,
+    coalesce_requests_by_ring,
     coalesce_requests_by_shard,
     shard_key,
+)
+from repro.serve.flush import (
+    FLUSH_POLICIES,
+    AdaptiveFlushController,
+    FlushController,
+    StaticFlushController,
+    create_flush_controller,
+    default_flush_policy,
 )
 from repro.serve.queue import (
     Priority,
     QueuedRequest,
     QueueFullError,
+    RequestExpiredError,
     RequestQueue,
 )
+from repro.serve.ring import HashRing
 from repro.serve.service import PredictionService, ServiceConfig, ServiceStats
-from repro.serve.workers import ShardedWorkerPool, WorkerCrashError
+from repro.serve.workers import (
+    PoolAutoscaler,
+    ShardedWorkerPool,
+    WorkerCrashError,
+)
 
 __all__ = [
     "MicroBatch",
     "PredictionRequest",
     "PredictionResponse",
     "coalesce_requests",
+    "coalesce_requests_by_ring",
     "coalesce_requests_by_shard",
     "shard_key",
     "PredictionService",
@@ -52,10 +72,19 @@ __all__ = [
     "AsyncPredictionService",
     "AsyncServiceConfig",
     "AsyncServiceStats",
+    "FLUSH_POLICIES",
+    "AdaptiveFlushController",
+    "FlushController",
+    "StaticFlushController",
+    "create_flush_controller",
+    "default_flush_policy",
+    "HashRing",
     "Priority",
     "QueuedRequest",
     "QueueFullError",
+    "RequestExpiredError",
     "RequestQueue",
+    "PoolAutoscaler",
     "ShardedWorkerPool",
     "WorkerCrashError",
 ]

@@ -10,17 +10,34 @@ front of it:
   immediately receive a :class:`concurrent.futures.Future`;
 * a dispatcher thread drains the shared :class:`~repro.serve.queue.RequestQueue`
   into micro-batch flushes, each flush triggered by ``max_batch_size``
-  pending blocks OR the ``max_latency_ms`` deadline of the oldest request —
-  whichever fires first;
+  pending blocks OR a latency deadline on the oldest request — whichever
+  fires first;
 * every flush is one synchronous ``PredictionService.submit`` call, so the
   async front end composes unchanged with the in-process model or the
   hash-sharded worker pool behind it — including that service's
   ``inference_dtype``: put the queue in front of a float32 service config
   and every flush runs mixed-precision across the whole sharded pool.
 
-Flush-wait latencies (enqueue of the flush's oldest request to dispatch)
-are recorded in :class:`AsyncServiceStats`, whose percentiles are how the
-sustained-traffic benchmark checks the deadline is actually honored.
+The flush deadline itself is governed by a pluggable policy
+(:mod:`repro.serve.flush`): ``flush_policy="static"`` keeps the fixed
+``max_latency_ms`` deadline, ``"adaptive"`` scales it with the observed
+load between ``min_latency_ms`` (idle — flush a lone request fast, nobody
+else is coming) and ``max_latency_ms`` (busy — let batches pack densely).
+
+Requests can leave the queue without being served: clients may ``cancel()``
+their future while it is queued (the entry is discarded eagerly, before it
+can occupy a micro-batch) and requests submitted with a ``deadline_ms``
+budget resolve with :class:`~repro.serve.queue.RequestExpiredError` when
+the budget runs out.  Both drop classes are counted and reported by
+:meth:`AsyncPredictionService.snapshot`, alongside the controller state,
+queue depth and realized flush-wait percentiles.
+
+When the underlying service declares elastic worker bounds
+(``ServiceConfig(min_workers=..., max_workers=...)``), the front end also
+runs a small monitor thread that feeds the live queue depth into
+``PredictionService.maybe_autoscale`` — queue pressure grows the pool,
+sustained idleness shrinks it, and the consistent hash ring keeps cache
+movement to ~1/N per resize.
 """
 
 from __future__ import annotations
@@ -36,7 +53,17 @@ import numpy as np
 
 from repro.isa.basic_block import BasicBlock
 from repro.serve.batching import PredictionRequest
-from repro.serve.queue import Priority, RequestQueue
+from repro.serve.flush import (
+    FLUSH_POLICIES,
+    FlushController,
+    create_flush_controller,
+    default_flush_policy,
+)
+from repro.serve.queue import (
+    Priority,
+    RequestExpiredError,
+    RequestQueue,
+)
 from repro.serve.service import PredictionService, ServiceConfig
 
 __all__ = ["AsyncServiceConfig", "AsyncServiceStats", "AsyncPredictionService"]
@@ -50,7 +77,19 @@ class AsyncServiceConfig:
         max_batch_size: Flush as soon as this many blocks are pending.
         max_latency_ms: Flush the oldest pending request after at most this
             long, however few blocks have accumulated (the latency bound of
-            the latency/throughput trade-off).
+            the latency/throughput trade-off, and the adaptive policy's
+            deadline ceiling).
+        flush_policy: ``"static"`` (always ``max_latency_ms``) or
+            ``"adaptive"`` (deadline scales with observed load between
+            ``min_latency_ms`` and ``max_latency_ms``).  The default
+            honours the ``REPRO_FLUSH_POLICY`` environment variable.
+        min_latency_ms: The adaptive policy's deadline floor (ignored by
+            ``static``).
+        controller_window_ms: Sliding arrival window of the adaptive
+            controller's load estimate.
+        autoscale_poll_ms: How often the elasticity monitor feeds queue
+            depth into the service's autoscaler (only runs when the
+            service has elastic worker bounds).
         max_queue_blocks: Admission bound of the queue, in blocks.
         backpressure: ``"block"`` (producers wait for space) or
             ``"reject"`` (producers get :class:`~repro.serve.queue.QueueFullError`).
@@ -58,6 +97,10 @@ class AsyncServiceConfig:
 
     max_batch_size: int = 64
     max_latency_ms: float = 10.0
+    flush_policy: str = field(default_factory=default_flush_policy)
+    min_latency_ms: float = 1.0
+    controller_window_ms: float = 250.0
+    autoscale_poll_ms: float = 50.0
     max_queue_blocks: int = 4096
     backpressure: str = "block"
 
@@ -66,6 +109,24 @@ class AsyncServiceConfig:
             raise ValueError("max_batch_size must be positive")
         if self.max_latency_ms < 0:
             raise ValueError("max_latency_ms must be >= 0")
+        if self.flush_policy not in FLUSH_POLICIES:
+            raise ValueError(
+                f"unknown flush policy {self.flush_policy!r}; "
+                f"expected one of {FLUSH_POLICIES}"
+            )
+        if self.min_latency_ms < 0:
+            raise ValueError("min_latency_ms must be >= 0")
+        # The floor only exists for the adaptive policy; a static config
+        # with a sub-floor (or zero) deadline stays valid, as before.
+        if (
+            self.flush_policy == "adaptive"
+            and self.min_latency_ms > self.max_latency_ms
+        ):
+            raise ValueError("need min_latency_ms <= max_latency_ms")
+        if self.controller_window_ms <= 0:
+            raise ValueError("controller_window_ms must be positive")
+        if self.autoscale_poll_ms <= 0:
+            raise ValueError("autoscale_poll_ms must be positive")
         # max_queue_blocks and backpressure are validated by RequestQueue.
 
 
@@ -80,9 +141,22 @@ class AsyncServiceStats:
     deadline_flushes: int = 0
     close_flushes: int = 0
     flushed_blocks: int = 0
+    #: Entries dropped at flush time because their future was already
+    #: cancelled (eagerly-discarded queue entries are counted by the queue).
+    cancelled_drops: int = 0
+    #: Entries dropped at flush time because their deadline had passed
+    #: (queue-side expiries are counted by the queue).
+    expired_drops: int = 0
     #: Wait of each flush's *oldest* request, enqueue -> dispatch, seconds.
     #: Bounded so a long-lived service cannot grow without limit.
     flush_waits: Deque[float] = field(default_factory=lambda: deque(maxlen=8192))
+    #: Flush deadline (ms) in effect at each flush — how benchmarks watch
+    #: the adaptive controller act.  Bounded like ``flush_waits``.
+    flush_deadlines_ms: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=8192)
+    )
+    #: Queue depth (pending blocks) right after each flush was drained.
+    queue_depths: Deque[int] = field(default_factory=lambda: deque(maxlen=8192))
 
     @property
     def mean_flush_blocks(self) -> float:
@@ -96,6 +170,15 @@ class AsyncServiceStats:
         # the dispatcher thread appending mid-iteration (np.asarray on the
         # live deque could).
         samples = list(self.flush_waits)
+        if not samples:
+            return 0.0
+        return float(np.quantile(np.asarray(samples), quantile))
+
+    def flush_deadline_percentile(self, quantile: float) -> float:
+        """The ``quantile`` (0..1) of realized flush deadlines, in ms."""
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        samples = list(self.flush_deadlines_ms)
         if not samples:
             return 0.0
         return float(np.quantile(np.asarray(samples), quantile))
@@ -129,6 +212,13 @@ class AsyncPredictionService:
             max_blocks=self.config.max_queue_blocks,
             policy=self.config.backpressure,
         )
+        self.controller: FlushController = create_flush_controller(
+            self.config.flush_policy,
+            self.config.max_latency_ms / 1e3,
+            self.config.min_latency_ms / 1e3,
+            self.config.max_batch_size,
+            self.config.controller_window_ms / 1e3,
+        )
         self.stats = AsyncServiceStats()
         # Guards the producer-side counters: submit() runs from many client
         # threads, and `+=` on shared attributes is not atomic.
@@ -137,6 +227,11 @@ class AsyncPredictionService:
         # documented idempotent, which includes concurrent callers).
         self._lifecycle_lock = threading.Lock()
         self._dispatcher: Optional[threading.Thread] = None
+        self._autoscale_monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        #: Autoscale attempts that raised (e.g. a worker spawn failing
+        #: under resource pressure); the monitor retries on the next poll.
+        self.autoscale_errors = 0
         self._closed = False
 
     @property
@@ -153,7 +248,8 @@ class AsyncPredictionService:
         The service is warmed in the caller's thread (worker processes must
         not be forked from the dispatcher), then the dispatcher starts
         draining.  Requests submitted before ``start`` simply wait in the
-        queue.  Idempotent while running.
+        queue.  When the service has elastic worker bounds, an autoscale
+        monitor thread starts too.  Idempotent while running.
         """
         with self._lifecycle_lock:
             if self._closed:
@@ -166,6 +262,16 @@ class AsyncPredictionService:
                     daemon=True,
                 )
                 self._dispatcher.start()
+            if (
+                self._autoscale_monitor is None
+                and self.service.autoscaling_enabled
+            ):
+                self._autoscale_monitor = threading.Thread(
+                    target=self._autoscale_loop,
+                    name="repro-serve-autoscaler",
+                    daemon=True,
+                )
+                self._autoscale_monitor.start()
         return self
 
     def close(self) -> None:
@@ -180,6 +286,10 @@ class AsyncPredictionService:
                 return
             self._closed = True
             dispatcher, self._dispatcher = self._dispatcher, None
+            monitor, self._autoscale_monitor = self._autoscale_monitor, None
+        self._monitor_stop.set()
+        if monitor is not None:
+            monitor.join()
         self.queue.close()
         if dispatcher is not None:
             dispatcher.join()
@@ -203,6 +313,7 @@ class AsyncPredictionService:
         request: PredictionRequest,
         priority: int = Priority.NORMAL,
         timeout: Optional[float] = None,
+        deadline_ms: Optional[float] = None,
     ) -> "Future":
         """Enqueues one request; returns the future of its response.
 
@@ -212,12 +323,27 @@ class AsyncPredictionService:
                 or any int; lower drains first).
             timeout: With the ``block`` back-pressure policy, how long to
                 wait for queue space before giving up (``None`` = forever).
+            deadline_ms: Optional per-request latency budget measured from
+                admission.  A request still queued when it runs out is
+                dropped — before it can occupy a micro-batch — and its
+                future resolves with
+                :class:`~repro.serve.queue.RequestExpiredError`.
+
+        The returned future supports ``cancel()`` while the request is
+        queued: a cancelled entry is discarded eagerly (its blocks free up
+        queue capacity immediately) and never reaches a worker.
 
         Raises:
             QueueFullError: The queue is full (``reject`` policy) or the
                 wait for space timed out (``block`` policy).
         """
-        entry = self.queue.put(request, priority=priority, timeout=timeout)
+        entry = self.queue.put(
+            request,
+            priority=priority,
+            timeout=timeout,
+            deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
+        )
+        self.controller.observe_arrival(request.num_blocks)
         with self._stats_lock:
             self.stats.requests += 1
             self.stats.blocks += request.num_blocks
@@ -243,13 +369,75 @@ class AsyncPredictionService:
         return future.result(timeout).predictions
 
     # ------------------------------------------------------------------ #
+    # Introspection.
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """A point-in-time view of the serving stack for operators/benchmarks.
+
+        Combines the flush controller's state (policy, current deadline,
+        load estimate), the live queue depth, realized flush-wait
+        percentiles and the drop counters (queue-side eager discards plus
+        dispatcher-side flush-time drops).
+        """
+        stats = self.stats
+        return {
+            "flush_policy": self.controller.policy,
+            "controller": self.controller.state(),
+            # peek, not deadline_s: observers must not overwrite the
+            # controller's last dispatcher decision (what the per-flush
+            # deadline history records).
+            "current_deadline_ms": self.controller.peek_deadline_s(
+                self.queue.pending_blocks
+            )
+            * 1e3,
+            "queue_depth_blocks": self.queue.pending_blocks,
+            "queue_depth_requests": len(self.queue),
+            "requests": stats.requests,
+            "blocks": stats.blocks,
+            "flushes": stats.flushes,
+            "size_flushes": stats.size_flushes,
+            "deadline_flushes": stats.deadline_flushes,
+            "mean_flush_blocks": stats.mean_flush_blocks,
+            "flush_wait_p50_ms": stats.flush_wait_percentile(0.50) * 1e3,
+            "flush_wait_p99_ms": stats.flush_wait_percentile(0.99) * 1e3,
+            "flush_deadline_p50_ms": stats.flush_deadline_percentile(0.50),
+            "flush_deadline_p99_ms": stats.flush_deadline_percentile(0.99),
+            "cancelled_drops": self.queue.cancelled + stats.cancelled_drops,
+            "expired_drops": self.queue.expired + stats.expired_drops,
+            "rejected": self.queue.rejected,
+            "num_workers": self.service.num_workers,
+            "autoscale_errors": self.autoscale_errors,
+        }
+
+    # ------------------------------------------------------------------ #
     # Dispatcher.
     # ------------------------------------------------------------------ #
     def _dispatch_loop(self) -> None:
-        self._drain_queue(self.config.max_latency_ms / 1000.0)
+        # The controller runs inside the queue's flush-wait loop (under the
+        # queue lock), which is why it receives the pending-block count as
+        # an argument instead of reading the queue itself.
+        self._drain_queue(self.controller.deadline_s)
 
-    def _drain_queue(self, max_wait_s: float) -> None:
-        """Flushes batches until the queue reports closed-and-empty."""
+    def _autoscale_loop(self) -> None:
+        interval = self.config.autoscale_poll_ms / 1e3
+        while not self._monitor_stop.wait(interval):
+            try:
+                self.service.maybe_autoscale(self.queue.pending_blocks)
+            except RuntimeError:
+                return  # the service closed under us; nothing left to scale
+            except Exception:
+                # A transient failure (e.g. OSError spawning a replica under
+                # fd/memory pressure) must not kill the monitor and silently
+                # disable elasticity for the rest of the service's life:
+                # count it and retry on the next poll.
+                self.autoscale_errors += 1
+
+    def _drain_queue(self, max_wait_s) -> None:
+        """Flushes batches until the queue reports closed-and-empty.
+
+        ``max_wait_s`` is a float or a ``pending_blocks -> seconds``
+        callable, passed straight through to ``RequestQueue.take_batch``.
+        """
         while True:
             entries, reason = self.queue.take_batch(
                 self.config.max_batch_size, max_wait_s
@@ -260,13 +448,30 @@ class AsyncPredictionService:
 
     def _flush(self, entries, reason: str) -> None:
         now = time.monotonic()
-        # Transition every future to running; a False return means the
-        # client cancelled while queued — drop the entry, and never call
-        # set_result/set_exception on it (InvalidStateError would kill the
-        # dispatcher thread and strand every later request).
-        entries = [
-            entry for entry in entries if entry.future.set_running_or_notify_cancel()
-        ]
+        # Drop dead entries *before* coalescing, so abandoned or expired
+        # requests never consume worker time.  Cancelled futures must never
+        # see set_result/set_exception (InvalidStateError would kill the
+        # dispatcher thread and strand every later request) — a False
+        # set_running_or_notify_cancel() return means the client cancelled
+        # while queued.
+        kept = []
+        for entry in entries:
+            if entry.deadline_at is not None and now >= entry.deadline_at:
+                if entry.future.set_running_or_notify_cancel():
+                    entry.future.set_exception(
+                        RequestExpiredError(
+                            f"request {entry.request.request_id!r} expired "
+                            f"after waiting {now - entry.enqueued_at:.3f}s"
+                        )
+                    )
+                    self.stats.expired_drops += 1
+                else:
+                    self.stats.cancelled_drops += 1
+            elif entry.future.set_running_or_notify_cancel():
+                kept.append(entry)
+            else:
+                self.stats.cancelled_drops += 1
+        entries = kept
         if not entries:
             return
         self.stats.flushes += 1
@@ -274,6 +479,10 @@ class AsyncPredictionService:
         self.stats.flush_waits.append(
             now - min(entry.enqueued_at for entry in entries)
         )
+        self.stats.flush_deadlines_ms.append(
+            float(self.controller.state()["deadline_ms"])
+        )
+        self.stats.queue_depths.append(self.queue.pending_blocks)
         if reason == "size":
             self.stats.size_flushes += 1
         elif reason == "deadline":

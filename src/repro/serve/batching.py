@@ -29,6 +29,7 @@ __all__ = [
     "PredictionResponse",
     "MicroBatch",
     "coalesce_requests",
+    "coalesce_requests_by_ring",
     "coalesce_requests_by_shard",
     "shard_key",
 ]
@@ -164,6 +165,45 @@ def shard_key(block_text: str) -> int:
     return zlib.crc32(block_text.encode("utf-8"))
 
 
+def _coalesce_by_owner(
+    requests: Sequence[PredictionRequest],
+    max_batch_size: int,
+    owner_of,
+) -> List[Tuple[int, MicroBatch]]:
+    """Groups every block by ``owner_of(text)``, then chunks per owner.
+
+    The shared core of the sharded coalescing strategies: blocks keep
+    their submission order within each owner, and each owner's run is
+    split into micro-batches of at most ``max_batch_size``.  Owners with
+    no blocks contribute no pairs; pairs come out in ascending owner
+    order.
+    """
+    if max_batch_size < 1:
+        raise ValueError("max_batch_size must be positive")
+    owner_texts: Dict[int, List[str]] = {}
+    owner_origins: Dict[int, List[Tuple[int, int]]] = {}
+    for request_index, request in enumerate(requests):
+        for position, text in enumerate(request.block_texts):
+            owner = owner_of(text)
+            owner_texts.setdefault(owner, []).append(text)
+            owner_origins.setdefault(owner, []).append((request_index, position))
+    assignments: List[Tuple[int, MicroBatch]] = []
+    for owner in sorted(owner_texts):
+        texts, origins = owner_texts[owner], owner_origins[owner]
+        for start in range(0, len(texts), max_batch_size):
+            stop = start + max_batch_size
+            assignments.append(
+                (
+                    owner,
+                    MicroBatch(
+                        block_texts=tuple(texts[start:stop]),
+                        origins=tuple(origins[start:stop]),
+                    ),
+                )
+            )
+    return assignments
+
+
 def coalesce_requests_by_shard(
     requests: Sequence[PredictionRequest],
     max_batch_size: int,
@@ -173,11 +213,11 @@ def coalesce_requests_by_shard(
 
     Every block is routed to shard ``shard_key(text) % num_shards``, so a
     given block text always lands on the same shard no matter which request
-    carries it or how traffic is sliced.  Each shard's blocks (in submission
-    order) are then split into micro-batches of at most ``max_batch_size``.
-    This is what gives the sharded worker pool cache affinity: each worker's
-    encode and prediction caches only ever see a fixed partition of the key
-    space.
+    carries it or how traffic is sliced.  This is the fixed-pool routing
+    (kept for comparison; the elastic pool routes with
+    :func:`coalesce_requests_by_ring` instead): cache affinity is perfect
+    while ``num_shards`` never changes, but changing it remaps almost every
+    key.
 
     Args:
         requests: The requests of one submission.
@@ -188,29 +228,40 @@ def coalesce_requests_by_shard(
         ``(shard_index, micro_batch)`` pairs covering every block exactly
         once; shards with no blocks contribute no pairs.
     """
-    if max_batch_size < 1:
-        raise ValueError("max_batch_size must be positive")
     if num_shards < 1:
         raise ValueError("num_shards must be positive")
-    shard_texts: List[List[str]] = [[] for _ in range(num_shards)]
-    shard_origins: List[List[Tuple[int, int]]] = [[] for _ in range(num_shards)]
-    for request_index, request in enumerate(requests):
-        for position, text in enumerate(request.block_texts):
-            shard = shard_key(text) % num_shards
-            shard_texts[shard].append(text)
-            shard_origins[shard].append((request_index, position))
-    assignments: List[Tuple[int, MicroBatch]] = []
-    for shard in range(num_shards):
-        texts, origins = shard_texts[shard], shard_origins[shard]
-        for start in range(0, len(texts), max_batch_size):
-            stop = start + max_batch_size
-            assignments.append(
-                (
-                    shard,
-                    MicroBatch(
-                        block_texts=tuple(texts[start:stop]),
-                        origins=tuple(origins[start:stop]),
-                    ),
-                )
-            )
-    return assignments
+    return _coalesce_by_owner(
+        requests, max_batch_size, lambda text: shard_key(text) % num_shards
+    )
+
+
+def coalesce_requests_by_ring(
+    requests: Sequence[PredictionRequest],
+    max_batch_size: int,
+    ring,
+) -> List[Tuple[int, MicroBatch]]:
+    """Merges requests into per-worker micro-batches routed by a hash ring.
+
+    The elastic variant of :func:`coalesce_requests_by_shard`: every block
+    is routed to ``ring.owner(shard_key(text))`` — a
+    :class:`repro.serve.ring.HashRing` over the pool's live worker ids —
+    instead of a fixed ``% num_shards``.  Routing still depends only on the
+    block text and the ring topology, so cache affinity is preserved while
+    the worker count stays put, and only ~1/N of the key space moves when
+    it changes.
+
+    Args:
+        requests: The requests of one submission.
+        max_batch_size: Upper bound on the blocks per micro-batch.
+        ring: The pool's consistent hash ring (must have at least one node).
+
+    Returns:
+        ``(worker_id, micro_batch)`` pairs covering every block exactly
+        once, grouped per worker in ascending worker-id order; workers with
+        no blocks contribute no pairs.
+    """
+    if not len(ring):
+        raise ValueError("the ring has no workers to route to")
+    return _coalesce_by_owner(
+        requests, max_batch_size, lambda text: ring.owner(shard_key(text))
+    )

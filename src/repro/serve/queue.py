@@ -25,6 +25,19 @@ queue is full, the configured back-pressure policy decides: ``"block"``
 makes ``put`` wait (optionally with a timeout) for the dispatcher to drain,
 ``"reject"`` raises :class:`QueueFullError` immediately so the client can
 shed load itself.
+
+Admitted requests can still leave the queue without being served:
+
+* **cancellation** — a client calling ``entry.future.cancel()`` while the
+  request is queued discards it *eagerly*: its blocks stop counting against
+  the admission bound and the flush budget immediately, so an abandoned
+  autotuner candidate never reaches a worker;
+* **expiry** — a request admitted with a ``deadline_s`` budget that the
+  dispatcher cannot meet resolves with :class:`RequestExpiredError` instead
+  of occupying a micro-batch slot.
+
+Both are counted (:attr:`RequestQueue.cancelled`,
+:attr:`RequestQueue.expired`) so the serving stats can report drop rates.
 """
 
 from __future__ import annotations
@@ -37,7 +50,7 @@ from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.serve.batching import PredictionRequest
 
@@ -46,6 +59,7 @@ __all__ = [
     "Priority",
     "QueueFullError",
     "QueuedRequest",
+    "RequestExpiredError",
     "RequestQueue",
 ]
 
@@ -74,6 +88,10 @@ class QueueFullError(RuntimeError):
     """The queue is at capacity and the back-pressure policy rejected."""
 
 
+class RequestExpiredError(TimeoutError):
+    """A request's per-request deadline passed before it was dispatched."""
+
+
 @dataclass
 class QueuedRequest:
     """One admitted request together with its delivery machinery.
@@ -84,6 +102,9 @@ class QueuedRequest:
         sequence: Admission order, the tie-breaker within a priority.
         enqueued_at: ``time.monotonic()`` of admission; deadline flushing
             and the wait-latency stats are measured from here.
+        deadline_at: Optional ``time.monotonic()`` instant after which the
+            request is dropped with :class:`RequestExpiredError` instead of
+            being dispatched (``None`` = never expires).
         future: Resolves to the :class:`~repro.serve.batching.PredictionResponse`
             (or the submission's exception).
     """
@@ -92,6 +113,7 @@ class QueuedRequest:
     priority: int
     sequence: int
     enqueued_at: float
+    deadline_at: Optional[float] = None
     future: Future = field(default_factory=Future)
 
 
@@ -120,9 +142,20 @@ class RequestQueue:
         self._by_arrival: "OrderedDict[int, QueuedRequest]" = OrderedDict()
         self._sequence = itertools.count()
         self._pending_blocks = 0
+        #: Live entries carrying a deadline; gates the expiry machinery so
+        #: deadline-free traffic pays nothing for the feature.
+        self._deadline_entries = 0
+        #: Min-heap of ``(deadline_at, sequence)`` for O(log n) expiry —
+        #: lazily deleted like ``_heap`` (entries that left the queue some
+        #: other way are skipped when they surface).
+        self._deadline_heap: List[Tuple[float, int]] = []
         self._closed = False
         #: Requests turned away (reject policy or block-policy timeout).
         self.rejected = 0
+        #: Requests discarded because their future was cancelled in-queue.
+        self.cancelled = 0
+        #: Requests dropped (``RequestExpiredError``) past their deadline.
+        self.expired = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -142,8 +175,17 @@ class RequestQueue:
         request: PredictionRequest,
         priority: int = Priority.NORMAL,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ) -> QueuedRequest:
         """Admits ``request``, returning its queue entry (with the future).
+
+        Args:
+            request: The request to admit.
+            priority: Scheduling class (lower drains first).
+            timeout: With the ``block`` policy, how long to wait for space.
+            deadline_s: Optional per-request latency budget, measured from
+                admission; once it passes, the request is dropped with
+                :class:`RequestExpiredError` instead of being dispatched.
 
         Raises:
             QueueFullError: Capacity exceeded and the policy is ``reject``,
@@ -151,6 +193,8 @@ class RequestQueue:
                 ``max_blocks`` (it could never be admitted).
             RuntimeError: The queue is closed.
         """
+        if deadline_s is not None and deadline_s < 0:
+            raise ValueError("deadline_s must be >= 0")
         blocks = request.num_blocks
         with self._lock:
             if self._closed:
@@ -183,25 +227,97 @@ class RequestQueue:
                     if self._closed:
                         raise RuntimeError("queue closed while waiting for space")
             sequence = next(self._sequence)
+            enqueued_at = time.monotonic()
             entry = QueuedRequest(
                 request=request,
                 priority=int(priority),
                 sequence=sequence,
-                enqueued_at=time.monotonic(),
+                enqueued_at=enqueued_at,
+                deadline_at=(
+                    None if deadline_s is None else enqueued_at + deadline_s
+                ),
             )
             heapq.heappush(self._heap, (entry.priority, sequence, entry))
             self._by_arrival[sequence] = entry
             self._pending_blocks += blocks
+            if entry.deadline_at is not None:
+                self._deadline_entries += 1
+                heapq.heappush(self._deadline_heap, (entry.deadline_at, sequence))
             self._work.notify_all()
-            return entry
+        # Outside the lock: a cancel() from another thread runs this callback
+        # synchronously, and the discard it triggers takes the lock itself.
+        entry.future.add_done_callback(
+            lambda future, entry=entry: self._on_future_done(entry)
+        )
+        return entry
+
+    def _on_future_done(self, entry: QueuedRequest) -> None:
+        """Eagerly discards an entry whose future was cancelled in-queue.
+
+        Done callbacks fire for normal resolution too; only a *cancelled*
+        future whose entry is still queued needs work — its blocks stop
+        counting against admission and the flush budget immediately, and
+        blocked producers get the freed space.
+        """
+        if not entry.future.cancelled():
+            return
+        with self._lock:
+            if entry.sequence not in self._by_arrival:
+                return  # already drained (or expired); accounted elsewhere
+            self._remove_entry_locked(entry)
+            self.cancelled += 1
+            self._not_full.notify_all()
+            self._work.notify_all()
+
+    def _remove_entry_locked(self, entry: QueuedRequest) -> None:
+        del self._by_arrival[entry.sequence]
+        self._pending_blocks -= entry.request.num_blocks
+        if entry.deadline_at is not None:
+            self._deadline_entries -= 1
+        self._compact_heap_locked()
+
+    def _compact_heap_locked(self) -> None:
+        """Rebuilds the heaps once lazy deletions dominate them.
+
+        Entries removed out of band (cancelled, expired, or drained as the
+        arrival-oldest) stay in the heaps as stale tuples until a pop
+        happens to pass them — but the priority heap only drains when live
+        entries exist, so an idle queue fed speculative submit-then-cancel
+        traffic would otherwise pin every cancelled request's payload
+        forever.  Rebuilding when stale tuples outnumber live entries
+        keeps both heaps O(live) at amortized O(1) per removal.
+        """
+        stale = len(self._heap) - len(self._by_arrival)
+        if stale > 16 and stale > len(self._by_arrival):
+            self._heap = [
+                (entry.priority, entry.sequence, entry)
+                for entry in self._by_arrival.values()
+            ]
+            heapq.heapify(self._heap)
+        stale_deadlines = len(self._deadline_heap) - self._deadline_entries
+        if stale_deadlines > 16 and stale_deadlines > self._deadline_entries:
+            self._deadline_heap = [
+                (entry.deadline_at, entry.sequence)
+                for entry in self._by_arrival.values()
+                if entry.deadline_at is not None
+            ]
+            heapq.heapify(self._deadline_heap)
 
     # ------------------------------------------------------------------ #
     # Consumer (dispatcher) side.
     # ------------------------------------------------------------------ #
     def take_batch(
-        self, max_blocks: int, max_wait_s: float
+        self,
+        max_blocks: int,
+        max_wait_s: Union[float, Callable[[int], float]],
     ) -> Tuple[List[QueuedRequest], str]:
         """Blocks until a flush is due, then drains and returns one batch.
+
+        ``max_wait_s`` is either a fixed flush deadline in seconds or a
+        callable ``pending_blocks -> seconds`` that is re-evaluated on
+        every wake-up (how the adaptive flush controller drives the
+        dispatcher).  The callable runs under the queue lock, so it must
+        not call back into the queue.
 
         Returns ``(entries, reason)`` with ``reason`` one of ``"size"``,
         ``"deadline"`` or ``"close"``.  Entries come out in priority order
@@ -212,30 +328,114 @@ class RequestQueue:
         prediction service splits it into micro-batches anyway).  An empty
         list (reason ``"close"``) means the queue was closed and fully
         drained: the dispatcher should exit.
+
+        Requests whose per-request deadline has passed are dropped here —
+        before they can occupy batch capacity — and their futures resolve
+        with :class:`RequestExpiredError`.
         """
         if max_blocks < 1:
             raise ValueError("max_blocks must be positive")
-        if max_wait_s < 0:
+        if not callable(max_wait_s) and max_wait_s < 0:
             raise ValueError("max_wait_s must be >= 0")
-        with self._lock:
-            while True:
-                if not self._by_arrival:
-                    if self._closed:
-                        return [], "close"
-                    self._work.wait()
-                    continue
-                oldest = next(iter(self._by_arrival.values()))
-                age = time.monotonic() - oldest.enqueued_at
-                if self._pending_blocks >= max_blocks:
-                    reason = "size"
-                elif self._closed:
-                    reason = "close"
-                elif age >= max_wait_s:
-                    reason = "deadline"
-                else:
-                    self._work.wait(timeout=max_wait_s - age)
-                    continue
-                return self._drain_locked(max_blocks), reason
+        while True:
+            expired: List[QueuedRequest] = []
+            batch: Optional[List[QueuedRequest]] = None
+            reason = ""
+            with self._lock:
+                while True:
+                    now = time.monotonic()
+                    expired.extend(self._pop_expired_locked(now))
+                    if not self._by_arrival:
+                        if self._closed:
+                            batch, reason = [], "close"
+                            break
+                        if expired:
+                            break  # resolve them before blocking again
+                        self._work.wait()
+                        continue
+                    wait_s = (
+                        max(max_wait_s(self._pending_blocks), 0.0)
+                        if callable(max_wait_s)
+                        else max_wait_s
+                    )
+                    oldest = next(iter(self._by_arrival.values()))
+                    age = now - oldest.enqueued_at
+                    if self._pending_blocks >= max_blocks:
+                        reason = "size"
+                    elif self._closed:
+                        reason = "close"
+                    elif age >= wait_s:
+                        reason = "deadline"
+                    else:
+                        if expired:
+                            break  # resolve outside the lock, then re-enter
+                        timeout = wait_s - age
+                        next_expiry = self._next_expiry_locked()
+                        if next_expiry is not None:
+                            timeout = min(timeout, max(next_expiry - now, 0.0))
+                        self._work.wait(timeout=timeout)
+                        continue
+                    batch = self._drain_locked(max_blocks)
+                    break
+            # Futures are resolved outside the lock: done callbacks run in
+            # the resolving thread and may call back into the queue.
+            for entry in expired:
+                self._resolve_expired(entry)
+            if batch is not None:
+                return batch, reason
+
+    def _pop_expired_locked(self, now: float) -> List[QueuedRequest]:
+        """Removes (without resolving) every entry past its deadline.
+
+        O(expired log n) via the deadline heap — a deadline-carrying
+        backlog must not cost a full queue scan per dispatcher wake-up.
+        """
+        if not self._deadline_entries:
+            return []
+        expired: List[QueuedRequest] = []
+        while self._deadline_heap:
+            deadline_at, sequence = self._deadline_heap[0]
+            entry = self._by_arrival.get(sequence)
+            if entry is None:
+                heapq.heappop(self._deadline_heap)  # left some other way
+                continue
+            if deadline_at > now:
+                break
+            heapq.heappop(self._deadline_heap)
+            self._remove_entry_locked(entry)
+            expired.append(entry)
+        if expired:
+            self._not_full.notify_all()
+        return expired
+
+    def _next_expiry_locked(self) -> Optional[float]:
+        """The soonest pending per-request deadline, if any."""
+        while self._deadline_heap:
+            deadline_at, sequence = self._deadline_heap[0]
+            if sequence in self._by_arrival:
+                return deadline_at
+            heapq.heappop(self._deadline_heap)  # stale: left some other way
+        return None
+
+    def _resolve_expired(self, entry: QueuedRequest) -> None:
+        # set_running first: if the client cancelled concurrently, the
+        # future is already resolved and set_exception would raise
+        # InvalidStateError.  A cancel that won the race is counted as a
+        # cancellation, keeping every dropped entry counted exactly once.
+        waited = time.monotonic() - entry.enqueued_at
+        if entry.future.set_running_or_notify_cancel():
+            entry.future.set_exception(
+                RequestExpiredError(
+                    f"request {entry.request.request_id!r} expired after "
+                    f"waiting {waited:.3f}s (deadline "
+                    f"{entry.deadline_at - entry.enqueued_at:.3f}s)"
+                )
+            )
+            with self._lock:
+                self.expired += 1
+        else:
+            with self._lock:
+                self.cancelled += 1
 
     def _drain_locked(self, max_blocks: int) -> List[QueuedRequest]:
         # Anti-starvation: the arrival-oldest entry — whose age is what
@@ -243,24 +443,24 @@ class RequestQueue:
         # whatever its priority.  Otherwise sustained high-priority traffic
         # filling every batch would leave an old bulk request (and every
         # flush's "deadline" attribution) stuck behind it forever.
-        oldest_sequence, oldest_entry = next(iter(self._by_arrival.items()))
-        del self._by_arrival[oldest_sequence]
+        oldest_entry = next(iter(self._by_arrival.values()))
+        self._remove_entry_locked(oldest_entry)
         taken: List[QueuedRequest] = [oldest_entry]
         total = oldest_entry.request.num_blocks
         while self._heap:
             _, sequence, entry = self._heap[0]
             if sequence not in self._by_arrival:
-                heapq.heappop(self._heap)  # already drained (the oldest)
+                # Already gone: drained as the oldest, cancelled or expired.
+                heapq.heappop(self._heap)
                 continue
             if total + entry.request.num_blocks > max_blocks:
                 break
             heapq.heappop(self._heap)
-            del self._by_arrival[sequence]
+            self._remove_entry_locked(entry)
             taken.append(entry)
             total += entry.request.num_blocks
         # The batch itself still leads with the highest-priority entries.
         taken.sort(key=lambda entry: (entry.priority, entry.sequence))
-        self._pending_blocks -= total
         self._not_full.notify_all()
         return taken
 

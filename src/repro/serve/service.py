@@ -43,10 +43,11 @@ from repro.serve.batching import (
     PredictionRequest,
     PredictionResponse,
     coalesce_requests,
-    coalesce_requests_by_shard,
+    coalesce_requests_by_ring,
 )
 from repro.serve.workers import (
     PARSE_CACHE_SIZE,
+    PoolAutoscaler,
     ShardedWorkerPool,
     build_model,
     predict_texts,
@@ -73,9 +74,20 @@ class ServiceConfig:
         checkpoint_path: Optional ``.npz`` checkpoint restored into every
             replica at warm-start (the trained weights to serve).
         max_batch_size: Upper bound on blocks per micro-batch.
-        num_workers: Worker processes; 0 serves in-process.
-        sharding: ``"hash"`` routes every block to the worker owning
-            ``shard_key(text) % num_workers`` (stable cache affinity);
+        num_workers: Worker processes; 0 serves in-process.  In sharded
+            mode this is the *initial* pool size; see ``min_workers`` /
+            ``max_workers`` for elasticity.
+        min_workers: Lower bound for elastic scaling (``None`` =
+            ``num_workers``, i.e. never scale below the initial size).
+        max_workers: Upper bound for elastic scaling (``None`` =
+            ``num_workers``, i.e. a fixed pool).  Autoscaling is active
+            exactly when the ``[min_workers, max_workers]`` interval allows
+            a size other than ``num_workers``; manual
+            :meth:`PredictionService.scale_workers` calls work regardless.
+        scale_cooldown_s: Minimum seconds between autoscaler resizes.
+        sharding: ``"hash"`` routes every block through a consistent hash
+            ring over the live worker ids (stable cache affinity, and only
+            ~1/N of the key space moves when the pool resizes);
             ``"round_robin"`` deals micro-batches out cyclically.
         inference_dtype: Compute dtype of every replica's no-grad inference
             fast path (``"float64"`` default, ``"float32"`` for
@@ -93,6 +105,9 @@ class ServiceConfig:
     checkpoint_path: Optional[str] = None
     max_batch_size: int = 64
     num_workers: int = 0
+    min_workers: Optional[int] = None
+    max_workers: Optional[int] = None
+    scale_cooldown_s: float = 2.0
     sharding: str = "hash"
     inference_dtype: str = field(default_factory=default_inference_dtype)
 
@@ -101,6 +116,23 @@ class ServiceConfig:
             raise ValueError("max_batch_size must be positive")
         if self.num_workers < 0:
             raise ValueError("num_workers must be >= 0")
+        if self.min_workers is not None or self.max_workers is not None:
+            if self.num_workers < 1:
+                raise ValueError(
+                    "elastic worker bounds need a sharded service "
+                    "(num_workers >= 1)"
+                )
+            low = self.num_workers if self.min_workers is None else self.min_workers
+            high = self.num_workers if self.max_workers is None else self.max_workers
+            if low < 1:
+                raise ValueError("min_workers must be >= 1")
+            if not low <= self.num_workers <= high:
+                raise ValueError(
+                    f"need min_workers <= num_workers <= max_workers, got "
+                    f"{low} / {self.num_workers} / {high}"
+                )
+        if self.scale_cooldown_s < 0:
+            raise ValueError("scale_cooldown_s must be >= 0")
         if self.sharding not in SHARDING_MODES:
             raise ValueError(
                 f"unknown sharding mode {self.sharding!r}; "
@@ -123,6 +155,8 @@ class ServiceStats:
     seconds: float = 0.0
     #: Worker processes respawned after a crash (sharded mode only).
     respawns: int = 0
+    #: Pool resizes applied (manual ``scale_workers`` and autoscaler both).
+    resizes: int = 0
 
     @property
     def blocks_per_second(self) -> float:
@@ -154,6 +188,7 @@ class PredictionService:
             )
         self._model = model
         self._pool: Optional[ShardedWorkerPool] = None
+        self._autoscaler: Optional[PoolAutoscaler] = None
         self._parse_cache: LRUCache = LRUCache(PARSE_CACHE_SIZE)
         # Round-robin sharding deals micro-batches out across *submissions*
         # (not restarting at worker 0 every submit), like the former
@@ -210,6 +245,87 @@ class PredictionService:
             self._validate_worker_config()
             self._pool = ShardedWorkerPool(self.config)
         return self._pool
+
+    # ------------------------------------------------------------------ #
+    # Elasticity.
+    # ------------------------------------------------------------------ #
+    @property
+    def worker_bounds(self) -> Tuple[int, int]:
+        """The ``(min, max)`` worker counts elastic scaling may use."""
+        low = (
+            self.config.num_workers
+            if self.config.min_workers is None
+            else self.config.min_workers
+        )
+        high = (
+            self.config.num_workers
+            if self.config.max_workers is None
+            else self.config.max_workers
+        )
+        return low, high
+
+    @property
+    def autoscaling_enabled(self) -> bool:
+        """Whether the config allows any pool size besides the initial one."""
+        if self.config.num_workers < 1:
+            return False
+        low, high = self.worker_bounds
+        return low < high
+
+    @property
+    def num_workers(self) -> int:
+        """The pool's current worker count (0 for in-process services)."""
+        if self._pool is not None:
+            return self._pool.num_workers
+        return self.config.num_workers
+
+    def scale_workers(self, count: int) -> int:
+        """Resizes the worker pool to ``count`` replicas; returns the delta.
+
+        Serialized against submissions (consistent-ring routing decisions
+        must never observe a half-applied resize).  Manual calls may pick
+        any count >= 1, but note that while autoscaling is enabled the
+        monitor clamps the pool back inside ``[min_workers, max_workers]``
+        on a subsequent poll — an out-of-bounds manual override only
+        sticks on services without elastic bounds.
+        """
+        if self.config.num_workers < 1:
+            raise RuntimeError("an in-process service has no worker pool to scale")
+        with self._submit_lock:
+            delta = self._ensure_pool().scale_to(count)
+            if delta:
+                self.stats.resizes += 1
+            return delta
+
+    def maybe_autoscale(self, pending_blocks: int) -> int:
+        """Applies one autoscaler decision; returns the live worker count.
+
+        Called by the async front end's monitor with the current queue
+        depth.  A no-op unless :attr:`autoscaling_enabled` (and the pool has
+        been built, so an idle service is never warm-started just to shrink
+        it).
+        """
+        if not self.autoscaling_enabled or self._pool is None or self._closed:
+            return self.num_workers
+        if self._autoscaler is None:
+            low, high = self.worker_bounds
+            self._autoscaler = PoolAutoscaler(
+                low,
+                high,
+                self.config.max_batch_size,
+                cooldown_s=self.config.scale_cooldown_s,
+            )
+        current = self._pool.num_workers
+        target = self._autoscaler.decide(pending_blocks, current)
+        if target != current:
+            self.scale_workers(target)
+        return target
+
+    def worker_stats(self) -> List[Dict[str, object]]:
+        """Per-worker cache/ring stats (empty for in-process services)."""
+        if self.config.num_workers < 1 or self._pool is None:
+            return []
+        return self._pool.worker_stats()
 
     def check_health(self) -> int:
         """Respawns any crashed worker; returns how many were respawned.
@@ -321,8 +437,8 @@ class PredictionService:
             # on send/recv, respawns them and resubmits the lost work.
             pool = self._ensure_pool()
             if self.config.sharding == "hash":
-                assignments = coalesce_requests_by_shard(
-                    requests, self.config.max_batch_size, pool.num_workers
+                assignments = coalesce_requests_by_ring(
+                    requests, self.config.max_batch_size, pool.ring
                 )
             else:
                 assignments = [

@@ -17,7 +17,16 @@ workers:
 * the parent detects crashed workers (dead process, broken pipe) both via
   explicit health checks and mid-submission, respawns them from the service
   config, and transparently resubmits the work that was in flight —
-  predictions are pure, so resubmission is always safe.
+  predictions are pure, so resubmission is always safe;
+* the pool is *elastic*: :meth:`ShardedWorkerPool.scale_to` grows and
+  shrinks the worker count at runtime, keeping a consistent
+  :class:`~repro.serve.ring.HashRing` over the live worker ids in sync so
+  only ~1/N of the cache key space moves per resize.  Worker ids stay
+  contiguous (``0 .. count-1``): scaling up re-adds the lowest free id and
+  scaling down retires the highest, so the ring topology — and therefore
+  every surviving worker's cache partition — is a pure function of the
+  worker count.  :class:`PoolAutoscaler` turns queue depth into resize
+  decisions under min/max bounds and a cooldown.
 
 The job protocol is deliberately tiny: ``(kind, job_id, payload)`` requests
 and ``(status, job_id, payload)`` replies, with kinds ``predict``, ``stats``,
@@ -32,8 +41,10 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import threading
+import time
 import traceback
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,9 +52,15 @@ from repro.isa.basic_block import BasicBlock
 from repro.models import create_model
 from repro.models.base import ThroughputModel
 from repro.nn.serialization import load_checkpoint
+from repro.serve.ring import HashRing
 from repro.utils.cache import LRUCache
 
-__all__ = ["ShardedWorkerPool", "WorkerCrashError", "PARSE_CACHE_SIZE"]
+__all__ = [
+    "PoolAutoscaler",
+    "ShardedWorkerPool",
+    "WorkerCrashError",
+    "PARSE_CACHE_SIZE",
+]
 
 #: Capacity of the text -> parsed BasicBlock caches (service and workers).
 PARSE_CACHE_SIZE = 8192
@@ -157,10 +174,10 @@ def _worker_main(config, connection) -> None:
 class _WorkerHandle:
     """Parent-side handle of one worker: process, pipe, respawn bookkeeping."""
 
-    def __init__(self, config, shard_index: int, context) -> None:
+    def __init__(self, config, worker_id: int, context) -> None:
         self._config = config
         self._context = context
-        self.shard_index = shard_index
+        self.worker_id = worker_id
         self.spawn_count = 0
         self.process: Optional[multiprocessing.process.BaseProcess] = None
         self.connection = None
@@ -172,7 +189,7 @@ class _WorkerHandle:
         process = self._context.Process(
             target=_worker_main,
             args=(self._config, child_end),
-            name=f"repro-serve-worker-{self.shard_index}",
+            name=f"repro-serve-worker-{self.worker_id}",
             daemon=True,
         )
         process.start()
@@ -200,12 +217,19 @@ class _WorkerHandle:
 
 
 class ShardedWorkerPool:
-    """A pool of addressable warm-model workers, one per shard.
+    """An elastic pool of addressable warm-model workers.
 
     Unlike ``multiprocessing.Pool`` the assignment of work to workers is
-    entirely up to the caller (worker *i* always serves shard *i*), dead
-    workers are respawned automatically, and in-flight work lost to a crash
-    is resubmitted to the replacement.
+    entirely up to the caller (jobs address workers by id), dead workers
+    are respawned automatically, in-flight work lost to a crash is
+    resubmitted to the replacement, and the worker count can be scaled at
+    runtime (:meth:`scale_to`) with a consistent hash :attr:`ring` tracking
+    the live ids so callers can route with minimal cache movement.
+
+    Worker ids are always the contiguous range ``0 .. num_workers - 1``:
+    scaling down retires the highest ids and scaling back up re-creates
+    them, which makes the ring topology (and hence each worker's cache
+    partition) a deterministic function of the worker count alone.
     """
 
     def __init__(self, config, num_workers: Optional[int] = None) -> None:
@@ -216,9 +240,16 @@ class ShardedWorkerPool:
         if count < 1:
             raise ValueError("a worker pool needs at least one worker")
         self._workers = [
-            _WorkerHandle(config, shard_index, self._context)
-            for shard_index in range(count)
+            _WorkerHandle(config, worker_id, self._context)
+            for worker_id in range(count)
         ]
+        #: Consistent hash ring over the live worker ids; hash-sharding
+        #: callers route every block to ``ring.owner(shard_key(text))``.
+        self.ring = HashRing(nodes=range(count))
+        #: Chronological resize log: ``{"action", "worker_id",
+        #: "num_workers", "at"}`` per worker added or retired.  Bounded so
+        #: a long-lived autoscaled pool cannot grow it without limit.
+        self.resize_events: Deque[Dict[str, object]] = deque(maxlen=1024)
         # One submission owns all pipes at a time: replies are correlated to
         # jobs by per-worker FIFO order, which concurrent callers (e.g. two
         # async front ends sharing one service) would interleave.
@@ -231,6 +262,60 @@ class ShardedWorkerPool:
     @property
     def num_workers(self) -> int:
         return len(self._workers)
+
+    # ------------------------------------------------------------------ #
+    # Elasticity.
+    # ------------------------------------------------------------------ #
+    def scale_to(self, count: int) -> int:
+        """Grows or shrinks the pool to ``count`` workers; returns the delta.
+
+        Serialized against submissions via the jobs lock, so no in-flight
+        batch can be addressed to a worker being retired.  Retired workers
+        are stopped and their processes discarded; re-grown worker ids get
+        fresh (cold-cache) replicas, but every *surviving* worker keeps its
+        warm caches and — thanks to the consistent ring — almost all of its
+        key partition.
+
+        Callers routing through :attr:`ring` must serialize their routing
+        decisions against ``scale_to`` themselves (the prediction service
+        holds its submit lock across both).
+        """
+        if count < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        with self._jobs_lock:
+            self._check_open()
+            delta = count - len(self._workers)
+            while len(self._workers) > count:
+                worker = self._workers.pop()
+                self._retire_locked(worker)
+                self.ring.remove_node(worker.worker_id)
+                self._record_resize("remove", worker.worker_id)
+            while len(self._workers) < count:
+                worker_id = len(self._workers)
+                self._workers.append(
+                    _WorkerHandle(self._config, worker_id, self._context)
+                )
+                self.ring.add_node(worker_id)
+                self._record_resize("add", worker_id)
+            return delta
+
+    def _retire_locked(self, worker: _WorkerHandle) -> None:
+        if worker.connection is not None and worker.alive():
+            try:
+                worker.connection.send(("stop", -1, None))
+            except (BrokenPipeError, OSError):
+                pass
+        worker.discard()
+
+    def _record_resize(self, action: str, worker_id: int) -> None:
+        self.resize_events.append(
+            {
+                "action": action,
+                "worker_id": worker_id,
+                "num_workers": len(self._workers),
+                "at": time.monotonic(),
+            }
+        )
 
     # ------------------------------------------------------------------ #
     # Health.
@@ -260,11 +345,31 @@ class ShardedWorkerPool:
         results = self._run_jobs([(index, "ping", None) for index in range(self.num_workers)])
         return [int(pid) for pid in results]
 
-    def worker_stats(self) -> List[Dict[str, float]]:
+    def worker_stats(self) -> List[Dict[str, object]]:
         """Per-worker cache counters (encode/prediction/parse hits, misses)
-        plus the replica's ``inference_dtype``."""
-        results = self._run_jobs([(index, "stats", None) for index in range(self.num_workers)])
-        return [dict(stats) for stats in results]
+        plus the replica's ``inference_dtype``, its stable ``worker_id``,
+        the fraction of the hash ring it owns (``ring_share``) and its
+        ``spawn_count`` (1 = never respawned).
+
+        Everything — the stats round-trips, the ring shares and the
+        worker pairing — happens under the jobs lock, so a concurrent
+        ``scale_to`` (e.g. the autoscale monitor) can never mispair stats
+        with a half-applied resize.
+        """
+        with self._jobs_lock:
+            self._check_open()
+            results = self._run_jobs_locked(
+                [(index, "stats", None) for index in range(len(self._workers))]
+            )
+            shares = self.ring.shares()
+            stats: List[Dict[str, object]] = []
+            for worker, result in zip(self._workers, results):
+                entry = dict(result)
+                entry["worker_id"] = worker.worker_id
+                entry["ring_share"] = shares.get(worker.worker_id, 0.0)
+                entry["spawn_count"] = worker.spawn_count
+                stats.append(entry)
+            return stats
 
     # ------------------------------------------------------------------ #
     # Work.
@@ -407,9 +512,82 @@ class ShardedWorkerPool:
                 return
             self._closed = True
             for worker in self._workers:
-                if worker.connection is not None and worker.alive():
-                    try:
-                        worker.connection.send(("stop", -1, None))
-                    except (BrokenPipeError, OSError):
-                        pass
-                worker.discard()
+                self._retire_locked(worker)
+
+
+class PoolAutoscaler:
+    """Turns queue depth into pool-resize decisions under bounds.
+
+    The policy is deliberately conservative:
+
+    * **scale up** when the pending backlog exceeds
+      ``scale_up_backlog_batches`` size-flushes *per worker* — the queue is
+      growing faster than the current pool drains it;
+    * **scale down** when the queue has stayed below one batch *total* for
+      ``idle_grace_s`` — the pool is provably over-provisioned;
+    * never outside ``[min_workers, max_workers]``, and never within
+      ``cooldown_s`` of the previous resize (spawning a replica costs a
+      model build; flapping would be worse than either steady state).
+
+    The caller (the async front end's autoscale monitor) polls
+    :meth:`decide` with the live queue depth and applies the returned
+    target via ``PredictionService.scale_workers``.
+    """
+
+    def __init__(
+        self,
+        min_workers: int,
+        max_workers: int,
+        max_batch_size: int,
+        cooldown_s: float = 2.0,
+        idle_grace_s: float = 1.0,
+        scale_up_backlog_batches: float = 2.0,
+    ) -> None:
+        if min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if max_workers < min_workers:
+            raise ValueError("need min_workers <= max_workers")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        self.min_workers = int(min_workers)
+        self.max_workers = int(max_workers)
+        self.max_batch_size = int(max_batch_size)
+        self.cooldown_s = float(cooldown_s)
+        self.idle_grace_s = float(idle_grace_s)
+        self.scale_up_backlog_batches = float(scale_up_backlog_batches)
+        self._last_resize_at: Optional[float] = None
+        self._busy_since: Optional[float] = None  # last time the queue was busy
+
+    def decide(
+        self, pending_blocks: int, num_workers: int, now: Optional[float] = None
+    ) -> int:
+        """The worker count the pool should run right now.
+
+        Returns ``num_workers`` (no change) unless a resize is due; the
+        caller is responsible for applying the change and may call again
+        immediately (the cooldown starts from the *decision*).
+        """
+        now = time.monotonic() if now is None else now
+        if self._busy_since is None or pending_blocks >= self.max_batch_size:
+            self._busy_since = now
+        target = min(max(num_workers, self.min_workers), self.max_workers)
+        if target != num_workers:
+            pass  # out of bounds: clamp back regardless of cooldown
+        elif self._last_resize_at is not None and (
+            now - self._last_resize_at < self.cooldown_s
+        ):
+            return num_workers
+        elif (
+            pending_blocks
+            >= self.scale_up_backlog_batches * self.max_batch_size * num_workers
+            and num_workers < self.max_workers
+        ):
+            target = num_workers + 1
+        elif (
+            now - self._busy_since >= self.idle_grace_s
+            and num_workers > self.min_workers
+        ):
+            target = num_workers - 1
+        if target != num_workers:
+            self._last_resize_at = now
+        return target

@@ -1,0 +1,152 @@
+"""Tests of the consistent hash ring (repro.serve.ring) and ring coalescing."""
+
+import pytest
+
+from repro.data.synthetic import BlockGenerator, GeneratorConfig
+from repro.serve import (
+    HashRing,
+    PredictionRequest,
+    coalesce_requests_by_ring,
+    shard_key,
+)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    blocks = BlockGenerator(GeneratorConfig(seed=7)).generate_blocks(400)
+    return [shard_key(block.canonical_text()) for block in blocks]
+
+
+class TestHashRing:
+    def test_membership(self):
+        ring = HashRing(nodes=(0, 1, 2))
+        assert ring.nodes == (0, 1, 2)
+        assert len(ring) == 3
+        assert 1 in ring and 5 not in ring
+
+    def test_owner_is_stable(self, keys):
+        ring = HashRing(nodes=range(4))
+        replica = HashRing(nodes=range(4))
+        for key in keys:
+            assert ring.owner(key) == replica.owner(key) == ring.owner(key)
+
+    def test_owner_only_valid_nodes(self, keys):
+        ring = HashRing(nodes=(0, 1, 2))
+        assert {ring.owner(key) for key in keys} <= {0, 1, 2}
+
+    def test_every_node_owns_something(self, keys):
+        # 128 vnodes per node keep even a small ring balanced enough that
+        # 400 random keys touch every node.
+        ring = HashRing(nodes=range(8))
+        assert {ring.owner(key) for key in keys} == set(range(8))
+
+    def test_shares_sum_to_one(self):
+        for count in (1, 2, 3, 7):
+            shares = HashRing(nodes=range(count)).shares()
+            assert set(shares) == set(range(count))
+            assert sum(shares.values()) == pytest.approx(1.0)
+            # No node owns a wildly disproportionate share.
+            assert max(shares.values()) < 3.0 / count
+
+    def test_add_node_moves_keys_only_to_new_node(self, keys):
+        """The consistency property: growing N -> N+1 moves ~1/(N+1) of the
+        keys, all of them *to* the new node; nobody else's keys move."""
+        for count in (2, 3, 4):
+            before = HashRing(nodes=range(count))
+            after = HashRing(nodes=range(count + 1))
+            moved = 0
+            for key in keys:
+                old, new = before.owner(key), after.owner(key)
+                if old != new:
+                    moved += 1
+                    assert new == count  # moved keys land on the new node only
+            fraction = moved / len(keys)
+            # Expectation is 1/(count+1); allow generous slack for a small
+            # sample over a 128-vnode ring.
+            assert 0.0 < fraction < 2.0 / (count + 1)
+
+    def test_remove_node_is_inverse_of_add(self, keys):
+        ring = HashRing(nodes=range(4))
+        reference = {key: ring.owner(key) for key in keys}
+        ring.add_node(4)
+        ring.remove_node(4)
+        assert ring.nodes == (0, 1, 2, 3)
+        assert {key: ring.owner(key) for key in keys} == reference
+
+    def test_incremental_equals_from_scratch(self, keys):
+        grown = HashRing(nodes=(0,))
+        grown.add_node(1)
+        grown.add_node(2)
+        fresh = HashRing(nodes=range(3))
+        for key in keys:
+            assert grown.owner(key) == fresh.owner(key)
+
+    def test_invalid_operations(self):
+        with pytest.raises(ValueError):
+            HashRing(num_vnodes=0)
+        ring = HashRing(nodes=(0, 1))
+        with pytest.raises(ValueError):
+            ring.add_node(0)
+        with pytest.raises(ValueError):
+            ring.remove_node(9)
+        empty = HashRing()
+        with pytest.raises(LookupError):
+            empty.owner(123)
+        assert empty.shares() == {}
+
+
+class TestRingCoalescing:
+    @pytest.fixture(scope="class")
+    def blocks(self):
+        return BlockGenerator(GeneratorConfig(seed=11)).generate_blocks(40)
+
+    def test_covers_every_block_once(self, blocks):
+        ring = HashRing(nodes=range(3))
+        requests = [
+            PredictionRequest.of(blocks[:25]),
+            PredictionRequest.of(blocks[25:]),
+        ]
+        assignments = coalesce_requests_by_ring(requests, 8, ring)
+        origins = [origin for _, batch in assignments for origin in batch.origins]
+        assert sorted(origins) == [
+            (index, position)
+            for index, request in enumerate(requests)
+            for position in range(request.num_blocks)
+        ]
+        assert all(batch.num_blocks <= 8 for _, batch in assignments)
+
+    def test_blocks_routed_by_ring_owner(self, blocks):
+        ring = HashRing(nodes=range(4))
+        assignments = coalesce_requests_by_ring(
+            [PredictionRequest.of(blocks)], 8, ring
+        )
+        for worker_id, batch in assignments:
+            for text in batch.block_texts:
+                assert ring.owner(shard_key(text)) == worker_id
+
+    def test_routing_survives_resize_for_unmoved_keys(self, blocks):
+        """After adding a worker, every block either keeps its worker or
+        lands on the new one — the cache-affinity contract of elasticity."""
+        small = HashRing(nodes=range(2))
+        grown = HashRing(nodes=range(3))
+        request = [PredictionRequest.of(blocks)]
+        before = {
+            text: worker_id
+            for worker_id, batch in coalesce_requests_by_ring(request, 64, small)
+            for text in batch.block_texts
+        }
+        after = {
+            text: worker_id
+            for worker_id, batch in coalesce_requests_by_ring(request, 64, grown)
+            for text in batch.block_texts
+        }
+        assert set(before) == set(after)
+        for text, owner in after.items():
+            assert owner == before[text] or owner == 2
+
+    def test_invalid_arguments(self, blocks):
+        request = PredictionRequest.of(blocks[:2])
+        with pytest.raises(ValueError):
+            coalesce_requests_by_ring([request], 0, HashRing(nodes=(0,)))
+        with pytest.raises(ValueError):
+            coalesce_requests_by_ring([request], 4, HashRing())
