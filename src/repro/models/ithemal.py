@@ -33,10 +33,34 @@ from repro.graph.vocabulary import Vocabulary
 from repro.nn.layers import Embedding, ResidualMLP
 from repro.nn.lstm import LSTM
 from repro.nn.module import Parameter
-from repro.nn.tensor import Tensor, matmul
+from repro.nn.tensor import Tensor, fused_ops_active, matmul, scatter_rows
 from repro.utils.cache import LRUCache
 
 __all__ = ["IthemalModel", "IthemalBatch"]
+
+
+def _slot_indices(
+    instruction_block_ids: np.ndarray,
+    block_lengths: np.ndarray,
+    max_instructions: int,
+) -> np.ndarray:
+    """Destination rows for re-packing instructions into padded blocks.
+
+    Instruction ``i`` of the flat batch lands in row
+    ``block * max_instructions + position_within_block`` of the padded
+    ``[num_blocks * max_instructions, hidden]`` layout.  Computed from
+    cumulative block counts in O(N) — ``instruction_block_ids`` lists each
+    block's instructions contiguously in order (as ``encode_blocks``
+    produces them), so the position within a block is the flat index minus
+    the block's cumulative start.
+    """
+    starts = np.zeros(block_lengths.shape[0], dtype=np.int64)
+    np.cumsum(block_lengths[:-1], out=starts[1:])
+    positions = (
+        np.arange(instruction_block_ids.shape[0], dtype=np.int64)
+        - starts[instruction_block_ids]
+    )
+    return instruction_block_ids * max_instructions + positions
 
 
 @dataclass
@@ -51,6 +75,9 @@ class IthemalBatch:
         block_lengths: ``[num_blocks]`` number of instructions per block.
         num_blocks: Number of basic blocks in the batch.
         max_instructions: Maximum instructions per block in this batch.
+        slot_indices: ``[total_instructions]`` destination row of each
+            instruction in the padded ``[num_blocks * max_instructions]``
+            layout (precomputed once per batch; see :func:`_slot_indices`).
     """
 
     token_ids: np.ndarray
@@ -59,6 +86,7 @@ class IthemalBatch:
     block_lengths: np.ndarray
     num_blocks: int
     max_instructions: int
+    slot_indices: Optional[np.ndarray] = None
 
 
 class IthemalModel(ThroughputModel):
@@ -164,13 +192,19 @@ class IthemalModel(ThroughputModel):
             token_ids[row, : len(ids)] = ids
             token_lengths[row] = len(ids)
 
+        instruction_block_id_array = np.array(instruction_block_ids, dtype=np.int64)
+        block_length_array = np.array(block_lengths, dtype=np.int64)
+        max_instructions = int(max(block_lengths))
         batch = IthemalBatch(
             token_ids=token_ids,
             token_lengths=token_lengths,
-            instruction_block_ids=np.array(instruction_block_ids, dtype=np.int64),
-            block_lengths=np.array(block_lengths, dtype=np.int64),
+            instruction_block_ids=instruction_block_id_array,
+            block_lengths=block_length_array,
             num_blocks=len(blocks),
-            max_instructions=int(max(block_lengths)),
+            max_instructions=max_instructions,
+            slot_indices=_slot_indices(
+                instruction_block_id_array, block_length_array, max_instructions
+            ),
         )
         self._batch_cache.put(keys, batch)
         return batch
@@ -198,23 +232,25 @@ class IthemalModel(ThroughputModel):
         token_features = self.token_embedding(batch.token_ids.reshape(-1)).reshape(
             batch.token_ids.shape[0], batch.token_ids.shape[1], self.config.token_embedding_size
         )
-        _, instruction_embeddings = self.instruction_lstm(token_features, batch.token_lengths)
+        _, instruction_embeddings = self.instruction_lstm(
+            token_features, batch.token_lengths, need_outputs=False
+        )
 
         # Re-pack instruction embeddings into a [num_blocks, max_instr, H]
-        # padded tensor.  During training the scatter is a permutation-matrix
-        # matmul so gradients flow through it; on the no-grad fast path it is
-        # a direct indexed assignment.
+        # padded tensor.  On the no-grad fast path this is a direct indexed
+        # assignment; during training it is the scatter_rows primitive whose
+        # backward is an O(N) gather.  The composed-tape fallback keeps the
+        # original O(N^2) permutation-matrix matmul (same float values:
+        # each output row is 1 * x + 0 * rest).
         num_instructions = instruction_embeddings.shape[0]
         num_blocks = batch.num_blocks
         max_instructions = batch.max_instructions
         hidden_size = self.config.hidden_size
-        slots = np.empty(num_instructions, dtype=np.int64)
-        position_in_block = np.zeros(num_blocks, dtype=np.int64)
-        for instruction_index, block_index in enumerate(batch.instruction_block_ids):
-            slots[instruction_index] = (
-                block_index * max_instructions + position_in_block[block_index]
+        slots = batch.slot_indices
+        if slots is None:
+            slots = _slot_indices(
+                batch.instruction_block_ids, batch.block_lengths, max_instructions
             )
-            position_in_block[block_index] += 1
         if isinstance(instruction_embeddings, np.ndarray):
             flat = np.zeros(
                 (num_blocks * max_instructions, hidden_size),
@@ -222,6 +258,10 @@ class IthemalModel(ThroughputModel):
             )
             flat[slots] = instruction_embeddings
             packed = flat.reshape(num_blocks, max_instructions, hidden_size)
+        elif fused_ops_active():
+            packed = scatter_rows(
+                instruction_embeddings, slots, num_blocks * max_instructions
+            ).reshape(num_blocks, max_instructions, hidden_size)
         else:
             scatter = np.zeros(
                 (num_blocks * max_instructions, num_instructions), dtype=np.float64
@@ -231,7 +271,9 @@ class IthemalModel(ThroughputModel):
             packed = packed.reshape(num_blocks, max_instructions, hidden_size)
 
         # Level 2: block LSTM over the instruction embeddings.
-        _, block_embeddings = self.block_lstm(packed, batch.block_lengths)
+        _, block_embeddings = self.block_lstm(
+            packed, batch.block_lengths, need_outputs=False
+        )
         return block_embeddings
 
     def forward(self, batch: IthemalBatch) -> Dict[str, Tensor]:

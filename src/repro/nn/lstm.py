@@ -10,11 +10,12 @@ explicit length mask, which is what the re-implemented baseline uses.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.nn import init
+from repro.nn.fused import fused_lstm_step
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import (
     Tensor,
@@ -22,10 +23,15 @@ from repro.nn.tensor import (
     as_tensor,
     concatenate,
     fast_path_active,
+    fused_ops_active,
     raw,
     sigmoid,
     where,
 )
+
+#: States are tape tensors while gradients are recorded and raw arrays on
+#: the no-grad fast path (see :meth:`LSTMCell.initial_state`).
+State = Union[Tensor, np.ndarray]
 
 __all__ = ["LSTMCell", "LSTM"]
 
@@ -82,6 +88,22 @@ class LSTMCell(Module):
             new_cell = forget_gate * raw(cell_state) + input_gate * candidate
             new_hidden = output_gate * np.tanh(new_cell)
             return new_hidden, (new_hidden, new_cell)
+        if fused_ops_active():
+            # Training fast path: one fused tape node for the whole step
+            # plus two cheap basic-index slices, instead of ~15 composed
+            # nodes (per-gate slicing, sigmoids, tanh, combines).
+            state = fused_lstm_step(
+                inputs,
+                hidden_state,
+                cell_state,
+                self.weight_input,
+                self.weight_hidden,
+                self.bias,
+            )
+            size = self.hidden_size
+            new_hidden = state[:, :size]
+            new_cell = state[:, size:]
+            return new_hidden, (new_hidden, new_cell)
         gates = inputs @ self.weight_input + hidden_state @ self.weight_hidden + self.bias
         size = self.hidden_size
         input_gate = gates[:, 0 * size : 1 * size].sigmoid()
@@ -92,10 +114,20 @@ class LSTMCell(Module):
         new_hidden = output_gate * new_cell.tanh()
         return new_hidden, (new_hidden, new_cell)
 
-    def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
-        """Returns an all-zeros ``(hidden, cell)`` state."""
-        zeros = Tensor(np.zeros((batch_size, self.hidden_size)))
-        return zeros, Tensor(np.zeros((batch_size, self.hidden_size)))
+    def initial_state(self, batch_size: int) -> Tuple[State, State]:
+        """Returns an all-zeros ``(hidden, cell)`` state.
+
+        Tape :class:`Tensor` wrappers are only allocated when an operand
+        could actually join a tape; on the no-grad numpy fast path the state
+        is a pair of raw arrays, which the cell's fast path consumes
+        directly.  (The tape-on-``no_grad`` combination —
+        ``use_fast_path(False)`` inference — still gets Tensors, because the
+        composed ops mix Tensor and ndarray operands left-to-right.)
+        """
+        shape = (batch_size, self.hidden_size)
+        if fast_path_active():
+            return np.zeros(shape), np.zeros(shape)
+        return Tensor(np.zeros(shape)), Tensor(np.zeros(shape))
 
 
 class LSTM(Module):
@@ -116,7 +148,8 @@ class LSTM(Module):
         self,
         inputs: Tensor,
         lengths: Optional[np.ndarray] = None,
-    ) -> Tuple[Tensor, Tensor]:
+        need_outputs: bool = True,
+    ) -> Tuple[Optional[Tensor], Tensor]:
         """Processes a padded batch.
 
         Args:
@@ -125,11 +158,17 @@ class LSTM(Module):
                 lengths.  When given, the returned final state for each
                 sequence is the state at its own last element, and padded
                 steps do not modify the state.
+            need_outputs: When False, the fused training path skips
+                recording the per-step output stack (the hierarchical models
+                only consume the final state); ``outputs`` is then ``None``.
 
         Returns:
             A tuple ``(outputs, final_hidden)`` where ``outputs`` is
-            ``[batch, time, hidden_size]`` and ``final_hidden`` is
-            ``[batch, hidden_size]``.
+            ``[batch, time, hidden_size]`` (or ``None``, see
+            ``need_outputs``) and ``final_hidden`` is
+            ``[batch, hidden_size]``.  On the fused path, output rows past a
+            sequence's length hold its frozen final state rather than the
+            padded-step activations — they carry no information either way.
         """
         if fast_path_active():
             return self._forward_inference(raw(inputs), lengths)
@@ -138,6 +177,8 @@ class LSTM(Module):
         if lengths is None:
             lengths = np.full((batch_size,), max_time, dtype=np.int64)
         lengths = np.asarray(lengths, dtype=np.int64)
+        if fused_ops_active():
+            return self._forward_fused(inputs, lengths, need_outputs)
 
         hidden, cell = self.cell.initial_state(batch_size)
         step_outputs: List[Tensor] = []
@@ -148,6 +189,43 @@ class LSTM(Module):
             hidden = where(active, new_hidden_state, hidden)
             cell = where(active, new_cell, cell)
             step_outputs.append(new_hidden.reshape(batch_size, 1, self.hidden_size))
+        outputs = concatenate(step_outputs, axis=1) if step_outputs else inputs
+        return outputs, hidden
+
+    def _forward_fused(
+        self, inputs: Tensor, lengths: np.ndarray, need_outputs: bool
+    ) -> Tuple[Optional[Tensor], Tensor]:
+        """Training fast path: one fused tape node per time step.
+
+        Each step records a :func:`repro.nn.fused.fused_lstm_step` node (the
+        length mask folded in) plus two basic-index slices whose backwards
+        accumulate in place, instead of the ~17 composed nodes of the
+        define-by-run loop.
+        """
+        batch_size, max_time = inputs.shape[0], inputs.shape[1]
+        size = self.hidden_size
+        cell_module = self.cell
+        hidden, cell = cell_module.initial_state(batch_size)
+        step_outputs: List[Tensor] = []
+        for time in range(max_time):
+            frame = inputs[:, time, :]
+            active = lengths > time
+            mask = None if active.all() else active
+            state = fused_lstm_step(
+                frame,
+                hidden,
+                cell,
+                cell_module.weight_input,
+                cell_module.weight_hidden,
+                cell_module.bias,
+                mask=mask,
+            )
+            hidden = state[:, :size]
+            cell = state[:, size:]
+            if need_outputs:
+                step_outputs.append(hidden.reshape(batch_size, 1, size))
+        if not need_outputs:
+            return None, hidden
         outputs = concatenate(step_outputs, axis=1) if step_outputs else inputs
         return outputs, hidden
 

@@ -8,11 +8,12 @@ un-normalised models from diverging, so that is provided here too.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn.module import Parameter, bump_parameter_version
+from repro.nn.tensor import fused_ops_active
 
 __all__ = ["Optimizer", "SGD", "Adam", "clip_gradients_by_global_norm", "global_gradient_norm"]
 
@@ -62,7 +63,18 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba 2014) with the paper's default hyper-parameters."""
+    """Adam (Kingma & Ba 2014) with the paper's default hyper-parameters.
+
+    The moment state lives in two flat slabs over the concatenation of all
+    parameters; the per-parameter moment arrays are reshaped views into
+    them.  On the training fast path (``repro.nn.tensor.use_fused_ops``,
+    the default) and when every parameter has a gradient, the update runs
+    as a handful of vectorized operations over the slabs — element-for-
+    element the same arithmetic as the per-parameter loop, so both paths
+    produce bit-identical updates.  The loop is kept for the composed-tape
+    baseline and for steps where some parameters have no gradient (their
+    moments must not decay).
+    """
 
     def __init__(
         self,
@@ -82,13 +94,35 @@ class Adam(Optimizer):
         self.beta2 = float(beta2)
         self.epsilon = float(epsilon)
         self._step_count = 0
-        self._first_moment = [np.zeros_like(parameter.data) for parameter in self.parameters]
-        self._second_moment = [np.zeros_like(parameter.data) for parameter in self.parameters]
+        total_size = sum(parameter.size for parameter in self.parameters)
+        self._flat_first = np.zeros(total_size)
+        self._flat_second = np.zeros(total_size)
+        self._flat_gradient = np.empty(total_size)
+        self._scratch = np.empty(total_size)
+        self._spans: List[Tuple[int, int]] = []
+        self._first_moment: List[np.ndarray] = []
+        self._second_moment: List[np.ndarray] = []
+        offset = 0
+        for parameter in self.parameters:
+            span = (offset, offset + parameter.size)
+            self._spans.append(span)
+            self._first_moment.append(
+                self._flat_first[span[0] : span[1]].reshape(parameter.data.shape)
+            )
+            self._second_moment.append(
+                self._flat_second[span[0] : span[1]].reshape(parameter.data.shape)
+            )
+            offset = span[1]
 
     def step(self) -> None:
         self._step_count += 1
         bias_correction1 = 1.0 - self.beta1 ** self._step_count
         bias_correction2 = 1.0 - self.beta2 ** self._step_count
+        if fused_ops_active() and all(
+            parameter.grad is not None for parameter in self.parameters
+        ):
+            self._step_flat(bias_correction1, bias_correction2)
+            return
         for parameter, first, second in zip(
             self.parameters, self._first_moment, self._second_moment
         ):
@@ -104,6 +138,31 @@ class Adam(Optimizer):
             parameter.data -= (
                 self.learning_rate * corrected_first / (np.sqrt(corrected_second) + self.epsilon)
             )
+            parameter.bump_version()
+        bump_parameter_version()
+
+    def _step_flat(self, bias_correction1: float, bias_correction2: float) -> None:
+        """One update over the flat moment slabs (training fast path)."""
+        gradient = self._flat_gradient
+        for parameter, (start, stop) in zip(self.parameters, self._spans):
+            gradient[start:stop] = parameter.grad.ravel()
+        first, second = self._flat_first, self._flat_second
+        first *= self.beta1
+        first += (1.0 - self.beta1) * gradient
+        second *= self.beta2
+        # Same association as the loop: ((1 - beta2) * g) * g.
+        scratch = self._scratch
+        np.multiply(1.0 - self.beta2, gradient, out=scratch)
+        scratch *= gradient
+        second += scratch
+        corrected_first = first / bias_correction1
+        corrected_second = second / bias_correction2
+        update = self.learning_rate * corrected_first
+        np.sqrt(corrected_second, out=corrected_second)
+        corrected_second += self.epsilon
+        update /= corrected_second
+        for parameter, (start, stop) in zip(self.parameters, self._spans):
+            parameter.data -= update[start:stop].reshape(parameter.data.shape)
             parameter.bump_version()
         bump_parameter_version()
 

@@ -45,6 +45,41 @@ back.  The tape path is unaffected: differentiable :class:`Tensor` data is
 always ``float64`` — master weights and training never run in reduced
 precision, only inference does (see
 ``repro.models.base.ThroughputModel.predict``).
+
+Training fast path
+------------------
+
+Training keeps the define-by-run tape, but its hot composites collapse into
+**fused** tape ops with hand-written backwards (:mod:`repro.nn.fused`):
+
+* one node per Dense layer (matmul + bias + activation), one per LayerNorm,
+  and one per LSTM time step (which otherwise records ~15 nodes of per-gate
+  slicing / sigmoid / tanh / multiply closures);
+* a :func:`scatter_rows` primitive whose backward is an O(N) gather,
+  replacing the quadratic permutation-matrix matmul the Ithemal model used
+  to re-pack instruction embeddings;
+* every scatter-add style backward (embedding / :meth:`Tensor.gather_rows` /
+  :meth:`Tensor.segment_sum` / integer-array ``__getitem__``) runs on
+  flattened ``np.bincount`` instead of ``np.add.at`` (roughly an order of
+  magnitude faster for 2-D feature matrices), and basic-index slices
+  accumulate in place into the parent's gradient region instead of
+  materialising a full-size zeros array per slice;
+* gradients accumulate into preallocated per-tensor buffers (reused across
+  steps for long-lived tensors such as :class:`repro.nn.module.Parameter`),
+  and ``repro.nn.optim.Adam`` applies its update through one flat slab over
+  all parameters.
+
+**Fused vs composed:** the composed per-op tape is retained behind
+:class:`use_fused_ops` — ``use_fused_ops(False)`` restores the pre-fusion
+behaviour (per-gate LSTM closures, permutation-matrix scatter, ``np.add.at``
+backwards, per-parameter Adam), which is the baseline that
+``benchmarks/test_training_throughput.py`` measures the fast path against.
+Fused forwards replicate the composed float arithmetic operation-for-
+operation (bit-identical losses); backwards may legitimately reorder float
+summations, so same-seed loss *trajectories* agree within the documented
+tolerance of that benchmark rather than bit-for-bit.  Use the composed path
+when debugging gradients op by op; use the (default) fused path everywhere
+else.
 """
 
 from __future__ import annotations
@@ -61,6 +96,8 @@ __all__ = [
     "is_grad_enabled",
     "use_fast_path",
     "fast_path_active",
+    "use_fused_ops",
+    "fused_ops_active",
     "compute_dtype",
     "active_dtype",
     "resolve_dtype",
@@ -68,6 +105,7 @@ __all__ = [
     "raw",
     "matmul",
     "gather_rows",
+    "scatter_rows",
     "segment_sum",
     "segment_mean",
     "relu",
@@ -82,6 +120,7 @@ ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
 _FAST_PATH_ENABLED = True
+_FUSED_OPS_ENABLED = True
 
 #: Dtype names accepted by :func:`resolve_dtype` / inference configurations.
 SUPPORTED_DTYPES = ("float64", "float32")
@@ -181,6 +220,39 @@ def fast_path_active() -> bool:
     return not _GRAD_ENABLED and _FAST_PATH_ENABLED
 
 
+class use_fused_ops:
+    """Context manager toggling the vectorized *training* fast path.
+
+    On (the default), layers record fused tape ops with hand-written
+    backwards, scatter-add backwards run on ``np.bincount``, the Ithemal
+    scatter is the O(N) :func:`scatter_rows` primitive, and ``Adam`` updates
+    through a flat parameter slab.  ``use_fused_ops(False)`` restores the
+    composed per-op tape (per-gate LSTM closures, permutation-matrix
+    scatter, ``np.add.at`` backwards, per-parameter Adam), which is the
+    pre-fusion baseline measured by
+    ``benchmarks/test_training_throughput.py``.  See the module docstring's
+    "Training fast path" section.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = bool(enabled)
+
+    def __enter__(self) -> "use_fused_ops":
+        global _FUSED_OPS_ENABLED
+        self._previous = _FUSED_OPS_ENABLED
+        _FUSED_OPS_ENABLED = self._enabled
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _FUSED_OPS_ENABLED
+        _FUSED_OPS_ENABLED = self._previous
+
+
+def fused_ops_active() -> bool:
+    """True when the tape should record fused ops (training fast path)."""
+    return _FUSED_OPS_ENABLED
+
+
 class no_grad:
     """Context manager that disables gradient recording.
 
@@ -218,17 +290,61 @@ def _unbroadcast(gradient: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return gradient.reshape(shape)
 
 
+def _row_scatter_add(target: np.ndarray, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """``target[indices] += values`` with duplicate indices summed, in O(N).
+
+    The 1-D/2-D cases run on flattened ``np.bincount`` (a single C loop over
+    the value buffer) instead of ``np.add.at``, whose generalised-ufunc
+    fallback is roughly an order of magnitude slower for the row-shaped
+    scatters the training backwards perform.  Higher-rank values fall back
+    to ``np.add.at``; no training hot path produces them.
+    """
+    if indices.size and int(indices.min()) < 0:
+        # bincount rejects negative ids; wrap them exactly like numpy
+        # indexing does (any index the forward accepted is in [-n, n)).
+        indices = indices % target.shape[0]
+    if values.ndim == 2 and target.ndim == 2:
+        num_rows, num_features = target.shape
+        flat_ids = indices[:, None] * num_features + np.arange(num_features)
+        target += np.bincount(
+            flat_ids.ravel(), weights=values.ravel(), minlength=num_rows * num_features
+        ).reshape(num_rows, num_features)
+    elif values.ndim == 1 and target.ndim == 1:
+        target += np.bincount(indices, weights=values, minlength=target.shape[0])
+    else:  # pragma: no cover - no hot path reaches this
+        np.add.at(target, indices, values)
+    return target
+
+
+def _is_basic_index(key) -> bool:
+    """True for keys that select a *region* (no duplicates possible).
+
+    Basic numpy indexing — integers, slices, ``None``/``Ellipsis`` and
+    tuples thereof — addresses each output element exactly once, so the
+    gradient can accumulate with a plain in-place ``+=`` on the parent's
+    gradient region instead of a scatter-add.
+    """
+    basic_types = (int, np.integer, slice, type(None), type(Ellipsis))
+    if isinstance(key, tuple):
+        return all(isinstance(part, basic_types) for part in key)
+    return isinstance(key, basic_types)
+
+
 class Tensor:
     """A numpy-backed tensor with reverse-mode autodiff.
 
     Attributes:
         data: The underlying ``numpy.ndarray`` (always ``float64`` for
             differentiable tensors).
-        grad: Accumulated gradient, populated by :meth:`backward`.
+        grad: Accumulated gradient, populated by :meth:`backward`.  The
+            array is a per-tensor buffer *reused across backward passes*
+            (``zero_grad`` keeps it): a later backward on the same tensor
+            overwrites it in place, so snapshot with ``grad.copy()`` when
+            keeping gradients across steps.
         requires_grad: Whether gradients should flow into this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_grad_buffer")
 
     def __init__(
         self,
@@ -245,6 +361,11 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
+        # Preallocated gradient buffer, reused across backward passes for
+        # long-lived tensors (parameters): zero_grad() drops self.grad but
+        # keeps the buffer, so the next backward writes into the same
+        # allocation instead of re-allocating per step.
+        self._grad_buffer: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # Basic properties.
@@ -301,9 +422,32 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(gradient, dtype=np.float64, copy=True)
+            buffer = self._grad_buffer
+            if buffer is not None and buffer.shape == np.shape(gradient):
+                np.copyto(buffer, gradient)
+                self.grad = buffer
+            else:
+                self.grad = np.array(gradient, dtype=np.float64, copy=True)
+                self._grad_buffer = self.grad
         else:
             self.grad += gradient
+
+    def _ensure_grad(self) -> np.ndarray:
+        """Returns ``self.grad``, allocating (or reusing) a zeroed buffer.
+
+        Used by backwards that accumulate *into a region* of the gradient
+        (slice and scatter backwards) rather than adding a full-size array;
+        they need the full-shape gradient to exist first.
+        """
+        if self.grad is None:
+            buffer = self._grad_buffer
+            if buffer is not None and buffer.shape == self.data.shape:
+                buffer.fill(0.0)
+            else:
+                buffer = np.zeros(self.data.shape, dtype=np.float64)
+                self._grad_buffer = buffer
+            self.grad = buffer
+        return self.grad
 
     def backward(self, gradient: Optional[np.ndarray] = None) -> None:
         """Backpropagates from this tensor to all ancestors.
@@ -468,8 +612,27 @@ class Tensor:
 
     def __getitem__(self, key) -> "Tensor":
         data = self.data[key]
+        basic = _is_basic_index(key)
+        fused = _FUSED_OPS_ENABLED
 
         def backward(gradient: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            if basic and fused:
+                # Region accumulate: basic indexing cannot alias, so add the
+                # gradient straight into the parent's gradient slice instead
+                # of materialising a full-size zeros array per time step.
+                self._ensure_grad()[key] += gradient
+                return
+            if (
+                fused
+                and isinstance(key, np.ndarray)
+                and key.ndim == 1
+                and key.dtype.kind in "iu"
+                and self.data.ndim <= 2
+            ):
+                _row_scatter_add(self._ensure_grad(), key, np.asarray(gradient))
+                return
             full = np.zeros_like(self.data)
             np.add.at(full, key, gradient)
             self._accumulate(full)
@@ -609,11 +772,44 @@ class Tensor:
         """
         indices = np.asarray(indices, dtype=np.int64)
         data = self.data[indices]
+        fused = _FUSED_OPS_ENABLED
 
         def backward(gradient: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            if fused and self.data.ndim <= 2:
+                # O(N) bincount scatter-add into the (reused) grad buffer
+                # instead of np.add.at on a fresh full-size zeros array.
+                gradient = np.asarray(gradient)
+                if self.data.ndim == 2:
+                    gradient = gradient.reshape(-1, self.data.shape[1])
+                else:
+                    gradient = gradient.reshape(-1)
+                _row_scatter_add(self._ensure_grad(), indices.reshape(-1), gradient)
+                return
             full = np.zeros_like(self.data)
             np.add.at(full, indices, gradient)
             self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    def scatter_rows(self, indices: np.ndarray, num_rows: int) -> "Tensor":
+        """Writes row ``i`` of this tensor to row ``indices[i]`` of a zeros
+        output with ``num_rows`` rows (the inverse of :meth:`gather_rows`).
+
+        ``indices`` must be unique — each output row is written at most once;
+        rows never referenced stay zero.  The backward is an O(N) gather,
+        which is what makes this the scatter primitive for re-packing padded
+        batches (see ``IthemalModel.embed_batch``), replacing a quadratic
+        permutation-matrix matmul.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        output_shape = (num_rows,) + self.data.shape[1:]
+        data = np.zeros(output_shape, dtype=np.float64)
+        data[indices] = self.data
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient[indices])
 
         return Tensor._make(data, (self,), backward)
 
@@ -622,11 +818,17 @@ class Tensor:
 
         This is the aggregation primitive of the graph network: edge features
         are summed per receiving node, node features are summed per graph.
+        The forward runs on flattened ``np.bincount`` (see
+        :func:`_row_scatter_add`); ``use_fused_ops(False)`` restores the
+        original ``np.add.at`` scatter.
         """
         segment_ids = np.asarray(segment_ids, dtype=np.int64)
         output_shape = (num_segments,) + self.data.shape[1:]
         data = np.zeros(output_shape, dtype=np.float64)
-        np.add.at(data, segment_ids, self.data)
+        if _FUSED_OPS_ENABLED and self.data.ndim <= 2:
+            _row_scatter_add(data, segment_ids, self.data)
+        else:
+            np.add.at(data, segment_ids, self.data)
 
         def backward(gradient: np.ndarray) -> None:
             self._accumulate(gradient[segment_ids])
@@ -738,6 +940,22 @@ def gather_rows(values: ArrayLike, indices: np.ndarray) -> Tensor:
     if not isinstance(values, Tensor):
         return raw(values)[np.asarray(indices, dtype=np.int64)]
     return values.gather_rows(indices)
+
+
+def scatter_rows(values: ArrayLike, indices: np.ndarray, num_rows: int) -> Tensor:
+    """Inverse row gather: ``out[indices[i]] = values[i]`` into ``num_rows`` rows.
+
+    ``indices`` must be unique; unreferenced rows stay zero.  Raw-numpy fast
+    path under ``no_grad``; on the tape the backward is an O(N) gather (see
+    :meth:`Tensor.scatter_rows`).
+    """
+    if not isinstance(values, Tensor):
+        array = raw(values)
+        indices = np.asarray(indices, dtype=np.int64)
+        output = np.zeros((num_rows,) + array.shape[1:], dtype=array.dtype)
+        output[indices] = array
+        return output
+    return values.scatter_rows(indices, num_rows)
 
 
 def segment_sum(values: ArrayLike, segment_ids: np.ndarray, num_segments: int) -> Tensor:

@@ -15,8 +15,12 @@ from repro.testing.equivalence import (
     relative_errors,
     save_golden,
 )
+from repro.testing.gradcheck import GradcheckResult, gradcheck, numeric_gradient
 
 __all__ = [
+    "GradcheckResult",
+    "gradcheck",
+    "numeric_gradient",
     "EquivalenceReport",
     "TaskEquivalence",
     "assert_allclose_for_dtype",

@@ -1,0 +1,125 @@
+"""Numeric gradient checking (central difference vs. analytic backward).
+
+Every hand-written backward in the autodiff engine — and in particular the
+fused training-fast-path ops of :mod:`repro.nn.fused` — is verified against
+central-difference gradients by ``tests/test_nn_gradcheck.py`` using this
+harness.  It is kept inside the package (like
+:mod:`repro.testing.equivalence`) so future ops can be checked from
+anywhere, including one-off scripts.
+
+Usage::
+
+    weight = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    gradcheck(lambda: fused_dense(inputs, weight, None, "relu"),
+              {"weight": weight})
+
+The callable rebuilds the output from the *current* values of the checked
+tensors on every invocation; the harness perturbs each entry of each
+tensor's ``data`` in place, reduces the output to a scalar through a fixed
+random projection (so every output element influences the loss), and
+compares the resulting finite differences against the gradients produced by
+``backward()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["GradcheckResult", "gradcheck", "numeric_gradient"]
+
+
+@dataclass(frozen=True)
+class GradcheckResult:
+    """Outcome of one tensor's gradient comparison."""
+
+    name: str
+    max_abs_error: float
+    passed: bool
+
+
+def numeric_gradient(
+    function: Callable[[], float], array: np.ndarray, epsilon: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``function()`` w.r.t. ``array``.
+
+    ``array`` is perturbed in place (and restored), so ``function`` must
+    read it afresh on every call.
+    """
+    gradient = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    flat_gradient = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = function()
+        flat[index] = original - epsilon
+        minus = function()
+        flat[index] = original
+        flat_gradient[index] = (plus - minus) / (2.0 * epsilon)
+    return gradient
+
+
+def gradcheck(
+    build_output: Callable[[], Union[Tensor, np.ndarray]],
+    tensors: Dict[str, Tensor],
+    epsilon: float = 1e-6,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+    projection_seed: int = 0,
+) -> List[GradcheckResult]:
+    """Checks analytic gradients of ``build_output()`` against central
+    differences, for every tensor in ``tensors``.
+
+    Args:
+        build_output: Rebuilds the op under test from the current values of
+            ``tensors`` and returns its output (a :class:`Tensor` of any
+            shape; raw arrays are accepted for ops that collapse to numpy
+            under some configurations).
+        tensors: Name → tensor (``requires_grad=True``) whose gradients are
+            compared.
+        epsilon: Central-difference step.
+        atol / rtol: Tolerances of the comparison
+            (``np.testing.assert_allclose`` semantics).
+        projection_seed: Seed of the fixed random projection that reduces
+            the output to a scalar.
+
+    Returns:
+        One :class:`GradcheckResult` per checked tensor (all passed — a
+        failure raises ``AssertionError`` with the offending tensors).
+    """
+    reference = build_output()
+    reference_data = reference.data if isinstance(reference, Tensor) else np.asarray(reference)
+    projection = np.random.default_rng(projection_seed).normal(size=reference_data.shape)
+
+    def scalar() -> float:
+        value = build_output()
+        data = value.data if isinstance(value, Tensor) else np.asarray(value)
+        return float((data * projection).sum())
+
+    for tensor in tensors.values():
+        tensor.zero_grad()
+    loss = (build_output() * Tensor(projection)).sum()
+    loss.backward()
+
+    results: List[GradcheckResult] = []
+    failures: List[str] = []
+    for name, tensor in tensors.items():
+        analytic = (
+            tensor.grad.copy() if tensor.grad is not None else np.zeros_like(tensor.data)
+        )
+        numeric = numeric_gradient(scalar, tensor.data, epsilon=epsilon)
+        max_abs_error = float(np.max(np.abs(analytic - numeric))) if analytic.size else 0.0
+        passed = bool(
+            np.allclose(analytic, numeric, rtol=rtol, atol=atol, equal_nan=False)
+        )
+        results.append(GradcheckResult(name=name, max_abs_error=max_abs_error, passed=passed))
+        if not passed:
+            failures.append(f"{name}: max |analytic - numeric| = {max_abs_error:.3e}")
+    if failures:
+        raise AssertionError("gradient check failed for " + "; ".join(failures))
+    return results

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.datasets import ThroughputDataset
+from repro.isa.basic_block import BasicBlock
 from repro.models.base import ThroughputModel
 from repro.models.config import TrainingConfig
 from repro.nn.losses import get_loss
@@ -55,6 +56,18 @@ class TrainingHistory:
     @property
     def final_loss(self) -> float:
         return self.steps[-1].loss if self.steps else float("nan")
+
+    @property
+    def steps_per_second(self) -> float:
+        """Mean optimisation throughput over the recorded steps.
+
+        Computed from the per-step wall times, so validation evaluations
+        (which run between steps) do not dilute it.
+        """
+        seconds = sum(record.seconds for record in self.steps)
+        if seconds <= 0.0:
+            return 0.0
+        return len(self.steps) / seconds
 
     def loss_curve(self) -> np.ndarray:
         """Returns the training loss at every step as an array."""
@@ -110,6 +123,43 @@ class Trainer:
         self.loss_fn = get_loss(self.config.loss)
         self.optimizer = Adam(model.parameters(), learning_rate=self.config.learning_rate)
         self.rng = np.random.default_rng(self.config.seed)
+        # Per-dataset batch sources: the block list and one float64 label
+        # array per task, extracted once so each step samples with a single
+        # rng.choice + array indexing instead of touching Python sample
+        # objects.  Keyed by id() with the dataset pinned in the value, so
+        # a recycled id cannot alias a different dataset.  Bounded (FIFO)
+        # so a long-lived trainer cycling through many datasets (rotating
+        # subsets, cross-validation folds) cannot accumulate entries — and
+        # pinned datasets — without limit.
+        self._batch_sources: Dict[
+            int, Tuple[ThroughputDataset, List[BasicBlock], Dict[str, np.ndarray]]
+        ] = {}
+        self._batch_sources_capacity = 4
+
+    def _batch_source(
+        self, dataset: ThroughputDataset
+    ) -> Tuple[List[BasicBlock], Dict[str, np.ndarray]]:
+        """Returns (blocks, per-task labels) of ``dataset``, cached.
+
+        Samples without a label for a task (possible in CSV-imported
+        datasets) hold ``NaN`` in that task's array; drawing one raises the
+        same ``KeyError`` the per-sample path raised, while never-drawn
+        unlabeled samples stay harmless as before.
+        """
+        entry = self._batch_sources.get(id(dataset))
+        if entry is None or entry[0] is not dataset:
+            labels = {}
+            for task in self.model.tasks:
+                key = task.lower().replace(" ", "_")
+                labels[task] = np.array(
+                    [sample.throughputs.get(key, np.nan) for sample in dataset.samples],
+                    dtype=np.float64,
+                )
+            entry = (dataset, dataset.blocks(), labels)
+            while len(self._batch_sources) >= self._batch_sources_capacity:
+                self._batch_sources.pop(next(iter(self._batch_sources)))
+            self._batch_sources[id(dataset)] = entry
+        return entry[1], entry[2]
 
     # ------------------------------------------------------------------ #
     # Single training step.
@@ -117,19 +167,23 @@ class Trainer:
     def train_step(self, dataset: ThroughputDataset, step: int) -> StepResult:
         """Runs one optimisation step on a random batch from ``dataset``."""
         start_time = time.perf_counter()
+        all_blocks, labels = self._batch_source(dataset)
         batch_size = min(self.config.batch_size, len(dataset))
         indices = self.rng.choice(len(dataset), size=batch_size, replace=False)
-        samples = [dataset[int(index)] for index in indices]
-        blocks = [sample.block for sample in samples]
+        blocks = [all_blocks[index] for index in indices]
 
         encoded = self.model.encode_blocks(blocks)
         predictions = self.model.forward(encoded)
 
         total_loss: Optional[Tensor] = None
         for task in self.model.tasks:
-            actual = Tensor(
-                np.array([sample.throughput(task) for sample in samples], dtype=np.float64)
-            )
+            values = labels[task][indices]
+            missing = np.isnan(values)
+            if missing.any():
+                # Same error (and semantics) as the per-sample path: only a
+                # *drawn* unlabeled sample is an error.
+                dataset[int(indices[int(missing.argmax())])].throughput(task)
+            actual = Tensor(values)
             task_loss = self.loss_fn(predictions[task], actual)
             total_loss = task_loss if total_loss is None else total_loss + task_loss
 

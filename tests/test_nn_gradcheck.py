@@ -1,0 +1,299 @@
+"""Numeric gradient checks for the training fast path (repro.testing.gradcheck).
+
+Every fused op of ``repro.nn.fused``, the ``scatter_rows`` primitive, the
+bincount-rewritten scatter/segment backwards and the composed layer
+implementations they replace are verified against central-difference
+gradients — in both fusion modes where both exist, plus a fused-vs-composed
+cross-check that the two tapes produce the same gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.fused import fused_dense, fused_layer_norm, fused_lstm_step
+from repro.nn.layers import Dense, LayerNorm
+from repro.nn.lstm import LSTM, LSTMCell
+from repro.nn.tensor import Tensor, scatter_rows, use_fused_ops
+from repro.testing.gradcheck import gradcheck, numeric_gradient
+
+
+@pytest.fixture(params=[True, False], ids=["fused", "composed"])
+def fused_mode(request):
+    """Runs the test body under both tape modes."""
+    with use_fused_ops(request.param):
+        yield request.param
+
+
+def _tensor(rng, shape, scale=1.0):
+    return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=True)
+
+
+class TestGradcheckHarness:
+    def test_numeric_gradient_of_quadratic(self):
+        array = np.array([1.0, -2.0, 3.0])
+        gradient = numeric_gradient(lambda: float((array**2).sum()), array)
+        np.testing.assert_allclose(gradient, 2.0 * array, atol=1e-6)
+
+    def test_gradcheck_detects_wrong_backward(self, rng):
+        values = _tensor(rng, (3,))
+
+        def wrong():
+            # A node whose backward doubles the true gradient.
+            out = Tensor._make(
+                values.data * 2.0, (values,), lambda g: values._accumulate(4.0 * g)
+            )
+            return out
+
+        with pytest.raises(AssertionError, match="gradient check failed"):
+            gradcheck(wrong, {"values": values})
+
+
+class TestFusedDense:
+    @pytest.mark.parametrize("activation", [None, "relu", "tanh", "sigmoid"])
+    def test_against_numeric(self, rng, activation):
+        inputs = _tensor(rng, (5, 4))
+        weight = _tensor(rng, (4, 3))
+        bias = _tensor(rng, (3,))
+        gradcheck(
+            lambda: fused_dense(inputs, weight, bias, activation),
+            {"inputs": inputs, "weight": weight, "bias": bias},
+        )
+
+    def test_without_bias(self, rng):
+        inputs = _tensor(rng, (4, 3))
+        weight = _tensor(rng, (3, 2))
+        gradcheck(
+            lambda: fused_dense(inputs, weight, None, "relu"),
+            {"inputs": inputs, "weight": weight},
+        )
+
+    def test_rejects_unknown_activation(self, rng):
+        with pytest.raises(ValueError):
+            fused_dense(_tensor(rng, (2, 2)), _tensor(rng, (2, 2)), None, "gelu")
+
+    def test_matches_composed_dense_layer(self, rng):
+        layer = Dense(4, 3, rng, activation="tanh")
+        inputs = rng.normal(size=(6, 4))
+
+        def run():
+            layer.zero_grad()
+            tensor = Tensor(inputs, requires_grad=True)
+            layer(tensor).sum().backward()
+            return tensor.grad, layer.weight.grad.copy(), layer.bias.grad.copy()
+
+        with use_fused_ops(True):
+            fused_grads = run()
+        with use_fused_ops(False):
+            composed_grads = run()
+        for fused_grad, composed_grad in zip(fused_grads, composed_grads):
+            np.testing.assert_allclose(fused_grad, composed_grad, rtol=1e-12, atol=1e-12)
+
+
+class TestFusedLayerNorm:
+    def test_against_numeric(self, rng):
+        inputs = _tensor(rng, (5, 6))
+        gain = Tensor(np.ones(6) + 0.1 * rng.normal(size=6), requires_grad=True)
+        offset = _tensor(rng, (6,))
+        gradcheck(
+            lambda: fused_layer_norm(inputs, gain, offset, epsilon=1e-5),
+            {"inputs": inputs, "gain": gain, "offset": offset},
+            atol=1e-5,
+        )
+
+    def test_matches_composed_layer(self, rng):
+        layer = LayerNorm(8)
+        inputs = rng.normal(size=(5, 8))
+
+        def run():
+            layer.zero_grad()
+            tensor = Tensor(inputs, requires_grad=True)
+            (layer(tensor) ** 2.0).sum().backward()
+            return tensor.grad, layer.gain.grad.copy(), layer.offset.grad.copy()
+
+        with use_fused_ops(True):
+            fused_grads = run()
+        with use_fused_ops(False):
+            composed_grads = run()
+        for fused_grad, composed_grad in zip(fused_grads, composed_grads):
+            np.testing.assert_allclose(fused_grad, composed_grad, rtol=1e-9, atol=1e-11)
+
+
+class TestFusedLSTMStep:
+    def _operands(self, rng, batch=3, input_size=4, hidden_size=5):
+        return {
+            "inputs": _tensor(rng, (batch, input_size)),
+            "hidden": _tensor(rng, (batch, hidden_size), scale=0.5),
+            "cell": _tensor(rng, (batch, hidden_size), scale=0.5),
+            "weight_input": _tensor(rng, (input_size, 4 * hidden_size), scale=0.3),
+            "weight_hidden": _tensor(rng, (hidden_size, 4 * hidden_size), scale=0.3),
+            "bias": _tensor(rng, (4 * hidden_size,), scale=0.1),
+        }
+
+    def test_against_numeric(self, rng):
+        operands = self._operands(rng)
+        gradcheck(lambda: fused_lstm_step(**operands), operands, atol=1e-5)
+
+    def test_against_numeric_with_mask(self, rng):
+        operands = self._operands(rng)
+        mask = np.array([True, False, True])
+        gradcheck(lambda: fused_lstm_step(**operands, mask=mask), operands, atol=1e-5)
+
+    def test_masked_rows_keep_previous_state(self, rng):
+        operands = self._operands(rng)
+        mask = np.array([True, False, True])
+        state = fused_lstm_step(**operands, mask=mask)
+        hidden_size = operands["hidden"].shape[1]
+        np.testing.assert_allclose(
+            state.data[1, :hidden_size], operands["hidden"].data[1]
+        )
+        np.testing.assert_allclose(
+            state.data[1, hidden_size:], operands["cell"].data[1]
+        )
+
+    def test_matches_composed_cell(self, rng):
+        cell = LSTMCell(4, 5, rng)
+        inputs = rng.normal(size=(3, 4))
+
+        def run():
+            cell.zero_grad()
+            tensor = Tensor(inputs, requires_grad=True)
+            hidden, (_, new_cell) = cell(tensor, cell.initial_state(3))
+            (hidden.sum() + (new_cell * 0.5).sum()).backward()
+            return (
+                tensor.grad,
+                cell.weight_input.grad.copy(),
+                cell.weight_hidden.grad.copy(),
+                cell.bias.grad.copy(),
+            )
+
+        with use_fused_ops(True):
+            fused_grads = run()
+        with use_fused_ops(False):
+            composed_grads = run()
+        for fused_grad, composed_grad in zip(fused_grads, composed_grads):
+            np.testing.assert_allclose(fused_grad, composed_grad, rtol=1e-10, atol=1e-12)
+
+
+class TestLSTMLayer:
+    def test_against_numeric_with_lengths(self, rng, fused_mode):
+        lstm = LSTM(3, 4, rng)
+        inputs = _tensor(rng, (2, 5, 3))
+        lengths = np.array([5, 3])
+        parameters = {
+            "inputs": inputs,
+            "weight_input": lstm.cell.weight_input,
+            "weight_hidden": lstm.cell.weight_hidden,
+            "bias": lstm.cell.bias,
+        }
+
+        def build():
+            _, final_hidden = lstm(inputs, lengths, need_outputs=False)
+            return final_hidden
+
+        gradcheck(build, parameters, atol=1e-5)
+
+    def test_fused_matches_composed_final_state_and_gradients(self, rng):
+        lstm = LSTM(3, 4, rng)
+        sequences = rng.normal(size=(3, 6, 3))
+        lengths = np.array([6, 2, 4])
+
+        def run():
+            lstm.zero_grad()
+            tensor = Tensor(sequences, requires_grad=True)
+            _, final_hidden = lstm(tensor, lengths)
+            (final_hidden**2.0).sum().backward()
+            return final_hidden.data.copy(), tensor.grad, lstm.cell.weight_input.grad.copy()
+
+        with use_fused_ops(True):
+            fused_final, fused_input_grad, fused_weight_grad = run()
+        with use_fused_ops(False):
+            composed_final, composed_input_grad, composed_weight_grad = run()
+        np.testing.assert_array_equal(fused_final, composed_final)
+        np.testing.assert_allclose(fused_input_grad, composed_input_grad, rtol=1e-10, atol=1e-13)
+        np.testing.assert_allclose(fused_weight_grad, composed_weight_grad, rtol=1e-10, atol=1e-13)
+
+
+class TestScatterGatherBackwards:
+    def test_scatter_rows_against_numeric(self, rng):
+        values = _tensor(rng, (4, 3))
+        indices = np.array([5, 0, 2, 3])
+        gradcheck(lambda: scatter_rows(values, indices, 7), {"values": values})
+
+    def test_scatter_rows_matches_permutation_matmul(self, rng):
+        values = _tensor(rng, (4, 3))
+        indices = np.array([5, 0, 2, 3])
+        scattered = scatter_rows(values, indices, 7)
+        permutation = np.zeros((7, 4))
+        permutation[indices, np.arange(4)] = 1.0
+        np.testing.assert_array_equal(scattered.data, permutation @ values.data)
+
+    def test_gather_rows_with_duplicates(self, rng, fused_mode):
+        values = _tensor(rng, (4, 3))
+        indices = np.array([0, 2, 2, 1, 0, 2])
+        gradcheck(lambda: values.gather_rows(indices), {"values": values})
+
+    def test_gather_rows_multidimensional_indices(self, rng, fused_mode):
+        values = _tensor(rng, (5, 2))
+        indices = np.array([[0, 4], [4, 3]])
+        gradcheck(lambda: values.gather_rows(indices), {"values": values})
+
+    def test_getitem_integer_array(self, rng, fused_mode):
+        values = _tensor(rng, (5, 3))
+        key = np.array([1, 1, 4, 0])
+        gradcheck(lambda: values[key], {"values": values})
+
+    def test_negative_indices_wrap_like_numpy(self, rng, fused_mode):
+        values = _tensor(rng, (5, 3))
+        key = np.array([-1, 0, -1, 2])
+        gradcheck(lambda: values[key], {"values": values})
+        gradcheck(lambda: values.gather_rows(np.array([-2, 1])), {"values": values})
+
+    def test_getitem_basic_slice(self, rng, fused_mode):
+        values = _tensor(rng, (4, 5))
+        gradcheck(lambda: values[:, 1:4], {"values": values})
+
+    def test_getitem_time_slice(self, rng, fused_mode):
+        values = _tensor(rng, (2, 4, 3))
+        gradcheck(lambda: values[:, 2, :], {"values": values})
+
+
+class TestSegmentBackwards:
+    def test_segment_sum(self, rng, fused_mode):
+        values = _tensor(rng, (6, 3))
+        segment_ids = np.array([0, 2, 2, 1, 0, 2])
+        gradcheck(lambda: values.segment_sum(segment_ids, 4), {"values": values})
+
+    def test_segment_mean(self, rng, fused_mode):
+        values = _tensor(rng, (5, 2))
+        segment_ids = np.array([1, 1, 0, 2, 2])
+        gradcheck(lambda: values.segment_mean(segment_ids, 3), {"values": values})
+
+    def test_segment_sum_forward_identical_across_modes(self, rng):
+        values = rng.normal(size=(64, 7))
+        segment_ids = rng.integers(0, 9, size=64)
+        with use_fused_ops(True):
+            fused = Tensor(values).segment_sum(segment_ids, 9).data
+        with use_fused_ops(False):
+            composed = Tensor(values).segment_sum(segment_ids, 9).data
+        np.testing.assert_allclose(fused, composed, rtol=1e-15, atol=1e-15)
+
+
+class TestComposedLayersStillCheck:
+    """The legacy composed implementations stay gradcheck-clean too."""
+
+    def test_dense(self, rng, fused_mode):
+        layer = Dense(3, 2, rng, activation="sigmoid")
+        inputs = _tensor(rng, (4, 3))
+        gradcheck(
+            lambda: layer(inputs),
+            {"inputs": inputs, "weight": layer.weight, "bias": layer.bias},
+        )
+
+    def test_layer_norm(self, rng, fused_mode):
+        layer = LayerNorm(5)
+        inputs = _tensor(rng, (3, 5))
+        gradcheck(
+            lambda: layer(inputs),
+            {"inputs": inputs, "gain": layer.gain, "offset": layer.offset},
+            atol=1e-5,
+        )

@@ -1,0 +1,143 @@
+"""Equivalence tests for the vectorized training fast path.
+
+The fused tape (``use_fused_ops``, on by default) must train exactly like
+the composed tape it replaces: same-seed runs see the same batches, the
+fused forwards are arithmetic-identical, and the flat-slab Adam update is
+element-for-element the per-parameter loop.  These tests pin that down at
+unit scale; ``benchmarks/test_training_throughput.py`` additionally gates
+the speedup and the full loss trajectories.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import LabeledBlock, ThroughputDataset
+from repro.models import create_model
+from repro.models.config import TrainingConfig
+from repro.nn.layers import Dense
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, use_fused_ops
+from repro.training.trainer import Trainer
+
+
+@pytest.fixture(scope="module")
+def train_split(tiny_dataset):
+    return tiny_dataset.paper_splits(seed=0).train
+
+
+def _losses(name, train_split, fused, steps=4):
+    model = create_model(name, small=True, seed=13)
+    trainer = Trainer(model, TrainingConfig(batch_size=12, num_steps=steps, seed=3))
+    with use_fused_ops(fused):
+        history = trainer.train(train_split)
+    return history.loss_curve(), model
+
+
+class TestFusedTrainingEquivalence:
+    @pytest.mark.parametrize("name", ["granite", "ithemal+", "ithemal"])
+    def test_loss_trajectory_matches_composed_tape(self, name, train_split):
+        fused_losses, fused_model = _losses(name, train_split, fused=True)
+        composed_losses, composed_model = _losses(name, train_split, fused=False)
+        np.testing.assert_allclose(fused_losses, composed_losses, rtol=1e-9)
+        # The trained weights agree too (backwards may reorder float sums,
+        # so allow a few ulps rather than bit equality).
+        fused_state = fused_model.state_dict()
+        composed_state = composed_model.state_dict()
+        for key, fused_value in fused_state.items():
+            np.testing.assert_allclose(
+                fused_value, composed_state[key], rtol=1e-9, atol=1e-12, err_msg=key
+            )
+
+    def test_history_records_throughput(self, train_split):
+        _, model = _losses("ithemal", train_split, fused=True, steps=2)
+        trainer = Trainer(model, TrainingConfig(batch_size=8, num_steps=2, seed=3))
+        history = trainer.train(train_split)
+        assert history.steps_per_second > 0.0
+
+    def test_partially_labelled_sample_errors_only_when_drawn(self, tiny_dataset):
+        # CSV-imported datasets may lack labels for some samples; the
+        # precomputed label arrays must preserve the per-sample semantics:
+        # an unlabeled sample is only an error once it is actually drawn.
+        samples = [
+            LabeledBlock(block=sample.block, throughputs=dict(sample.throughputs))
+            for sample in tiny_dataset.samples[:6]
+        ]
+        task = "haswell"
+        del samples[0].throughputs[task]
+        dataset = ThroughputDataset(samples, microarchitectures=(task,))
+        model = create_model("ithemal", small=True, seed=13, tasks=[task])
+        trainer = Trainer(model, TrainingConfig(batch_size=6, num_steps=1, seed=3))
+        with pytest.raises(KeyError, match=task):
+            trainer.train_step(dataset, step=1)
+        # A batch that avoids the unlabeled sample trains fine.
+        labelled = ThroughputDataset(samples[1:], microarchitectures=(task,))
+        result = trainer.train_step(labelled, step=1)
+        assert np.isfinite(result.loss)
+
+    def test_batch_source_cache_is_per_dataset(self, tiny_dataset):
+        splits = tiny_dataset.paper_splits(seed=0)
+        model = create_model("ithemal", small=True, seed=13)
+        trainer = Trainer(model, TrainingConfig(batch_size=4, num_steps=1, seed=3))
+        trainer.train_step(splits.train, step=1)
+        trainer.train_step(splits.validation, step=2)
+        blocks, labels = trainer._batch_source(splits.train)
+        assert len(blocks) == len(splits.train)
+        for task in model.tasks:
+            np.testing.assert_array_equal(labels[task], splits.train.throughputs(task))
+
+    def test_batch_source_cache_is_bounded(self, tiny_dataset):
+        model = create_model("ithemal", small=True, seed=13)
+        trainer = Trainer(model, TrainingConfig(batch_size=2, num_steps=1, seed=3))
+        subsets = [tiny_dataset.subset(range(start, start + 4)) for start in range(8)]
+        for subset in subsets:
+            trainer._batch_source(subset)
+        assert len(trainer._batch_sources) <= trainer._batch_sources_capacity
+
+
+class TestFlatAdamEquivalence:
+    def _make_pair(self, rng):
+        layer_a = Dense(3, 2, rng)
+        state = layer_a.state_dict()
+        layer_b = Dense(3, 2, np.random.default_rng(0))
+        layer_b.load_state_dict(state)
+        return layer_a, layer_b
+
+    def test_flat_update_is_bit_identical_to_loop(self, rng):
+        layer_flat, layer_loop = self._make_pair(rng)
+        adam_flat = Adam(layer_flat.parameters(), learning_rate=0.05)
+        adam_loop = Adam(layer_loop.parameters(), learning_rate=0.05)
+        inputs = rng.normal(size=(16, 3))
+        targets = rng.normal(size=(16, 2))
+        for _ in range(5):
+            for layer, adam, fused in (
+                (layer_flat, adam_flat, True),
+                (layer_loop, adam_loop, False),
+            ):
+                with use_fused_ops(fused):
+                    layer.zero_grad()
+                    difference = layer(Tensor(inputs)) - Tensor(targets)
+                    (difference * difference).mean().backward()
+                    adam.step()
+        np.testing.assert_array_equal(layer_flat.weight.data, layer_loop.weight.data)
+        np.testing.assert_array_equal(layer_flat.bias.data, layer_loop.bias.data)
+
+    def test_flat_path_skipped_when_a_gradient_is_missing(self, rng):
+        used = Dense(2, 2, rng)
+        unused = Dense(2, 2, rng)
+        adam = Adam(used.parameters() + unused.parameters(), learning_rate=0.1)
+        before = unused.weight.data.copy()
+        used.zero_grad()
+        (used(Tensor(rng.normal(size=(4, 2)))) ** 2.0).sum().backward()
+        adam.step()
+        # Parameters without gradients are untouched — and their moments did
+        # not decay, which the flat path cannot express.
+        np.testing.assert_array_equal(unused.weight.data, before)
+        assert not np.any(used.weight.grad is None)
+
+    def test_moment_views_share_flat_slabs(self, rng):
+        layer = Dense(2, 3, rng)
+        adam = Adam(layer.parameters())
+        total = sum(parameter.size for parameter in adam.parameters)
+        assert adam._flat_first.shape == (total,)
+        for view in adam._first_moment:
+            assert view.base is adam._flat_first
