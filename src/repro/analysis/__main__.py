@@ -1,0 +1,112 @@
+"""CLI entry point: ``python -m repro.analysis [paths] --format=...``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.analysis.engine import Baseline, Finding, analyze_paths
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _format_text(findings: Sequence[Finding]) -> List[str]:
+    return [
+        f"{finding.path}:{finding.line}: {finding.rule} {finding.message}"
+        for finding in findings
+    ]
+
+
+def _format_json(findings: Sequence[Finding]) -> List[str]:
+    payload = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+            "content": finding.content,
+        }
+        for finding in findings
+    ]
+    return [json.dumps(payload, indent=2)]
+
+
+def _format_github(findings: Sequence[Finding]) -> List[str]:
+    # GitHub Actions workflow-command annotations; rendered inline on PRs.
+    return [
+        f"::error file={finding.path},line={finding.line},"
+        f"title={finding.rule}::{finding.message}"
+        for finding in findings
+    ]
+
+
+_FORMATTERS = {"text": _format_text, "json": _format_json, "github": _format_github}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the repo's AST invariant checkers.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(_FORMATTERS),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record all current findings into the baseline file and exit 0",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    options = build_parser().parse_args(argv)
+    findings = analyze_paths([Path(path) for path in options.paths])
+
+    baseline_path = Path(options.baseline)
+    if options.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if options.no_baseline:
+        new, baselined = list(findings), []
+    else:
+        new, baselined = Baseline.load(baseline_path).partition(findings)
+
+    for line in _FORMATTERS[options.format](new):
+        print(line)
+    summary = f"{len(new)} finding(s)"
+    if baselined:
+        summary += f", {len(baselined)} baselined"
+    print(summary, file=sys.stderr)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

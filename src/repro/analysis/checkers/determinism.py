@@ -1,0 +1,97 @@
+"""DET001: randomness must be seeded, clocks must be steerable.
+
+Reproducible training/benchmark runs require every random draw to flow from
+an explicitly seeded ``Generator`` and every latency-policy decision to read
+an injectable or monotonic clock.  This rule flags:
+
+* global-state numpy RNG calls — ``np.random.<fn>(...)`` for any sampling
+  function (``default_rng(seed)`` / ``Generator`` / ``SeedSequence`` with a
+  seed argument are the sanctioned entry points; with no argument they are
+  flagged as unseeded),
+* stdlib ``random.<fn>(...)`` module-level calls (``random.Random(seed)``
+  is sanctioned; ``random.Random()`` with no seed is flagged),
+* ``time.time()`` — wall clock in control logic; use ``time.monotonic`` /
+  ``time.perf_counter`` or inject the clock so policies are testable.
+
+Files whose path matches ``_ALLOWLIST`` are exempt (none currently).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Finding, register_checker
+
+# Path suffixes exempt from DET001 (e.g. a demo deliberately using wall
+# clock). Keep empty unless a file has a documented reason.
+_ALLOWLIST: tuple = ()
+
+_SANCTIONED_SEEDED = {"default_rng", "Generator", "SeedSequence", "Random", "SystemRandom"}
+
+
+def _attr_chain(node: ast.AST) -> str:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@register_checker
+class DeterminismChecker:
+    rule = "DET001"
+    title = "seeded randomness and injectable clocks"
+
+    def applies_to(self, path: str) -> bool:
+        return not path.endswith(_ALLOWLIST)
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain in ("time.time",):
+                yield context.finding(
+                    "DET001",
+                    node.lineno,
+                    "time.time() wall clock in control logic; use "
+                    "time.monotonic()/perf_counter() or inject the clock",
+                )
+            elif chain.startswith(("np.random.", "numpy.random.")):
+                function = chain.rsplit(".", 1)[1]
+                if function in _SANCTIONED_SEEDED:
+                    if not node.args and not node.keywords:
+                        yield context.finding(
+                            "DET001",
+                            node.lineno,
+                            f"{chain}() without a seed is nondeterministic; "
+                            "pass an explicit seed",
+                        )
+                else:
+                    yield context.finding(
+                        "DET001",
+                        node.lineno,
+                        f"{chain}(...) uses numpy's hidden global RNG; draw "
+                        "from a seeded np.random.default_rng(seed) Generator",
+                    )
+            elif chain.startswith("random.") and chain.count(".") == 1:
+                function = chain.split(".", 1)[1]
+                if function in _SANCTIONED_SEEDED:
+                    if function == "Random" and not node.args and not node.keywords:
+                        yield context.finding(
+                            "DET001",
+                            node.lineno,
+                            "random.Random() without a seed is nondeterministic; "
+                            "pass an explicit seed",
+                        )
+                else:
+                    yield context.finding(
+                        "DET001",
+                        node.lineno,
+                        f"{chain}(...) uses the hidden global RNG; draw from a "
+                        "seeded random.Random(seed) instance",
+                    )

@@ -1,0 +1,92 @@
+"""DT001: explicit dtypes in the numeric fast path.
+
+Numpy's defaults (float64 for float constructors, platform int for
+``arange``) are exactly how the float32 inference path silently upcasts and
+how index buffers change width across platforms.  In the modules on the
+forward/backward hot path every bare array constructor must say what it
+means.  ``*_like`` constructors inherit their prototype's dtype and are
+fine; ``dtype=float`` spells out the float64 default and is flagged, as is
+``.astype(float)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Finding, register_checker
+
+_FAST_PATH_SUFFIXES = (
+    "repro/nn/fused.py",
+    "repro/nn/tensor.py",
+    "repro/nn/lstm.py",
+    "repro/nn/layers.py",
+    "repro/nn/optim.py",
+    "repro/nn/init.py",
+    "repro/gnn/blocks.py",
+    "repro/models/base.py",
+    "repro/models/ithemal.py",
+    "repro/models/granite.py",
+)
+_CONSTRUCTORS = {"zeros", "empty", "ones", "array", "arange", "full"}
+_NUMPY_MODULES = {"np", "numpy"}
+
+
+def _numpy_constructor_name(call: ast.Call) -> str:
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _NUMPY_MODULES
+        and func.attr in _CONSTRUCTORS
+    ):
+        return func.attr
+    return ""
+
+
+def _is_builtin_float(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id == "float"
+
+
+@register_checker
+class DtypeDisciplineChecker:
+    rule = "DT001"
+    title = "explicit dtypes in fast-path modules"
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith(_FAST_PATH_SUFFIXES)
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            constructor = _numpy_constructor_name(node)
+            if constructor:
+                dtype_keywords = [kw for kw in node.keywords if kw.arg == "dtype"]
+                if not dtype_keywords:
+                    yield context.finding(
+                        "DT001",
+                        node.lineno,
+                        f"np.{constructor}(...) without an explicit dtype= "
+                        "(numpy defaults silently upcast the float32 fast path)",
+                    )
+                elif any(_is_builtin_float(kw.value) for kw in dtype_keywords):
+                    yield context.finding(
+                        "DT001",
+                        node.lineno,
+                        f"np.{constructor}(..., dtype=float) forces float64; "
+                        "name the width (np.float64 / active_dtype())",
+                    )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+                and _is_builtin_float(node.args[0])
+            ):
+                yield context.finding(
+                    "DT001",
+                    node.lineno,
+                    ".astype(float) forces float64; name the width "
+                    "(np.float64 / active_dtype())",
+                )

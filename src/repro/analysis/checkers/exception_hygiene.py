@@ -1,0 +1,56 @@
+"""EX001: broad exception handlers in ``repro.serve`` must leave evidence.
+
+A serving stack that catches ``Exception`` (or everything) and does nothing
+turns crashes into silent data loss.  A broad handler is acceptable only if
+its body leaves a trace: re-raises, calls something (logging, reporting,
+sending the error somewhere), or records state (a counter increment or an
+assignment a monitor can observe).  Handlers that merely ``pass``,
+``continue``, ``break`` or ``return`` a constant are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Finding, register_checker
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names = []
+    if isinstance(handler.type, ast.Name):
+        names = [handler.type.id]
+    elif isinstance(handler.type, ast.Tuple):
+        names = [elt.id for elt in handler.type.elts if isinstance(elt, ast.Name)]
+    return any(name in ("Exception", "BaseException") for name in names)
+
+
+def _leaves_evidence(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Call, ast.AugAssign, ast.Assign, ast.AnnAssign)):
+            return True
+    return False
+
+
+@register_checker
+class ExceptionHygieneChecker:
+    rule = "EX001"
+    title = "no silent broad exception handlers in repro.serve"
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/serve/" in path
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and not _leaves_evidence(node):
+                label = "bare except:" if node.type is None else "except Exception:"
+                yield context.finding(
+                    "EX001",
+                    node.lineno,
+                    f"{label} swallows errors silently; re-raise, log, or "
+                    "record a counter so failures are observable",
+                )

@@ -1,0 +1,273 @@
+"""Core of the ``repro.analysis`` lint engine.
+
+The engine is deliberately small: checkers are plain objects registered in a
+module-level registry, each file is parsed once into an ``ast`` tree wrapped
+in a :class:`FileContext`, and checkers emit :class:`Finding` objects.  The
+engine owns the cross-cutting concerns — inline ``# repro: ignore[RULE]``
+suppressions and the content-keyed baseline — so checkers stay pure
+"AST in, findings out" functions.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+_ALL_RULES = "*"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source line."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    content: str = field(default="", compare=False)
+
+    def key(self) -> Tuple[str, str, str]:
+        """Line-number-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.content)
+
+
+class Checker(Protocol):
+    """Protocol every registered checker satisfies."""
+
+    rule: str
+    title: str
+
+    def applies_to(self, path: str) -> bool: ...
+
+    def check(self, context: "FileContext") -> Iterable[Finding]: ...
+
+
+class FileContext:
+    """A parsed source file plus the metadata checkers need."""
+
+    def __init__(self, path: Path, source: str, display_path: Optional[str] = None):
+        self.path = Path(path)
+        self.source = source
+        self.display_path = display_path or self.path.as_posix()
+        self.lines = source.splitlines()
+        self._tree: Optional[ast.Module] = None
+        self._suppressions: Optional[Dict[int, set]] = None
+
+    @classmethod
+    def from_path(cls, path: Path, display_path: Optional[str] = None) -> "FileContext":
+        return cls(path, Path(path).read_text(encoding="utf-8"), display_path)
+
+    @property
+    def tree(self) -> ast.Module:
+        if self._tree is None:
+            self._tree = ast.parse(self.source, filename=str(self.path))
+        return self._tree
+
+    def line_content(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, line: int, message: str) -> Finding:
+        return Finding(
+            path=self.display_path,
+            line=line,
+            rule=rule,
+            message=message,
+            content=self.line_content(line),
+        )
+
+    # -- suppressions -----------------------------------------------------
+
+    @property
+    def suppressions(self) -> Dict[int, set]:
+        """Maps line number -> set of suppressed rule ids ('*' = all)."""
+        if self._suppressions is None:
+            self._suppressions = self._parse_suppressions()
+        return self._suppressions
+
+    def _parse_suppressions(self) -> Dict[int, set]:
+        suppressed: Dict[int, set] = {}
+        for index, raw in enumerate(self.lines, start=1):
+            if "#" not in raw:
+                continue
+            match = _SUPPRESS_RE.search(raw)
+            if not match:
+                continue
+            rules = (
+                {_ALL_RULES}
+                if match.group(1) is None
+                else {part.strip() for part in match.group(1).split(",") if part.strip()}
+            )
+            # A comment-only line suppresses the next non-blank source line;
+            # a trailing comment suppresses its own line.
+            target = index
+            if raw.lstrip().startswith("#"):
+                target = index + 1
+                while target <= len(self.lines) and not self.lines[target - 1].strip():
+                    target += 1
+            suppressed.setdefault(target, set()).update(rules)
+        return suppressed
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line)
+        return bool(rules) and (_ALL_RULES in rules or finding.rule in rules)
+
+
+# -- registry -------------------------------------------------------------
+
+_REGISTRY: Dict[str, Checker] = {}
+
+
+def register_checker(checker_class: Callable[[], Checker]):
+    """Class decorator: instantiate and register a checker by its rule id."""
+    instance = checker_class()
+    if instance.rule in _REGISTRY:
+        raise ValueError(f"duplicate checker rule {instance.rule}")
+    _REGISTRY[instance.rule] = instance
+    return checker_class
+
+
+def all_checkers() -> List[Checker]:
+    # Importing the package wires every built-in checker into the registry.
+    from repro.analysis import checkers  # noqa: F401
+
+    return [_REGISTRY[rule] for rule in sorted(_REGISTRY)]
+
+
+# -- baseline -------------------------------------------------------------
+
+class Baseline:
+    """Grandfathered findings, keyed on (rule, path, line content).
+
+    Content keys survive unrelated edits that shift line numbers; a Counter
+    keeps multiplicity so two identical violations need two entries.
+    """
+
+    VERSION = 1
+
+    def __init__(self, entries: Optional[Iterable[Tuple[str, str, str]]] = None):
+        self._entries: Counter = Counter(entries or [])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not Path(path).exists():
+            return cls()
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = [
+            (item["rule"], item["path"], item["content"])
+            for item in payload.get("findings", [])
+        ]
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(finding.key() for finding in findings)
+
+    def save(self, path: Path) -> None:
+        findings = [
+            {"rule": rule, "path": file_path, "content": content}
+            for (rule, file_path, content), count in sorted(self._entries.items())
+            for _ in range(count)
+        ]
+        payload = {"version": self.VERSION, "findings": findings}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def partition(self, findings: Sequence[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Splits findings into (new, baselined), consuming multiplicity."""
+        remaining = Counter(self._entries)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            if remaining[finding.key()] > 0:
+                remaining[finding.key()] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+
+# -- drivers --------------------------------------------------------------
+
+def collect_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expands files/directories into a sorted, de-duplicated .py file list."""
+    files: List[Path] = []
+    seen = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            if any(part.startswith(".") and part not in (".", "..") for part in candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def analyze_files(
+    contexts: Iterable[FileContext],
+    checkers: Optional[Sequence[Checker]] = None,
+) -> List[Finding]:
+    """Runs every applicable checker over every context; suppressions applied."""
+    active = list(checkers) if checkers is not None else all_checkers()
+    findings: List[Finding] = []
+    for context in contexts:
+        applicable = [c for c in active if c.applies_to(context.path.as_posix())]
+        if not applicable:
+            continue
+        try:
+            context.tree
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=context.display_path,
+                    line=error.lineno or 1,
+                    rule="PARSE",
+                    message=f"could not parse file: {error.msg}",
+                    content=context.line_content(error.lineno or 1),
+                )
+            )
+            continue
+        for checker in applicable:
+            for finding in checker.check(context):
+                if not context.is_suppressed(finding):
+                    findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    checkers: Optional[Sequence[Checker]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Analyzes files/directories; display paths are relative to ``root``."""
+    root = Path(root) if root is not None else Path.cwd()
+    contexts = []
+    for file_path in collect_python_files(paths):
+        try:
+            display = file_path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            display = file_path.as_posix()
+        contexts.append(FileContext.from_path(file_path, display_path=display))
+    return analyze_files(contexts, checkers)
+
+
+def relocate(finding: Finding, display_path: str) -> Finding:
+    """Returns a copy of ``finding`` reported against a different path."""
+    return replace(finding, path=display_path)

@@ -229,7 +229,7 @@ class ThroughputModel(Module):
         """
         blocks = list(blocks)
         if not blocks:
-            return {task: np.zeros(0) for task in self.tasks}
+            return {task: np.zeros(0, dtype=np.float64) for task in self.tasks}
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be positive")
 
@@ -242,7 +242,7 @@ class ThroughputModel(Module):
         # serve the other precision's cached values nor evict them.
         dtype = self.inference_dtype
         keys = [(block.canonical_text(), dtype) for block in blocks]
-        results = {task: np.empty(len(blocks)) for task in self.tasks}
+        results = {task: np.empty(len(blocks), dtype=np.float64) for task in self.tasks}
         missing: List[int] = []
         for index, key in enumerate(keys):
             entry = cache.get(key)

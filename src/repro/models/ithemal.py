@@ -266,7 +266,7 @@ class IthemalModel(ThroughputModel):
             scatter = np.zeros(
                 (num_blocks * max_instructions, num_instructions), dtype=np.float64
             )
-            scatter[slots, np.arange(num_instructions)] = 1.0
+            scatter[slots, np.arange(num_instructions, dtype=np.int64)] = 1.0
             packed = matmul(scatter, instruction_embeddings)
             packed = packed.reshape(num_blocks, max_instructions, hidden_size)
 

@@ -173,8 +173,8 @@ class LayerNorm(Module):
     def __init__(self, size: int, epsilon: float = 1e-5) -> None:
         if size <= 0:
             raise ValueError("LayerNorm size must be positive")
-        self.gain = Parameter(np.ones((size,)), name="gain")
-        self.offset = Parameter(np.zeros((size,)), name="offset")
+        self.gain = Parameter(np.ones((size,), dtype=np.float64), name="gain")
+        self.offset = Parameter(np.zeros((size,), dtype=np.float64), name="offset")
         self.epsilon = float(epsilon)
         self.size = size
 

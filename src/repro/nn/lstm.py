@@ -58,7 +58,7 @@ class LSTMCell(Module):
             ),
             name="weight_hidden",
         )
-        bias = np.zeros((gate_size,))
+        bias = np.zeros((gate_size,), dtype=np.float64)
         bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate bias
         self.bias = Parameter(bias, name="bias")
 
@@ -126,8 +126,14 @@ class LSTMCell(Module):
         """
         shape = (batch_size, self.hidden_size)
         if fast_path_active():
-            return np.zeros(shape), np.zeros(shape)
-        return Tensor(np.zeros(shape)), Tensor(np.zeros(shape))
+            # Allocate in the active compute dtype: a float64 zero state
+            # would silently upcast every step of a float32 forward.
+            dtype = active_dtype()
+            return np.zeros(shape, dtype=dtype), np.zeros(shape, dtype=dtype)
+        return (
+            Tensor(np.zeros(shape, dtype=np.float64)),
+            Tensor(np.zeros(shape, dtype=np.float64)),
+        )
 
 
 class LSTM(Module):

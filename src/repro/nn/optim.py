@@ -95,10 +95,10 @@ class Adam(Optimizer):
         self.epsilon = float(epsilon)
         self._step_count = 0
         total_size = sum(parameter.size for parameter in self.parameters)
-        self._flat_first = np.zeros(total_size)
-        self._flat_second = np.zeros(total_size)
-        self._flat_gradient = np.empty(total_size)
-        self._scratch = np.empty(total_size)
+        self._flat_first = np.zeros(total_size, dtype=np.float64)
+        self._flat_second = np.zeros(total_size, dtype=np.float64)
+        self._flat_gradient = np.empty(total_size, dtype=np.float64)
+        self._scratch = np.empty(total_size, dtype=np.float64)
         self._spans: List[Tuple[int, int]] = []
         self._first_moment: List[np.ndarray] = []
         self._second_moment: List[np.ndarray] = []

@@ -305,7 +305,7 @@ def _row_scatter_add(target: np.ndarray, indices: np.ndarray, values: np.ndarray
         indices = indices % target.shape[0]
     if values.ndim == 2 and target.ndim == 2:
         num_rows, num_features = target.shape
-        flat_ids = indices[:, None] * num_features + np.arange(num_features)
+        flat_ids = indices[:, None] * num_features + np.arange(num_features, dtype=np.int64)
         target += np.bincount(
             flat_ids.ravel(), weights=values.ravel(), minlength=num_rows * num_features
         ).reshape(num_rows, num_features)
@@ -973,7 +973,7 @@ def segment_sum(values: ArrayLike, segment_ids: np.ndarray, num_segments: int) -
         segment_ids = np.asarray(segment_ids, dtype=np.int64)
         if array.ndim == 2:
             num_features = array.shape[1]
-            flat_ids = segment_ids[:, None] * num_features + np.arange(num_features)
+            flat_ids = segment_ids[:, None] * num_features + np.arange(num_features, dtype=np.int64)
             summed = np.bincount(
                 flat_ids.ravel(),
                 weights=array.ravel(),

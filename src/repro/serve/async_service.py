@@ -379,7 +379,26 @@ class AsyncPredictionService:
         percentiles and the drop counters (queue-side eager discards plus
         dispatcher-side flush-time drops).
         """
-        stats = self.stats
+        # Counters are mutated by client threads (submit), the dispatcher
+        # (_flush) and the autoscale monitor — read them under the same
+        # lock so the snapshot is internally consistent.
+        with self._stats_lock:
+            stats = self.stats
+            counters = {
+                "requests": stats.requests,
+                "blocks": stats.blocks,
+                "flushes": stats.flushes,
+                "size_flushes": stats.size_flushes,
+                "deadline_flushes": stats.deadline_flushes,
+                "mean_flush_blocks": stats.mean_flush_blocks,
+                "flush_wait_p50_ms": stats.flush_wait_percentile(0.50) * 1e3,
+                "flush_wait_p99_ms": stats.flush_wait_percentile(0.99) * 1e3,
+                "flush_deadline_p50_ms": stats.flush_deadline_percentile(0.50),
+                "flush_deadline_p99_ms": stats.flush_deadline_percentile(0.99),
+                "autoscale_errors": self.autoscale_errors,
+            }
+            dispatcher_cancelled = stats.cancelled_drops
+            dispatcher_expired = stats.expired_drops
         return {
             "flush_policy": self.controller.policy,
             "controller": self.controller.state(),
@@ -392,21 +411,11 @@ class AsyncPredictionService:
             * 1e3,
             "queue_depth_blocks": self.queue.pending_blocks,
             "queue_depth_requests": len(self.queue),
-            "requests": stats.requests,
-            "blocks": stats.blocks,
-            "flushes": stats.flushes,
-            "size_flushes": stats.size_flushes,
-            "deadline_flushes": stats.deadline_flushes,
-            "mean_flush_blocks": stats.mean_flush_blocks,
-            "flush_wait_p50_ms": stats.flush_wait_percentile(0.50) * 1e3,
-            "flush_wait_p99_ms": stats.flush_wait_percentile(0.99) * 1e3,
-            "flush_deadline_p50_ms": stats.flush_deadline_percentile(0.50),
-            "flush_deadline_p99_ms": stats.flush_deadline_percentile(0.99),
-            "cancelled_drops": self.queue.cancelled + stats.cancelled_drops,
-            "expired_drops": self.queue.expired + stats.expired_drops,
+            **counters,
+            "cancelled_drops": self.queue.cancelled + dispatcher_cancelled,
+            "expired_drops": self.queue.expired + dispatcher_expired,
             "rejected": self.queue.rejected,
             "num_workers": self.service.num_workers,
-            "autoscale_errors": self.autoscale_errors,
         }
 
     # ------------------------------------------------------------------ #
@@ -430,7 +439,8 @@ class AsyncPredictionService:
                 # fd/memory pressure) must not kill the monitor and silently
                 # disable elasticity for the rest of the service's life:
                 # count it and retry on the next poll.
-                self.autoscale_errors += 1
+                with self._stats_lock:
+                    self.autoscale_errors += 1
 
     def _drain_queue(self, max_wait_s) -> None:
         """Flushes batches until the queue reports closed-and-empty.
@@ -455,6 +465,8 @@ class AsyncPredictionService:
         # set_running_or_notify_cancel() return means the client cancelled
         # while queued.
         kept = []
+        expired_drops = 0
+        cancelled_drops = 0
         for entry in entries:
             if entry.deadline_at is not None and now >= entry.deadline_at:
                 if entry.future.set_running_or_notify_cancel():
@@ -464,31 +476,37 @@ class AsyncPredictionService:
                             f"after waiting {now - entry.enqueued_at:.3f}s"
                         )
                     )
-                    self.stats.expired_drops += 1
+                    expired_drops += 1
                 else:
-                    self.stats.cancelled_drops += 1
+                    cancelled_drops += 1
             elif entry.future.set_running_or_notify_cancel():
                 kept.append(entry)
             else:
-                self.stats.cancelled_drops += 1
+                cancelled_drops += 1
         entries = kept
         if not entries:
+            with self._stats_lock:
+                self.stats.expired_drops += expired_drops
+                self.stats.cancelled_drops += cancelled_drops
             return
-        self.stats.flushes += 1
-        self.stats.flushed_blocks += sum(e.request.num_blocks for e in entries)
-        self.stats.flush_waits.append(
-            now - min(entry.enqueued_at for entry in entries)
-        )
-        self.stats.flush_deadlines_ms.append(
-            float(self.controller.state()["deadline_ms"])
-        )
-        self.stats.queue_depths.append(self.queue.pending_blocks)
-        if reason == "size":
-            self.stats.size_flushes += 1
-        elif reason == "deadline":
-            self.stats.deadline_flushes += 1
-        else:
-            self.stats.close_flushes += 1
+        # Controller and queue take their own locks; read them before
+        # entering the stats critical section to keep it a leaf lock.
+        deadline_ms = float(self.controller.state()["deadline_ms"])
+        queue_depth = self.queue.pending_blocks
+        with self._stats_lock:
+            self.stats.expired_drops += expired_drops
+            self.stats.cancelled_drops += cancelled_drops
+            self.stats.flushes += 1
+            self.stats.flushed_blocks += sum(e.request.num_blocks for e in entries)
+            self.stats.flush_waits.append(now - min(e.enqueued_at for e in entries))
+            self.stats.flush_deadlines_ms.append(deadline_ms)
+            self.stats.queue_depths.append(queue_depth)
+            if reason == "size":
+                self.stats.size_flushes += 1
+            elif reason == "deadline":
+                self.stats.deadline_flushes += 1
+            else:
+                self.stats.close_flushes += 1
         try:
             responses = self.service.submit([entry.request for entry in entries])
         except Exception as error:

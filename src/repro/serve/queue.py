@@ -469,7 +469,8 @@ class RequestQueue:
     # ------------------------------------------------------------------ #
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def close(self) -> None:
         """Stops admissions; pending entries remain drainable (idempotent).

@@ -337,7 +337,8 @@ class PredictionService:
         if self.config.num_workers == 0 or self._pool is None:
             return 0
         respawned = self._pool.ensure_healthy()
-        self.stats.respawns = self._pool.respawns
+        with self._submit_lock:
+            self.stats.respawns = self._pool.respawns
         return respawned
 
     def _validate_worker_config(self) -> None:

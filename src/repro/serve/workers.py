@@ -145,6 +145,7 @@ def _worker_main(config, connection) -> None:
     """Entry point of one worker process: warm model, serve jobs until stop."""
     model = build_model(config)
     parse_cache = LRUCache(PARSE_CACHE_SIZE)
+    job_errors = 0
     while True:
         try:
             kind, job_id, payload = connection.recv()
@@ -162,12 +163,17 @@ def _worker_main(config, connection) -> None:
                 # Which precision this replica actually predicts in; lets
                 # the parent (and tests) verify dtype propagation.
                 result["inference_dtype"] = model.inference_dtype
+                # Jobs this replica failed since it (re)spawned: the parent
+                # only raises the first traceback per run_batches call, so
+                # the count is how monitoring sees repeat offenders.
+                result["job_errors"] = job_errors
             elif kind == "ping":
                 result = os.getpid()
             else:
                 raise ValueError(f"unknown worker job kind {kind!r}")
             connection.send(("ok", job_id, result))
         except Exception:
+            job_errors += 1
             connection.send(("error", job_id, traceback.format_exc()))
 
 
@@ -258,6 +264,10 @@ class ShardedWorkerPool:
         #: Total workers respawned over the pool's lifetime (health checks
         #: and mid-submission crash recovery both count).
         self.respawns = 0
+        #: Total error replies received from workers.  ``run_batches`` only
+        #: raises the *first* traceback per call; this counts every one, so
+        #: errors masked by an earlier failure still show up in monitoring.
+        self.job_errors = 0
 
     @property
     def num_workers(self) -> int:
@@ -283,7 +293,7 @@ class ShardedWorkerPool:
         if count < 1:
             raise ValueError("a worker pool needs at least one worker")
         with self._jobs_lock:
-            self._check_open()
+            self._check_open_locked()
             delta = count - len(self._workers)
             while len(self._workers) > count:
                 worker = self._workers.pop()
@@ -327,7 +337,7 @@ class ShardedWorkerPool:
         never replace a connection a concurrent submission is waiting on.
         """
         with self._jobs_lock:
-            self._check_open()
+            self._check_open_locked()
             respawned = 0
             for worker in self._workers:
                 if not worker.alive():
@@ -347,9 +357,10 @@ class ShardedWorkerPool:
 
     def worker_stats(self) -> List[Dict[str, object]]:
         """Per-worker cache counters (encode/prediction/parse hits, misses)
-        plus the replica's ``inference_dtype``, its stable ``worker_id``,
-        the fraction of the hash ring it owns (``ring_share``) and its
-        ``spawn_count`` (1 = never respawned).
+        plus the replica's ``inference_dtype``, its ``job_errors`` count
+        (jobs that raised since the replica spawned), its stable
+        ``worker_id``, the fraction of the hash ring it owns
+        (``ring_share``) and its ``spawn_count`` (1 = never respawned).
 
         Everything — the stats round-trips, the ring shares and the
         worker pairing — happens under the jobs lock, so a concurrent
@@ -357,7 +368,7 @@ class ShardedWorkerPool:
         with a half-applied resize.
         """
         with self._jobs_lock:
-            self._check_open()
+            self._check_open_locked()
             results = self._run_jobs_locked(
                 [(index, "stats", None) for index in range(len(self._workers))]
             )
@@ -397,7 +408,7 @@ class ShardedWorkerPool:
     def _run_jobs(self, jobs: Sequence[Tuple[int, str, object]]) -> List[object]:
         """Dispatches jobs to their workers and gathers results in order."""
         with self._jobs_lock:
-            self._check_open()
+            self._check_open_locked()
             return self._run_jobs_locked(jobs)
 
     def _run_jobs_locked(self, jobs: Sequence[Tuple[int, str, object]]) -> List[object]:
@@ -441,8 +452,10 @@ class ShardedWorkerPool:
             _, job_index, _, _ = in_flight[worker_index].pop(0)
             if status == "ok":
                 results[job_index] = payload
-            elif first_error is None:
-                first_error = payload
+            else:
+                self.job_errors += 1
+                if first_error is None:
+                    first_error = payload
 
         while any(waiting.values()) or any(in_flight.values()):
             for worker_index in waiting:
@@ -496,7 +509,7 @@ class ShardedWorkerPool:
     # ------------------------------------------------------------------ #
     # Lifecycle.
     # ------------------------------------------------------------------ #
-    def _check_open(self) -> None:
+    def _check_open_locked(self) -> None:
         if self._closed:
             raise RuntimeError("worker pool is closed")
 

@@ -1,0 +1,14 @@
+"""DET001 bad fixture: global RNGs, unseeded generator, wall clock."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    noise = np.random.normal()
+    pick = random.choice([1, 2, 3])
+    rng = np.random.default_rng()
+    started = time.time()
+    return noise, pick, rng, started

@@ -1,0 +1,13 @@
+"""DET001 good fixture: seeded generators and a monotonic clock."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter(seed):
+    rng = np.random.default_rng(seed)
+    stdlib_rng = random.Random(seed)
+    started = time.monotonic()
+    return rng.normal(), stdlib_rng.random(), started

@@ -1,0 +1,9 @@
+"""DT001 bad fixture: dtype-less constructors and float64-forcing spellings."""
+
+import numpy as np
+
+
+def forward(n):
+    buffer = np.zeros((n, 4))
+    scale = np.ones(n, dtype=float)
+    return buffer * scale.astype(float)

@@ -1,0 +1,10 @@
+"""DT001 good fixture: every constructor names its dtype."""
+
+import numpy as np
+
+
+def forward(n):
+    buffer = np.zeros((n, 4), dtype=np.float32)
+    indices = np.arange(n, dtype=np.int64)
+    prototype = np.empty_like(buffer)
+    return buffer, indices, prototype

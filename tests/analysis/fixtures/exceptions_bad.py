@@ -1,0 +1,16 @@
+"""EX001 bad fixture: broad handlers that swallow errors silently."""
+
+
+def run(jobs):
+    done = 0
+    for job in jobs:
+        try:
+            job()
+        except Exception:
+            pass
+        try:
+            job()
+        except:
+            continue
+        done += 1
+    return done

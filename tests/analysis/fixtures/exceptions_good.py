@@ -1,0 +1,16 @@
+"""EX001 good fixture: broad handlers that count, log, or re-raise."""
+
+
+def run(jobs, log):
+    errors = 0
+    for job in jobs:
+        try:
+            job()
+        except Exception:
+            errors += 1
+        try:
+            job()
+        except Exception as error:
+            log(error)
+            raise
+    return errors

@@ -1,0 +1,21 @@
+"""RC001 bad fixture: counter written under the lock, accessed off-lock."""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0
+        self._worker = threading.Thread(target=self._loop)
+
+    def submit(self, item):
+        with self._lock:
+            self.requests += 1
+        return item
+
+    def snapshot(self):
+        return {"requests": self.requests}
+
+    def _loop(self):
+        self.requests += 1

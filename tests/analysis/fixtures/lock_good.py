@@ -1,0 +1,29 @@
+"""RC001 good fixture: locked accesses, condition alias, _locked convention."""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.requests = 0
+        self.depth = 0  # guarded-by: _lock
+        self._worker = threading.Thread(target=self._loop)
+
+    def submit(self, item):
+        with self._lock:
+            self.requests += 1
+            self._bump_locked()
+        return item
+
+    def snapshot(self):
+        with self._cond:
+            return {"requests": self.requests, "depth": self.depth}
+
+    def _bump_locked(self):
+        self.depth += 1
+
+    def _loop(self):
+        with self._lock:
+            self.requests += 1

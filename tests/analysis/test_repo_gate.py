@@ -1,0 +1,25 @@
+"""The repo itself passes its own analysis gate (what CI enforces)."""
+
+from pathlib import Path
+
+from repro.analysis import Baseline, analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_examples_benchmarks_have_no_new_findings():
+    findings = analyze_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "examples", REPO_ROOT / "benchmarks"],
+        root=REPO_ROOT,
+    )
+    baseline = Baseline.load(REPO_ROOT / "analysis-baseline.json")
+    new, _ = baseline.partition(findings)
+    details = "\n".join(f"{f.path}:{f.line}: {f.rule} {f.message}" for f in new)
+    assert not new, f"non-baselined analysis findings:\n{details}"
+
+
+def test_baseline_is_empty():
+    # Everything the checkers found in this repo was fixed, not
+    # grandfathered; keep it that way unless a finding is deliberately
+    # accepted and documented.
+    assert len(Baseline.load(REPO_ROOT / "analysis-baseline.json")) == 0

@@ -13,7 +13,14 @@ import pytest
 from repro.nn.fused import fused_dense, fused_layer_norm, fused_lstm_step
 from repro.nn.layers import Dense, LayerNorm
 from repro.nn.lstm import LSTM, LSTMCell
-from repro.nn.tensor import Tensor, scatter_rows, use_fused_ops
+from repro.nn.tensor import (
+    Tensor,
+    concatenate,
+    scatter_rows,
+    stack,
+    use_fused_ops,
+    where,
+)
 from repro.testing.gradcheck import gradcheck, numeric_gradient
 
 
@@ -276,6 +283,99 @@ class TestSegmentBackwards:
         with use_fused_ops(False):
             composed = Tensor(values).segment_sum(segment_ids, 9).data
         np.testing.assert_allclose(fused, composed, rtol=1e-15, atol=1e-15)
+
+
+class TestElementwiseTapeOps:
+    """Every elementwise tape op checks against central differences.
+
+    Ops with kinks (relu/abs/clip) or data-dependent branches (max) use
+    inputs held away from the non-differentiable points so the central
+    difference is valid.
+    """
+
+    _SMOOTH_OPS = {
+        "exp": lambda t: t.exp(),
+        "sigmoid": lambda t: t.sigmoid(),
+        "softplus": lambda t: t.softplus(),
+        "tanh": lambda t: t.tanh(),
+    }
+
+    @pytest.mark.parametrize("op", sorted(_SMOOTH_OPS))
+    def test_smooth_unary(self, rng, op):
+        values = _tensor(rng, (3, 4), scale=0.8)
+        gradcheck(lambda: self._SMOOTH_OPS[op](values), {"values": values})
+
+    def test_log_and_sqrt_on_positive_domain(self, rng):
+        values = Tensor(rng.uniform(0.5, 3.0, size=(3, 4)), requires_grad=True)
+        gradcheck(lambda: values.log(), {"values": values})
+        gradcheck(lambda: values.sqrt(), {"values": values})
+
+    def test_truediv(self, rng):
+        numerator = _tensor(rng, (3, 4))
+        denominator = Tensor(rng.uniform(0.5, 2.0, size=(3, 4)), requires_grad=True)
+        gradcheck(
+            lambda: numerator / denominator,
+            {"numerator": numerator, "denominator": denominator},
+        )
+
+    def test_relu_and_abs_away_from_zero(self, rng):
+        data = rng.normal(size=(3, 4))
+        data += np.sign(data) * 0.5  # keep every entry away from the kink at 0
+        values = Tensor(data, requires_grad=True)
+        gradcheck(lambda: values.relu(), {"values": values})
+        gradcheck(lambda: values.abs(), {"values": values})
+
+    def test_clip_away_from_boundaries(self):
+        values = Tensor(
+            np.array([[-1.6, -0.8, -0.2], [0.1, 0.7, 1.8]]), requires_grad=True
+        )
+        gradcheck(lambda: values.clip(-1.0, 1.0), {"values": values})
+
+    def test_max_global_and_per_axis(self, rng):
+        values = _tensor(rng, (3, 4))
+        gradcheck(lambda: values.max(), {"values": values})
+        gradcheck(lambda: values.max(axis=1), {"values": values})
+
+
+class TestShapeTapeOps:
+    def test_matmul_batched(self, rng):
+        left = _tensor(rng, (2, 3, 4))
+        right = _tensor(rng, (2, 4, 5))
+        gradcheck(lambda: left.matmul(right), {"left": left, "right": right})
+
+    def test_transpose_default_and_explicit_axes(self, rng):
+        values = _tensor(rng, (2, 3, 4))
+        gradcheck(lambda: values.transpose(), {"values": values})
+        gradcheck(lambda: values.transpose((1, 0, 2)), {"values": values})
+
+    def test_reshape_varargs_and_tuple(self, rng):
+        values = _tensor(rng, (2, 6))
+        gradcheck(lambda: values.reshape(3, 4), {"values": values})
+        gradcheck(lambda: values.reshape((4, 3)), {"values": values})
+
+    def test_concatenate_method_and_module_function(self, rng):
+        first = _tensor(rng, (2, 3))
+        second = _tensor(rng, (2, 2))
+        parameters = {"first": first, "second": second}
+        gradcheck(lambda: first.concatenate([second], axis=1), parameters)
+        gradcheck(lambda: concatenate([first, second], axis=-1), parameters)
+
+    def test_stack(self, rng):
+        first = _tensor(rng, (2, 3))
+        second = _tensor(rng, (2, 3))
+        gradcheck(
+            lambda: stack([first, second], axis=0),
+            {"first": first, "second": second},
+        )
+
+    def test_where(self, rng):
+        condition = np.array([[True, False, True], [False, True, False]])
+        on_true = _tensor(rng, (2, 3))
+        on_false = _tensor(rng, (2, 3))
+        gradcheck(
+            lambda: where(condition, on_true, on_false),
+            {"on_true": on_true, "on_false": on_false},
+        )
 
 
 class TestComposedLayersStillCheck:
