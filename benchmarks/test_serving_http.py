@@ -1,0 +1,195 @@
+"""HTTP round-trip smoke benchmark for the network serving front end.
+
+The HTTP layer exists so external tools (compilers, autotuners, other
+languages) can consume throughput predictions over a socket; its cost per
+request must be queueing + one JSON round trip, not a second serving
+stack.  Three checks over one live server:
+
+* **round-trip smoke** — sequential unary predicts through a real socket
+  must all succeed and sustain a sane request rate (the gate is loose at
+  quick scale: it guards the wiring, not the absolute number);
+* **streaming equivalence** — the NDJSON streaming mode must reassemble
+  to exactly the unary answer for the same blocks: chunking by
+  micro-batch is a transport detail, never a numerics one;
+* **concurrent tenants** — parallel clients with distinct API keys on
+  distinct model variants must all be answered, with per-tenant request
+  accounting adding up.
+
+Scale with ``REPRO_BENCH_STEPS`` as usual; the HTTP smoke keeps fixed
+small request counts — it measures plumbing, not model throughput.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.data.synthetic import BlockGenerator, GeneratorConfig
+from repro.serve import (
+    HttpServerConfig,
+    ModelRegistry,
+    ModelVariant,
+    PredictionHttpServer,
+    ServiceConfig,
+    Tenant,
+    TenantDirectory,
+)
+
+NUM_ROUND_TRIPS = 25
+NUM_STREAM_BLOCKS = 48
+#: Loose quick-scale floor: in-process granite serves hundreds of blocks/s,
+#: so even with JSON + socket overhead a handful of requests/s is generous.
+MIN_REQUESTS_PER_SECOND = 2.0
+
+API_KEYS = {"acme": "bench-key-acme", "blue": "bench-key-blue"}
+
+
+def _post(port, path, payload, api_key, timeout=120.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request(
+            "POST", path, body=json.dumps(payload),
+            headers={"X-API-Key": api_key},
+        )
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def _get(port, path, api_key, timeout=120.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request("GET", path, headers={"X-API-Key": api_key})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+@pytest.fixture(scope="module")
+def bench_blocks():
+    generator = BlockGenerator(GeneratorConfig(seed=77))
+    return [block.render() for block in generator.generate_blocks(64)]
+
+
+@pytest.fixture(scope="module")
+def server():
+    registry = ModelRegistry(
+        (
+            ModelVariant(
+                "granite-haswell",
+                ServiceConfig(tasks=("haswell",), max_batch_size=16),
+            ),
+            ModelVariant(
+                "granite-skylake-f32",
+                ServiceConfig(
+                    tasks=("skylake",),
+                    max_batch_size=16,
+                    inference_dtype="float32",
+                ),
+            ),
+        )
+    )
+    auth = TenantDirectory(
+        (
+            Tenant("acme", api_key=API_KEYS["acme"]),
+            Tenant("blue", api_key=API_KEYS["blue"]),
+        )
+    )
+    with PredictionHttpServer(
+        registry, HttpServerConfig(), auth=auth, own_registry=True
+    ) as running:
+        # Warm both variants so the measured loop never pays a model build.
+        for model in ("granite-haswell", "granite-skylake-f32"):
+            registry.load(model)
+        yield running
+
+
+def test_http_round_trip_smoke(server, bench_blocks):
+    begin = time.monotonic()
+    for index in range(NUM_ROUND_TRIPS):
+        block = bench_blocks[index % len(bench_blocks)]
+        status, raw = _post(
+            server.port,
+            "/v1/models/granite-haswell/predict",
+            {"blocks": [block], "priority": "interactive"},
+            API_KEYS["acme"],
+        )
+        assert status == 200
+        document = json.loads(raw)
+        assert document["num_blocks"] == 1
+        assert len(document["predictions"]["haswell"]) == 1
+    elapsed = time.monotonic() - begin
+    rate = NUM_ROUND_TRIPS / elapsed
+    print(f"\nhttp round trips: {rate:.1f} requests/s ({elapsed:.2f}s total)")
+    assert rate >= MIN_REQUESTS_PER_SECOND
+
+
+def test_http_streaming_matches_unary(server, bench_blocks):
+    blocks = bench_blocks[:NUM_STREAM_BLOCKS]
+    status, raw = _post(
+        server.port,
+        "/v1/models/granite-haswell/predict",
+        {"blocks": blocks},
+        API_KEYS["acme"],
+    )
+    assert status == 200
+    unary = json.loads(raw)["predictions"]["haswell"]
+    status, raw = _post(
+        server.port,
+        "/v1/models/granite-haswell/predict",
+        {"blocks": blocks, "stream": True},
+        API_KEYS["acme"],
+    )
+    assert status == 200
+    lines = [json.loads(line) for line in raw.decode().strip().split("\n")]
+    assert lines[-1]["done"] is True
+    assert lines[-1]["chunks"] == (NUM_STREAM_BLOCKS + 15) // 16
+    streamed = [None] * NUM_STREAM_BLOCKS
+    for line in lines[:-1]:
+        assert "error" not in line, line
+        values = line["predictions"]["haswell"]
+        streamed[line["offset"] : line["offset"] + line["num_blocks"]] = values
+    assert streamed == unary
+
+
+def test_http_concurrent_tenants_accounted(server, bench_blocks):
+    statuses = {}
+
+    def client(tenant, model, offset):
+        status, _ = _post(
+            server.port,
+            f"/v1/models/{model}/predict",
+            {"blocks": bench_blocks[offset : offset + 4]},
+            API_KEYS[tenant],
+        )
+        statuses[(tenant, model, offset)] = status
+
+    threads = [
+        threading.Thread(
+            target=client,
+            args=(
+                ("acme", "blue")[index % 2],
+                ("granite-haswell", "granite-skylake-f32")[index % 2],
+                4 * index,
+            ),
+        )
+        for index in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert set(statuses.values()) == {200}
+    for tenant, model in (
+        ("acme", "granite-haswell"),
+        ("blue", "granite-skylake-f32"),
+    ):
+        status, report = _get(
+            server.port, f"/v1/models/{model}/stats", API_KEYS[tenant]
+        )
+        assert status == 200
+        assert report["info"]["requests_by_tenant"][tenant] >= 4

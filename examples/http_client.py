@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Raw-socket JSON client for the repro prediction HTTP server.
+
+The server side is ``examples/serve_blocks.py --http PORT`` (or any
+:class:`repro.serve.PredictionHttpServer`).  This client speaks plain
+HTTP/1.1 over a TCP socket — no ``requests``, not even ``http.client`` —
+to show that the wire protocol is reachable from anything with a socket.
+
+The same endpoints with ``curl`` (server on port 8000, API key
+``demo-key``)::
+
+    $ curl -s localhost:8000/healthz
+    {"status": "ok", "uptime_s": 4.2, "requests_handled": 3, ...}
+
+    $ curl -s localhost:8000/v1/models -H 'X-API-Key: demo-key'
+    {"models": [{"name": "granite-haswell", "model_name": "granite",
+                 "tasks": ["haswell"], "inference_dtype": "float64",
+                 "loaded": true, ...}, ...]}
+
+    $ curl -s -X POST localhost:8000/v1/models/granite-haswell/predict \\
+        -H 'X-API-Key: demo-key' -H 'Content-Type: application/json' \\
+        -d '{"blocks": ["add rax, rbx\\nsub rcx, 4"], "priority": "interactive"}'
+    {"request_id": "req-42", "model": "granite-haswell", "num_blocks": 1,
+     "seconds": 0.003, "predictions": {"haswell": [171.3]}}
+
+    $ curl -sN -X POST localhost:8000/v1/models/granite-haswell/predict \\
+        -H 'X-API-Key: demo-key' -d '{"blocks": [...], "stream": true}'
+    {"chunk": 0, "offset": 0, "num_blocks": 32, "predictions": {...}}
+    {"chunk": 1, "offset": 32, "num_blocks": 32, "predictions": {...}}
+    {"done": true, "chunks": 2}
+
+    $ curl -s localhost:8000/v1/models/granite-haswell/stats \\
+        -H 'X-API-Key: demo-key'
+    {"info": {...,"requests_by_tenant": {"demo": 3}},
+     "snapshot": {"queue": {...}, "flush": {...}, "model": {...}}, ...}
+
+Back-pressure maps to status codes, not prose: a full queue answers 429
+(``{"error": {"code": "queue_full", ...}}``), an expired per-request
+deadline 408 (``deadline_expired``), a closed service 503, an unknown
+model 404, a missing/bad API key 401 and a model outside the tenant's
+allow-list 403.
+
+Usage::
+
+    python examples/http_client.py --port 8000 models
+    python examples/http_client.py --port 8000 --api-key demo-key \\
+        predict granite-haswell "add rax, rbx" "mov rdx, 8" --stream
+    python examples/http_client.py --port 8000 stats granite-haswell
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+
+def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[Dict[str, Any]] = None,
+    api_key: Optional[str] = None,
+    timeout: float = 120.0,
+) -> Tuple[int, bytes]:
+    """One HTTP/1.1 exchange over a fresh socket; returns (status, body).
+
+    Chunked (streaming) responses are de-chunked into one body — use
+    :func:`stream_lines` to consume NDJSON lines as they arrive instead.
+    """
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+    )
+    if api_key:
+        head += f"X-API-Key: {api_key}\r\n"
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(head.encode("latin-1") + b"\r\n" + body)
+        raw = b""
+        while True:
+            part = sock.recv(65536)
+            if not part:
+                break
+            raw += part
+    header_blob, _, rest = raw.partition(b"\r\n\r\n")
+    status = int(header_blob.split(b" ", 2)[1])
+    if b"transfer-encoding: chunked" in header_blob.lower():
+        rest = b"".join(_iter_chunks(rest))
+    return status, rest
+
+
+def _iter_chunks(buffer: bytes) -> Iterator[bytes]:
+    """Decodes an already-buffered chunked transfer body."""
+    while buffer:
+        size_line, _, buffer = buffer.partition(b"\r\n")
+        size = int(size_line, 16)
+        if size == 0:
+            return
+        yield buffer[:size]
+        buffer = buffer[size + 2 :]
+
+
+def stream_lines(
+    host: str,
+    port: int,
+    path: str,
+    payload: Dict[str, Any],
+    api_key: Optional[str] = None,
+    timeout: float = 120.0,
+) -> Iterator[Dict[str, Any]]:
+    """POSTs ``{"stream": true}`` and yields NDJSON lines as they arrive.
+
+    Unlike :func:`http_request` this reads incrementally, so early
+    micro-batches are consumed while later chunks are still queued
+    server-side.
+    """
+    body = json.dumps(dict(payload, stream=True)).encode("utf-8")
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+    )
+    if api_key:
+        head += f"X-API-Key: {api_key}\r\n"
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(head.encode("latin-1") + b"\r\n" + body)
+        reader = sock.makefile("rb")
+        status_line = reader.readline()
+        status = int(status_line.split(b" ", 2)[1])
+        chunked = False
+        while True:
+            line = reader.readline().strip()
+            if not line:
+                break
+            if line.lower() == b"transfer-encoding: chunked":
+                chunked = True
+        if not chunked:
+            # An error response (4xx/5xx) arrives un-streamed.
+            blob = reader.read()
+            raise RuntimeError(f"HTTP {status}: {blob.decode('utf-8', 'replace')}")
+        while True:
+            size = int(reader.readline().strip() or b"0", 16)
+            if size == 0:
+                return
+            chunk = reader.read(size)
+            reader.read(2)  # trailing CRLF
+            yield json.loads(chunk)
+
+
+def _preview(predictions: Dict[str, Any], limit: int = 3) -> Dict[str, Any]:
+    return {
+        task: [round(float(v), 2) for v in values[:limit]]
+        for task, values in predictions.items()
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--api-key", default=None)
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("health", help="GET /healthz")
+    commands.add_parser("models", help="GET /v1/models")
+    stats = commands.add_parser("stats", help="GET /v1/models/MODEL/stats")
+    stats.add_argument("model")
+    predict = commands.add_parser(
+        "predict", help="POST /v1/models/MODEL/predict"
+    )
+    predict.add_argument("model")
+    predict.add_argument("blocks", nargs="+", help="basic-block texts")
+    predict.add_argument("--stream", action="store_true")
+    predict.add_argument(
+        "--priority", default="normal", help="interactive | normal | bulk"
+    )
+    predict.add_argument("--deadline-ms", type=float, default=None)
+    arguments = parser.parse_args()
+
+    if arguments.command == "health":
+        status, body = http_request(arguments.host, arguments.port, "GET", "/healthz")
+    elif arguments.command == "models":
+        status, body = http_request(
+            arguments.host, arguments.port, "GET", "/v1/models",
+            api_key=arguments.api_key,
+        )
+    elif arguments.command == "stats":
+        status, body = http_request(
+            arguments.host, arguments.port, "GET",
+            f"/v1/models/{arguments.model}/stats", api_key=arguments.api_key,
+        )
+    elif arguments.command == "predict" and arguments.stream:
+        payload: Dict[str, Any] = {
+            "blocks": arguments.blocks,
+            "priority": arguments.priority,
+        }
+        if arguments.deadline_ms is not None:
+            payload["deadline_ms"] = arguments.deadline_ms
+        for line in stream_lines(
+            arguments.host, arguments.port,
+            f"/v1/models/{arguments.model}/predict", payload,
+            api_key=arguments.api_key,
+        ):
+            if "predictions" in line:
+                line = dict(line, predictions=_preview(line["predictions"]))
+            print(json.dumps(line))
+        return 0
+    else:
+        payload = {"blocks": arguments.blocks, "priority": arguments.priority}
+        if arguments.deadline_ms is not None:
+            payload["deadline_ms"] = arguments.deadline_ms
+        status, body = http_request(
+            arguments.host, arguments.port, "POST",
+            f"/v1/models/{arguments.model}/predict", payload,
+            api_key=arguments.api_key,
+        )
+
+    document = json.loads(body)
+    print(json.dumps(document, indent=2))
+    return 0 if status == 200 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,19 @@ in place across each resize.  Requests carry optional per-request
 deadlines and their futures can be ``cancel()``-ed while queued — both
 drop paths show up in ``AsyncPredictionService.snapshot()``.
 
+Network serving
+---------------
+
+``--http PORT`` adds the third layer: a :class:`repro.serve.ModelRegistry`
+hosting two named variants warm-started from the same checkpoint — the
+``--dtype`` haswell head and a mixed-precision skylake head — behind a
+:class:`repro.serve.PredictionHttpServer` (stdlib asyncio, HTTP/1.1 +
+JSON).  The demo drives both variants through the socket with per-tenant
+API keys, prints the per-model stats, and leaves ``curl`` transcripts to
+reproduce each call by hand (``examples/http_client.py`` is a standalone
+raw-socket client for the same endpoints; pass ``--http 0`` for an
+ephemeral port).
+
 Usage::
 
     # static flushing, fixed in-process serving (the PR 2/3 behaviour)
@@ -75,6 +88,9 @@ Usage::
     # mixed precision on top: float32 replicas behind the same queue
     python examples/serve_blocks.py --workers 2 --dtype float32 \
         --flush-policy adaptive
+
+    # multi-model HTTP serving on an ephemeral port
+    python examples/serve_blocks.py --steps 50 --http 0
 """
 
 from __future__ import annotations
@@ -93,10 +109,16 @@ from repro.nn.serialization import save_checkpoint
 from repro.serve import (
     AsyncPredictionService,
     AsyncServiceConfig,
+    HttpServerConfig,
+    ModelRegistry,
+    ModelVariant,
+    PredictionHttpServer,
     PredictionRequest,
     PredictionService,
     Priority,
     ServiceConfig,
+    Tenant,
+    TenantDirectory,
     default_flush_policy,
 )
 from repro.training.trainer import Trainer
@@ -178,6 +200,92 @@ def demo_asynchronous(
             )
 
 
+def demo_http(checkpoint: str, test_blocks, arguments) -> None:
+    """Serves two registry variants over HTTP and drives both as a client."""
+    import http.client
+    import json
+
+    api_key = "demo-key"
+    registry = ModelRegistry(
+        (
+            ModelVariant(
+                "granite-haswell",
+                ServiceConfig(
+                    model_name="granite",
+                    tasks=("haswell",),
+                    checkpoint_path=checkpoint,
+                    max_batch_size=32,
+                    inference_dtype=arguments.dtype,
+                ),
+                description="haswell head, demo checkpoint",
+            ),
+            ModelVariant(
+                "granite-skylake-f32",
+                ServiceConfig(
+                    model_name="granite",
+                    tasks=("skylake",),
+                    checkpoint_path=checkpoint,
+                    max_batch_size=32,
+                    inference_dtype="float32",
+                ),
+                description="mixed-precision skylake head",
+            ),
+        )
+    )
+    auth = TenantDirectory((Tenant("demo", api_key=api_key),))
+    server_config = HttpServerConfig(port=arguments.http)
+    with PredictionHttpServer(
+        registry, server_config, auth=auth, own_registry=True
+    ) as server:
+        print(f"  listening on {server.address} (API key: {api_key})")
+        print(
+            f"  curl -s {server.address}/v1/models -H 'X-API-Key: {api_key}'"
+        )
+        print(
+            f"  curl -s -X POST {server.address}/v1/models/granite-haswell/"
+            f"predict -H 'X-API-Key: {api_key}' "
+            "-d '{\"blocks\": [\"add rax, rbx\"]}'"
+        )
+        blocks = [block.render() for block in test_blocks[:8]]
+        for model in ("granite-haswell", "granite-skylake-f32"):
+            connection = http.client.HTTPConnection(
+                server.config.host, server.port, timeout=120
+            )
+            connection.request(
+                "POST",
+                f"/v1/models/{model}/predict",
+                body=json.dumps({"blocks": blocks, "priority": "interactive"}),
+                headers={"X-API-Key": api_key},
+            )
+            response = connection.getresponse()
+            document = json.loads(response.read())
+            connection.close()
+            preview = {
+                task: [round(float(value), 2) for value in values[:3]]
+                for task, values in document["predictions"].items()
+            }
+            print(
+                f"  {model}: HTTP {response.status}, "
+                f"{document['num_blocks']} blocks, predictions {preview}"
+            )
+        connection = http.client.HTTPConnection(
+            server.config.host, server.port, timeout=120
+        )
+        connection.request(
+            "GET",
+            "/v1/models/granite-haswell/stats",
+            headers={"X-API-Key": api_key},
+        )
+        report = json.loads(connection.getresponse().read())
+        connection.close()
+        queue_stats = report["snapshot"]["queue"]
+        print(
+            f"  stats: {queue_stats['submitted_requests']} requests / "
+            f"{queue_stats['submitted_blocks']} blocks from tenants "
+            f"{report['info']['requests_by_tenant']}"
+        )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--steps", type=int, default=100, help="training steps")
@@ -219,6 +327,14 @@ def main() -> None:
         default="float64",
         help="inference compute dtype of every serving replica "
         "(float32 = mixed-precision serving, ~2x faster matmuls)",
+    )
+    parser.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also run the multi-model HTTP demo: a two-variant ModelRegistry "
+        "behind PredictionHttpServer on this port (0 = ephemeral)",
     )
     arguments = parser.parse_args()
 
@@ -264,6 +380,9 @@ def main() -> None:
             demo_asynchronous(
                 service, test_blocks, arguments.max_latency_ms, flush_policy
             )
+        if arguments.http is not None:
+            print("http front end:")
+            demo_http(checkpoint, test_blocks, arguments)
 
 
 if __name__ == "__main__":

@@ -44,6 +44,7 @@ def create_model(
     seed: int = 0,
     num_message_passing_iterations: Optional[int] = None,
     inference_dtype: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
 ) -> ThroughputModel:
     """Creates one of the paper's models by name.
 
@@ -59,6 +60,10 @@ def create_model(
             config default, which honours the ``INFERENCE_DTYPE``
             environment variable.  Weights are identical across dtypes for
             a given seed — only inference math changes.
+        checkpoint_path: Optional ``.npz`` checkpoint (saved by
+            :func:`repro.nn.save_checkpoint`) restored into the freshly
+            built model — the warm-start path shared by the serving
+            workers and the model registry.
     """
     from dataclasses import replace
 
@@ -74,8 +79,8 @@ def create_model(
             )
         if inference_dtype is not None:
             config = replace(config, inference_dtype=inference_dtype)
-        return GraniteModel(config)
-    if key in ("ithemal", "ithemal+"):
+        model: ThroughputModel = GraniteModel(config)
+    elif key in ("ithemal", "ithemal+"):
         plus = key == "ithemal+"
         if small:
             config = IthemalConfig.small(tasks=tasks, plus=plus, seed=seed)
@@ -83,5 +88,11 @@ def create_model(
             config = IthemalConfig.paper_defaults(tasks=tasks, plus=plus)
         if inference_dtype is not None:
             config = replace(config, inference_dtype=inference_dtype)
-        return IthemalModel(config)
-    raise ValueError(f"unknown model {name!r}; expected one of {MODEL_NAMES}")
+        model = IthemalModel(config)
+    else:
+        raise ValueError(f"unknown model {name!r}; expected one of {MODEL_NAMES}")
+    if checkpoint_path is not None:
+        from repro.nn.serialization import load_checkpoint
+
+        load_checkpoint(model, checkpoint_path)
+    return model

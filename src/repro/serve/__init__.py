@@ -1,7 +1,7 @@
-"""Batched prediction serving.
+"""Batched prediction serving, from micro-batches to the network.
 
-This subpackage is the production serving story of the reproduction, in two
-layers:
+This subpackage is the production serving story of the reproduction, in
+three layers:
 
 * the synchronous :class:`PredictionService`: heterogeneous requests are
   coalesced into size-bounded micro-batches, optionally sharded across an
@@ -15,25 +15,81 @@ layers:
   a dispatcher thread flushes micro-batches on ``max_batch_size`` OR a
   latency deadline governed by a static or load-adaptive
   :mod:`~repro.serve.flush` policy, and an autoscale monitor feeds queue
-  depth into the pool's elasticity bounds.
+  depth into the pool's elasticity bounds;
+* the network layer: a :class:`ModelRegistry` hosts many named model
+  variants (family × uarch × dtype) with lazy load/unload, checkpoint
+  warm-start and per-tenant request accounting, and
+  :class:`PredictionHttpServer` exposes it over HTTP/1.1 + JSON (stdlib
+  asyncio only) with API-key tenancy via :class:`TenantDirectory`.
 
-Both build on the no-grad inference fast path in :mod:`repro.nn.tensor`
-and the batched :meth:`ThroughputModel.predict` API.
+All of it builds on the no-grad inference fast path in
+:mod:`repro.nn.tensor` and the batched ``ThroughputModel.predict`` API.
+
+Configuration is layered the same way: :class:`ServiceConfig` describes
+one served model variant end to end, carrying the queueing/flushing knobs
+as a nested :class:`AsyncOptions`.  (The historical
+:class:`AsyncServiceConfig` spelling still works and converts.)
+
+Error taxonomy
+--------------
+
+Everything the stack can refuse raises a :class:`ServeError` carrying a
+machine-readable :class:`ReasonCode` (``queue_full``,
+``deadline_expired``, ``service_closed``, ``unknown_model``,
+``unauthenticated``, ``forbidden``, ``invalid_request``), so transports
+map outcomes to their status space without string matching — the HTTP
+front end's ``STATUS_BY_REASON`` table is exactly that mapping.  Each
+error also inherits the builtin its pre-taxonomy ancestor did
+(:class:`QueueFullError` is a ``RuntimeError``, etc.), so existing
+``except`` clauses keep working.
+
+Stats schema
+------------
+
+Introspection is typed (:mod:`repro.serve.stats`); JSON stats responses
+serialize these exact dataclasses, so the wire schema cannot drift from
+the in-process one:
+
+* ``PredictionService.snapshot()`` -> :class:`ModelStats` — aggregate
+  request/block/batch/latency counters of one service, its worker-pool
+  respawn/resize counters, and (in-process mode) a :class:`CacheStats`
+  section with encode/prediction/parse cache hit rates;
+* ``PredictionService.worker_stats()`` -> list of :class:`WorkerStats` —
+  per-replica identity (``worker_id``, ``spawn_count``), hash-ring share,
+  dtype, job errors and a nested :class:`CacheStats`;
+* ``AsyncPredictionService.snapshot()`` -> :class:`ServiceSnapshot` with
+  sections ``queue`` (:class:`QueueStats`: depth, capacity, back-pressure
+  policy, admission/drop counters), ``flush`` (:class:`FlushStats`:
+  flush-trigger counters plus realized wait/deadline percentiles),
+  ``model`` (the :class:`ModelStats` above), the flush controller's raw
+  ``controller`` state dict, and ``autoscale_errors``;
+* ``GET /v1/models/{model}/stats`` -> a serialized
+  :class:`~repro.serve.registry.ModelReport`: ``info`` (a
+  :class:`~repro.serve.registry.ModelInfo` with the per-tenant request
+  counters), ``snapshot`` (:class:`ServiceSnapshot`, ``null`` while the
+  variant is cold) and ``workers`` (list of :class:`WorkerStats`).
+
+Every stats dataclass also supports the historical flat-dict reads
+(``snapshot["flush_wait_p99_ms"]``); new code should prefer attribute
+access (``snapshot.flush.wait_p99_ms``).
 """
 
 from repro.serve.async_service import (
     AsyncPredictionService,
-    AsyncServiceConfig,
     AsyncServiceStats,
 )
+from repro.serve.auth import ANONYMOUS, Tenant, TenantDirectory
 from repro.serve.batching import (
     MicroBatch,
-    PredictionRequest,
-    PredictionResponse,
     coalesce_requests,
     coalesce_requests_by_ring,
     coalesce_requests_by_shard,
     shard_key,
+)
+from repro.serve.config import (
+    AsyncOptions,
+    AsyncServiceConfig,
+    ServiceConfig,
 )
 from repro.serve.flush import (
     FLUSH_POLICIES,
@@ -43,15 +99,46 @@ from repro.serve.flush import (
     create_flush_controller,
     default_flush_policy,
 )
+from repro.serve.http import (
+    STATUS_BY_REASON,
+    HttpServerConfig,
+    PredictionHttpServer,
+)
 from repro.serve.queue import (
     Priority,
     QueuedRequest,
-    QueueFullError,
-    RequestExpiredError,
     RequestQueue,
 )
+from repro.serve.registry import (
+    ModelInfo,
+    ModelRegistry,
+    ModelReport,
+    ModelVariant,
+)
 from repro.serve.ring import HashRing
-from repro.serve.service import PredictionService, ServiceConfig, ServiceStats
+from repro.serve.service import PredictionService, ServiceStats
+from repro.serve.stats import (
+    CacheStats,
+    FlushStats,
+    ModelStats,
+    QueueStats,
+    ServiceSnapshot,
+    StatsStruct,
+    WorkerStats,
+)
+from repro.serve.types import (
+    AuthenticationError,
+    AuthorizationError,
+    InvalidRequestError,
+    PredictionRequest,
+    PredictionResponse,
+    QueueFullError,
+    ReasonCode,
+    RequestExpiredError,
+    ServeError,
+    ServiceClosedError,
+    UnknownModelError,
+)
 from repro.serve.workers import (
     PoolAutoscaler,
     ShardedWorkerPool,
@@ -59,6 +146,7 @@ from repro.serve.workers import (
 )
 
 __all__ = [
+    # Envelopes and batching.
     "MicroBatch",
     "PredictionRequest",
     "PredictionResponse",
@@ -66,25 +154,58 @@ __all__ = [
     "coalesce_requests_by_ring",
     "coalesce_requests_by_shard",
     "shard_key",
+    # Services and configuration.
     "PredictionService",
     "ServiceConfig",
     "ServiceStats",
     "AsyncPredictionService",
+    "AsyncOptions",
     "AsyncServiceConfig",
     "AsyncServiceStats",
+    # Flush policies.
     "FLUSH_POLICIES",
     "AdaptiveFlushController",
     "FlushController",
     "StaticFlushController",
     "create_flush_controller",
     "default_flush_policy",
+    # Queueing.
     "HashRing",
     "Priority",
     "QueuedRequest",
-    "QueueFullError",
-    "RequestExpiredError",
     "RequestQueue",
+    # Worker pool.
     "PoolAutoscaler",
     "ShardedWorkerPool",
     "WorkerCrashError",
+    # Error taxonomy.
+    "ReasonCode",
+    "ServeError",
+    "QueueFullError",
+    "RequestExpiredError",
+    "ServiceClosedError",
+    "UnknownModelError",
+    "AuthenticationError",
+    "AuthorizationError",
+    "InvalidRequestError",
+    # Typed stats schema.
+    "StatsStruct",
+    "CacheStats",
+    "WorkerStats",
+    "QueueStats",
+    "FlushStats",
+    "ModelStats",
+    "ServiceSnapshot",
+    # Tenancy.
+    "Tenant",
+    "TenantDirectory",
+    "ANONYMOUS",
+    # Registry and network front end.
+    "ModelVariant",
+    "ModelInfo",
+    "ModelReport",
+    "ModelRegistry",
+    "HttpServerConfig",
+    "PredictionHttpServer",
+    "STATUS_BY_REASON",
 ]

@@ -52,82 +52,21 @@ from typing import Deque, Dict, Optional, Sequence, Union
 import numpy as np
 
 from repro.isa.basic_block import BasicBlock
-from repro.serve.batching import PredictionRequest
-from repro.serve.flush import (
-    FLUSH_POLICIES,
-    FlushController,
-    create_flush_controller,
-    default_flush_policy,
-)
+from repro.serve.config import AsyncOptions, AsyncServiceConfig
+from repro.serve.flush import FlushController, create_flush_controller
 from repro.serve.queue import (
     Priority,
     RequestExpiredError,
     RequestQueue,
 )
 from repro.serve.service import PredictionService, ServiceConfig
+from repro.serve.stats import FlushStats, QueueStats, ServiceSnapshot
+from repro.serve.types import PredictionRequest, ServiceClosedError
 
+# AsyncServiceConfig moved to repro.serve.config (deprecated in favour of
+# ServiceConfig.async_options / AsyncOptions); re-exported here so the
+# historical import path keeps working.
 __all__ = ["AsyncServiceConfig", "AsyncServiceStats", "AsyncPredictionService"]
-
-
-@dataclass(frozen=True)
-class AsyncServiceConfig:
-    """Queueing and flushing knobs of an :class:`AsyncPredictionService`.
-
-    Attributes:
-        max_batch_size: Flush as soon as this many blocks are pending.
-        max_latency_ms: Flush the oldest pending request after at most this
-            long, however few blocks have accumulated (the latency bound of
-            the latency/throughput trade-off, and the adaptive policy's
-            deadline ceiling).
-        flush_policy: ``"static"`` (always ``max_latency_ms``) or
-            ``"adaptive"`` (deadline scales with observed load between
-            ``min_latency_ms`` and ``max_latency_ms``).  The default
-            honours the ``REPRO_FLUSH_POLICY`` environment variable.
-        min_latency_ms: The adaptive policy's deadline floor (ignored by
-            ``static``).
-        controller_window_ms: Sliding arrival window of the adaptive
-            controller's load estimate.
-        autoscale_poll_ms: How often the elasticity monitor feeds queue
-            depth into the service's autoscaler (only runs when the
-            service has elastic worker bounds).
-        max_queue_blocks: Admission bound of the queue, in blocks.
-        backpressure: ``"block"`` (producers wait for space) or
-            ``"reject"`` (producers get :class:`~repro.serve.queue.QueueFullError`).
-    """
-
-    max_batch_size: int = 64
-    max_latency_ms: float = 10.0
-    flush_policy: str = field(default_factory=default_flush_policy)
-    min_latency_ms: float = 1.0
-    controller_window_ms: float = 250.0
-    autoscale_poll_ms: float = 50.0
-    max_queue_blocks: int = 4096
-    backpressure: str = "block"
-
-    def __post_init__(self) -> None:
-        if self.max_batch_size < 1:
-            raise ValueError("max_batch_size must be positive")
-        if self.max_latency_ms < 0:
-            raise ValueError("max_latency_ms must be >= 0")
-        if self.flush_policy not in FLUSH_POLICIES:
-            raise ValueError(
-                f"unknown flush policy {self.flush_policy!r}; "
-                f"expected one of {FLUSH_POLICIES}"
-            )
-        if self.min_latency_ms < 0:
-            raise ValueError("min_latency_ms must be >= 0")
-        # The floor only exists for the adaptive policy; a static config
-        # with a sub-floor (or zero) deadline stays valid, as before.
-        if (
-            self.flush_policy == "adaptive"
-            and self.min_latency_ms > self.max_latency_ms
-        ):
-            raise ValueError("need min_latency_ms <= max_latency_ms")
-        if self.controller_window_ms <= 0:
-            raise ValueError("controller_window_ms must be positive")
-        if self.autoscale_poll_ms <= 0:
-            raise ValueError("autoscale_poll_ms must be positive")
-        # max_queue_blocks and backpressure are validated by RequestQueue.
 
 
 @dataclass
@@ -188,7 +127,10 @@ class AsyncPredictionService:
     """Queued prediction front end with latency-bounded micro-batching.
 
     Args:
-        config: Flush/queue knobs; defaults are sensible for tests.
+        config: Flush/queue knobs: an :class:`~repro.serve.AsyncOptions`
+            (preferred), a legacy ``AsyncServiceConfig``, or ``None`` to
+            inherit the service config's ``async_options`` (and its
+            ``max_batch_size`` as the size-flush bound).
         service: The synchronous service to flush into.  When ``None``, one
             is built from ``service_config`` (or its defaults) and owned —
             i.e. closed — by this front end; a caller-provided service is
@@ -199,25 +141,38 @@ class AsyncPredictionService:
 
     def __init__(
         self,
-        config: Optional[AsyncServiceConfig] = None,
+        config: Union[AsyncServiceConfig, AsyncOptions, None] = None,
         service: Optional[PredictionService] = None,
         service_config: Optional[ServiceConfig] = None,
     ) -> None:
         if service is not None and service_config is not None:
             raise ValueError("pass either a service or a service_config, not both")
-        self.config = config or AsyncServiceConfig()
         self._owns_service = service is None
         self.service = service or PredictionService(service_config)
+        if config is None:
+            options = self.service.config.async_options
+            max_batch_size = self.service.config.max_batch_size
+        elif isinstance(config, AsyncOptions):
+            options = config
+            max_batch_size = self.service.config.max_batch_size
+        else:
+            options = config.options
+            max_batch_size = config.max_batch_size
+        #: The async layer's own knobs (the preferred spelling).
+        self.options = options
+        #: Normalized legacy view (``options`` + the size-flush bound);
+        #: kept so existing ``front_end.config.max_batch_size`` reads work.
+        self.config = AsyncServiceConfig.from_options(options, max_batch_size)
         self.queue = RequestQueue(
-            max_blocks=self.config.max_queue_blocks,
-            policy=self.config.backpressure,
+            max_blocks=options.max_queue_blocks,
+            policy=options.backpressure,
         )
         self.controller: FlushController = create_flush_controller(
-            self.config.flush_policy,
-            self.config.max_latency_ms / 1e3,
-            self.config.min_latency_ms / 1e3,
-            self.config.max_batch_size,
-            self.config.controller_window_ms / 1e3,
+            options.flush_policy,
+            options.max_latency_ms / 1e3,
+            options.min_latency_ms / 1e3,
+            max_batch_size,
+            options.controller_window_ms / 1e3,
         )
         self.stats = AsyncServiceStats()
         # Guards the producer-side counters: submit() runs from many client
@@ -253,7 +208,7 @@ class AsyncPredictionService:
         """
         with self._lifecycle_lock:
             if self._closed:
-                raise RuntimeError("service is closed")
+                raise ServiceClosedError("service is closed")
             if self._dispatcher is None:
                 self.service.warm_start()
                 self._dispatcher = threading.Thread(
@@ -371,52 +326,68 @@ class AsyncPredictionService:
     # ------------------------------------------------------------------ #
     # Introspection.
     # ------------------------------------------------------------------ #
-    def snapshot(self) -> Dict[str, object]:
-        """A point-in-time view of the serving stack for operators/benchmarks.
+    def snapshot(self) -> ServiceSnapshot:
+        """A point-in-time typed view of the serving stack.
 
-        Combines the flush controller's state (policy, current deadline,
-        load estimate), the live queue depth, realized flush-wait
-        percentiles and the drop counters (queue-side eager discards plus
-        dispatcher-side flush-time drops).
+        Returns a :class:`~repro.serve.stats.ServiceSnapshot` combining the
+        queue section (admission state and drop counters — queue-side eager
+        discards plus dispatcher-side flush-time drops), the flush section
+        (counters, realized wait/deadline percentiles, the controller's
+        current deadline), the underlying service's
+        :class:`~repro.serve.stats.ModelStats`, and the flush controller's
+        raw state dict.  Historical flat keys
+        (``snapshot["flush_wait_p99_ms"]`` etc.) still resolve.
         """
+        # Controller and queue take their own locks; read them before
+        # entering the stats critical section to keep it a leaf lock.
+        # (peek, not deadline_s: observers must not overwrite the
+        # controller's last dispatcher decision, which the per-flush
+        # deadline history records.)
+        current_deadline_ms = (
+            self.controller.peek_deadline_s(self.queue.pending_blocks) * 1e3
+        )
         # Counters are mutated by client threads (submit), the dispatcher
         # (_flush) and the autoscale monitor — read them under the same
         # lock so the snapshot is internally consistent.
         with self._stats_lock:
             stats = self.stats
-            counters = {
-                "requests": stats.requests,
-                "blocks": stats.blocks,
-                "flushes": stats.flushes,
-                "size_flushes": stats.size_flushes,
-                "deadline_flushes": stats.deadline_flushes,
-                "mean_flush_blocks": stats.mean_flush_blocks,
-                "flush_wait_p50_ms": stats.flush_wait_percentile(0.50) * 1e3,
-                "flush_wait_p99_ms": stats.flush_wait_percentile(0.99) * 1e3,
-                "flush_deadline_p50_ms": stats.flush_deadline_percentile(0.50),
-                "flush_deadline_p99_ms": stats.flush_deadline_percentile(0.99),
-                "autoscale_errors": self.autoscale_errors,
-            }
+            submitted_requests = stats.requests
+            submitted_blocks = stats.blocks
+            flush = FlushStats(
+                policy=self.controller.policy,
+                current_deadline_ms=current_deadline_ms,
+                flushes=stats.flushes,
+                size_flushes=stats.size_flushes,
+                deadline_flushes=stats.deadline_flushes,
+                close_flushes=stats.close_flushes,
+                flushed_blocks=stats.flushed_blocks,
+                mean_flush_blocks=stats.mean_flush_blocks,
+                wait_p50_ms=stats.flush_wait_percentile(0.50) * 1e3,
+                wait_p99_ms=stats.flush_wait_percentile(0.99) * 1e3,
+                deadline_p50_ms=stats.flush_deadline_percentile(0.50),
+                deadline_p99_ms=stats.flush_deadline_percentile(0.99),
+            )
             dispatcher_cancelled = stats.cancelled_drops
             dispatcher_expired = stats.expired_drops
-        return {
-            "flush_policy": self.controller.policy,
-            "controller": self.controller.state(),
-            # peek, not deadline_s: observers must not overwrite the
-            # controller's last dispatcher decision (what the per-flush
-            # deadline history records).
-            "current_deadline_ms": self.controller.peek_deadline_s(
-                self.queue.pending_blocks
-            )
-            * 1e3,
-            "queue_depth_blocks": self.queue.pending_blocks,
-            "queue_depth_requests": len(self.queue),
-            **counters,
-            "cancelled_drops": self.queue.cancelled + dispatcher_cancelled,
-            "expired_drops": self.queue.expired + dispatcher_expired,
-            "rejected": self.queue.rejected,
-            "num_workers": self.service.num_workers,
-        }
+            autoscale_errors = self.autoscale_errors
+        queue = QueueStats(
+            depth_blocks=self.queue.pending_blocks,
+            depth_requests=len(self.queue),
+            max_blocks=self.queue.max_blocks,
+            backpressure=self.queue.policy,
+            submitted_requests=submitted_requests,
+            submitted_blocks=submitted_blocks,
+            rejected=self.queue.rejected,
+            cancelled_drops=self.queue.cancelled + dispatcher_cancelled,
+            expired_drops=self.queue.expired + dispatcher_expired,
+        )
+        return ServiceSnapshot(
+            queue=queue,
+            flush=flush,
+            model=self.service.snapshot(),
+            controller=self.controller.state(),
+            autoscale_errors=autoscale_errors,
+        )
 
     # ------------------------------------------------------------------ #
     # Dispatcher.

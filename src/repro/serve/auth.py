@@ -1,0 +1,118 @@
+"""Tenant authentication and per-model authorization for the registry.
+
+Multi-tenant serving needs two small decisions made consistently at every
+front door: *who* is calling (an API key names a :class:`Tenant`) and
+*what* they may call (each tenant can be restricted to an allow-list of
+registry model names).  :class:`TenantDirectory` makes both, raising the
+reason-coded errors of :mod:`repro.serve.types` so transports map denials
+to their own status space (HTTP: 401 / 403) without string matching.
+
+The directory is deliberately minimal — static keys, exact-match
+allow-lists — because it sits in the request hot path; anything richer
+(key rotation, scopes, rate limits) belongs in a layer that *produces*
+a directory, not in the lookup itself.  Key comparison uses
+:func:`hmac.compare_digest`, so a lookup's timing does not leak how much
+of a guessed key matched.
+"""
+
+from __future__ import annotations
+
+import hmac
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.serve.types import AuthenticationError, AuthorizationError
+
+__all__ = ["Tenant", "TenantDirectory", "ANONYMOUS"]
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant of a multi-tenant serving process.
+
+    Attributes:
+        name: Stable tenant identifier (what per-tenant request counters
+            and logs are keyed by).
+        api_key: The tenant's secret key; ``None`` only for the built-in
+            :data:`ANONYMOUS` tenant.
+        allowed_models: Registry model names this tenant may call;
+            ``None`` means every model.
+    """
+
+    name: str
+    api_key: Optional[str] = None
+    allowed_models: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a tenant needs a non-empty name")
+
+    def may_use(self, model_name: str) -> bool:
+        return self.allowed_models is None or model_name in self.allowed_models
+
+
+#: The tenant unauthenticated traffic runs as when anonymity is allowed.
+ANONYMOUS = Tenant(name="anonymous")
+
+
+class TenantDirectory:
+    """Immutable API-key -> tenant lookup with per-model allow-lists.
+
+    Args:
+        tenants: The known tenants (each needs an ``api_key``).
+        allow_anonymous: Whether keyless requests are served (as
+            :data:`ANONYMOUS`).  Defaults to ``True`` when no tenants are
+            configured — a directory nobody configured must not lock the
+            single-user dev loop out — and ``False`` otherwise.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[Tenant] = (),
+        allow_anonymous: Optional[bool] = None,
+    ) -> None:
+        self.tenants: Tuple[Tenant, ...] = tuple(tenants)
+        for tenant in self.tenants:
+            if tenant.api_key is None:
+                raise ValueError(
+                    f"tenant {tenant.name!r} has no api_key; keyless access "
+                    f"is configured via allow_anonymous instead"
+                )
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {sorted(names)}")
+        self.allow_anonymous = (
+            not self.tenants if allow_anonymous is None else bool(allow_anonymous)
+        )
+
+    def authenticate(self, api_key: Optional[str]) -> Tenant:
+        """Resolves ``api_key`` to its tenant.
+
+        Raises:
+            AuthenticationError: No key was given and anonymity is off, or
+                the key matches no tenant.
+        """
+        if api_key is None or api_key == "":
+            if self.allow_anonymous:
+                return ANONYMOUS
+            raise AuthenticationError("an API key is required")
+        # Constant-time scan over every tenant: neither the timing of a
+        # miss nor of a hit reveals which prefix of which key matched.
+        found: Optional[Tenant] = None
+        for tenant in self.tenants:
+            if hmac.compare_digest(tenant.api_key, api_key):
+                found = tenant
+        if found is None:
+            raise AuthenticationError("unrecognised API key")
+        return found
+
+    def authorize(self, tenant: Tenant, model_name: str) -> None:
+        """Checks that ``tenant`` may call ``model_name``.
+
+        Raises:
+            AuthorizationError: The model is not on the tenant's allow-list.
+        """
+        if not tenant.may_use(model_name):
+            raise AuthorizationError(
+                f"tenant {tenant.name!r} may not use model {model_name!r}"
+            )

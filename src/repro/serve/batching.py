@@ -15,14 +15,13 @@ from so responses can be reassembled exactly.
 
 from __future__ import annotations
 
-import itertools
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
-
-from repro.isa.basic_block import BasicBlock
+# The envelope types moved to repro.serve.types (shared with the network
+# front end); re-exported here so historical import paths keep working.
+from repro.serve.types import PredictionRequest, PredictionResponse
 
 __all__ = [
     "PredictionRequest",
@@ -33,69 +32,6 @@ __all__ = [
     "coalesce_requests_by_shard",
     "shard_key",
 ]
-
-_REQUEST_COUNTER = itertools.count()
-
-
-def _canonical_text(block: Union[BasicBlock, str]) -> str:
-    """Returns the canonical Intel-syntax text of a block (or passes text through)."""
-    if isinstance(block, BasicBlock):
-        return block.canonical_text()
-    return str(block)
-
-
-@dataclass(frozen=True)
-class PredictionRequest:
-    """One client request: predict the throughput of a list of blocks.
-
-    Attributes:
-        block_texts: Canonical Intel-syntax text of every block, one
-            multi-line string per block.
-        request_id: Stable identifier echoed in the response.
-        tasks: Optional subset of the model's microarchitecture heads to
-            return; ``None`` returns all of them.
-    """
-
-    block_texts: Tuple[str, ...]
-    request_id: str
-    tasks: Optional[Tuple[str, ...]] = None
-
-    @staticmethod
-    def of(
-        blocks: Sequence[Union[BasicBlock, str]],
-        request_id: Optional[str] = None,
-        tasks: Optional[Sequence[str]] = None,
-    ) -> "PredictionRequest":
-        """Builds a request from blocks or block texts."""
-        if request_id is None:
-            request_id = f"request-{next(_REQUEST_COUNTER)}"
-        return PredictionRequest(
-            block_texts=tuple(_canonical_text(block) for block in blocks),
-            request_id=request_id,
-            tasks=tuple(tasks) if tasks is not None else None,
-        )
-
-    @property
-    def num_blocks(self) -> int:
-        return len(self.block_texts)
-
-
-@dataclass
-class PredictionResponse:
-    """Per-request result: one throughput per block per task.
-
-    Attributes:
-        request_id: Identifier of the originating request.
-        predictions: ``{task: [num_blocks] float array}``.
-        num_blocks: Number of blocks predicted.
-        seconds: Wall-clock service time of the request (coalescing makes
-            this shared across requests of the same submission).
-    """
-
-    request_id: str
-    predictions: Dict[str, np.ndarray]
-    num_blocks: int
-    seconds: float = 0.0
 
 
 @dataclass(frozen=True)

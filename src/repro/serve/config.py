@@ -1,0 +1,255 @@
+"""Layered serving configuration.
+
+One service, one config: :class:`ServiceConfig` describes everything about
+a served model variant — the model itself (family, tasks, dtype, seed,
+checkpoint), the synchronous batching/sharding front end, and, nested as
+:attr:`ServiceConfig.async_options`, the queueing/flushing knobs of the
+async front end.  :class:`AsyncOptions` holds only what is *specific* to
+the async layer; the batch-size bound it flushes at is the service's own
+``max_batch_size``, so the historical duplication between the two config
+classes is gone.
+
+:class:`AsyncServiceConfig` remains as a **deprecated but fully working
+alias**: every old field keeps its old name, default and validation, and
+``AsyncPredictionService`` still accepts it.  New code should pass an
+:class:`AsyncOptions` (or nothing, inheriting the service config's
+options) instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.models.config import default_inference_dtype
+from repro.nn.tensor import SUPPORTED_DTYPES
+from repro.serve.flush import FLUSH_POLICIES, default_flush_policy
+from repro.serve.queue import BACKPRESSURE_POLICIES
+
+__all__ = [
+    "AsyncOptions",
+    "AsyncServiceConfig",
+    "ServiceConfig",
+    "SHARDING_MODES",
+]
+
+#: Worker-sharding strategies accepted by :class:`ServiceConfig`.
+SHARDING_MODES = ("hash", "round_robin")
+
+
+@dataclass(frozen=True)
+class AsyncOptions:
+    """Queueing and flushing knobs of the async front end.
+
+    Everything here is specific to the async layer; the size-flush bound is
+    the owning :class:`ServiceConfig`'s ``max_batch_size`` (one batch-size
+    knob for the whole stack).
+
+    Attributes:
+        max_latency_ms: Flush the oldest pending request after at most this
+            long, however few blocks have accumulated (the latency bound of
+            the latency/throughput trade-off, and the adaptive policy's
+            deadline ceiling).
+        flush_policy: ``"static"`` (always ``max_latency_ms``) or
+            ``"adaptive"`` (deadline scales with observed load between
+            ``min_latency_ms`` and ``max_latency_ms``).  The default
+            honours the ``REPRO_FLUSH_POLICY`` environment variable.
+        min_latency_ms: The adaptive policy's deadline floor (ignored by
+            ``static``).
+        controller_window_ms: Sliding arrival window of the adaptive
+            controller's load estimate.
+        autoscale_poll_ms: How often the elasticity monitor feeds queue
+            depth into the service's autoscaler (only runs when the
+            service has elastic worker bounds).
+        max_queue_blocks: Admission bound of the queue, in blocks.
+        backpressure: ``"block"`` (producers wait for space) or
+            ``"reject"`` (producers get
+            :class:`~repro.serve.types.QueueFullError`).
+    """
+
+    max_latency_ms: float = 10.0
+    flush_policy: str = field(default_factory=default_flush_policy)
+    min_latency_ms: float = 1.0
+    controller_window_ms: float = 250.0
+    autoscale_poll_ms: float = 50.0
+    max_queue_blocks: int = 4096
+    backpressure: str = "block"
+
+    def __post_init__(self) -> None:
+        if self.max_latency_ms < 0:
+            raise ValueError("max_latency_ms must be >= 0")
+        if self.flush_policy not in FLUSH_POLICIES:
+            raise ValueError(
+                f"unknown flush policy {self.flush_policy!r}; "
+                f"expected one of {FLUSH_POLICIES}"
+            )
+        if self.min_latency_ms < 0:
+            raise ValueError("min_latency_ms must be >= 0")
+        # The floor only exists for the adaptive policy; a static config
+        # with a sub-floor (or zero) deadline stays valid, as before.
+        if (
+            self.flush_policy == "adaptive"
+            and self.min_latency_ms > self.max_latency_ms
+        ):
+            raise ValueError("need min_latency_ms <= max_latency_ms")
+        if self.controller_window_ms <= 0:
+            raise ValueError("controller_window_ms must be positive")
+        if self.autoscale_poll_ms <= 0:
+            raise ValueError("autoscale_poll_ms must be positive")
+        if self.max_queue_blocks < 1:
+            raise ValueError("max_queue_blocks must be positive")
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown back-pressure policy {self.backpressure!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of a served model variant (sync and async layers).
+
+    Attributes:
+        model_name: ``"granite"``, ``"ithemal"`` or ``"ithemal+"``.
+        tasks: Microarchitecture heads of the served model; ``None`` uses
+            the model family's default heads.
+        small_model: Serve the reduced CPU-friendly configuration.
+        seed: Weight initialisation seed (all worker replicas share it, so
+            they are numerically identical).
+        checkpoint_path: Optional ``.npz`` checkpoint restored into every
+            replica at warm-start (the trained weights to serve).
+        max_batch_size: Upper bound on blocks per micro-batch — the one
+            batch-size knob of the whole stack (the async front end's size
+            flush uses it too).
+        num_workers: Worker processes; 0 serves in-process.  In sharded
+            mode this is the *initial* pool size; see ``min_workers`` /
+            ``max_workers`` for elasticity.
+        min_workers: Lower bound for elastic scaling (``None`` =
+            ``num_workers``, i.e. never scale below the initial size).
+        max_workers: Upper bound for elastic scaling (``None`` =
+            ``num_workers``, i.e. a fixed pool).  Autoscaling is active
+            exactly when the ``[min_workers, max_workers]`` interval allows
+            a size other than ``num_workers``; manual
+            ``PredictionService.scale_workers`` calls work regardless.
+        scale_cooldown_s: Minimum seconds between autoscaler resizes.
+        sharding: ``"hash"`` routes every block through a consistent hash
+            ring over the live worker ids (stable cache affinity, and only
+            ~1/N of the key space moves when the pool resizes);
+            ``"round_robin"`` deals micro-batches out cyclically.
+        inference_dtype: Compute dtype of every replica's no-grad inference
+            fast path (``"float64"`` default, ``"float32"`` for
+            mixed-precision serving).  Propagated to all worker processes —
+            a whole hash-sharded pool runs float32 behind the same queue —
+            and into the replicas' prediction-cache keys, so float32 and
+            float64 services never alias cached values.  The default
+            honours the ``INFERENCE_DTYPE`` environment variable.
+        async_options: Queueing/flushing knobs applied when an
+            ``AsyncPredictionService`` (or the HTTP front end / model
+            registry) is put in front of this service.
+    """
+
+    model_name: str = "granite"
+    tasks: Optional[Tuple[str, ...]] = None
+    small_model: bool = True
+    seed: int = 0
+    checkpoint_path: Optional[str] = None
+    max_batch_size: int = 64
+    num_workers: int = 0
+    min_workers: Optional[int] = None
+    max_workers: Optional[int] = None
+    scale_cooldown_s: float = 2.0
+    sharding: str = "hash"
+    inference_dtype: str = field(default_factory=default_inference_dtype)
+    async_options: AsyncOptions = field(default_factory=AsyncOptions)
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if self.min_workers is not None or self.max_workers is not None:
+            if self.num_workers < 1:
+                raise ValueError(
+                    "elastic worker bounds need a sharded service "
+                    "(num_workers >= 1)"
+                )
+            low = self.num_workers if self.min_workers is None else self.min_workers
+            high = self.num_workers if self.max_workers is None else self.max_workers
+            if low < 1:
+                raise ValueError("min_workers must be >= 1")
+            if not low <= self.num_workers <= high:
+                raise ValueError(
+                    f"need min_workers <= num_workers <= max_workers, got "
+                    f"{low} / {self.num_workers} / {high}"
+                )
+        if self.scale_cooldown_s < 0:
+            raise ValueError("scale_cooldown_s must be >= 0")
+        if self.sharding not in SHARDING_MODES:
+            raise ValueError(
+                f"unknown sharding mode {self.sharding!r}; "
+                f"expected one of {SHARDING_MODES}"
+            )
+        if self.inference_dtype not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"inference_dtype must be one of {SUPPORTED_DTYPES}, "
+                f"got {self.inference_dtype!r}"
+            )
+
+
+@dataclass(frozen=True)
+class AsyncServiceConfig:
+    """Deprecated flat spelling of ``max_batch_size`` + :class:`AsyncOptions`.
+
+    .. deprecated::
+        Use ``ServiceConfig(max_batch_size=..., async_options=
+        AsyncOptions(...))`` — or pass an :class:`AsyncOptions` directly to
+        ``AsyncPredictionService`` — instead.  Every old field keeps its
+        old name, default and validation, so existing constructor calls
+        build an equivalent service; this class is kept only so they keep
+        working.
+    """
+
+    max_batch_size: int = 64
+    max_latency_ms: float = 10.0
+    flush_policy: str = field(default_factory=default_flush_policy)
+    min_latency_ms: float = 1.0
+    controller_window_ms: float = 250.0
+    autoscale_poll_ms: float = 50.0
+    max_queue_blocks: int = 4096
+    backpressure: str = "block"
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        # Everything else is the AsyncOptions contract; build one so the
+        # validation lives in exactly one place.
+        _ = self.options
+
+    @property
+    def options(self) -> AsyncOptions:
+        """The :class:`AsyncOptions` equivalent of this config."""
+        return AsyncOptions(
+            max_latency_ms=self.max_latency_ms,
+            flush_policy=self.flush_policy,
+            min_latency_ms=self.min_latency_ms,
+            controller_window_ms=self.controller_window_ms,
+            autoscale_poll_ms=self.autoscale_poll_ms,
+            max_queue_blocks=self.max_queue_blocks,
+            backpressure=self.backpressure,
+        )
+
+    @classmethod
+    def from_options(
+        cls, options: AsyncOptions, max_batch_size: int = 64
+    ) -> "AsyncServiceConfig":
+        """Builds the flat spelling from ``options`` + a batch-size bound."""
+        return cls(
+            max_batch_size=max_batch_size,
+            max_latency_ms=options.max_latency_ms,
+            flush_policy=options.flush_policy,
+            min_latency_ms=options.min_latency_ms,
+            controller_window_ms=options.controller_window_ms,
+            autoscale_poll_ms=options.autoscale_poll_ms,
+            max_queue_blocks=options.max_queue_blocks,
+            backpressure=options.backpressure,
+        )

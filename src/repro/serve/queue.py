@@ -52,7 +52,12 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Callable, List, Optional, Tuple, Union
 
-from repro.serve.batching import PredictionRequest
+from repro.serve.types import (
+    PredictionRequest,
+    QueueFullError,
+    RequestExpiredError,
+    ServiceClosedError,
+)
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
@@ -82,14 +87,6 @@ class Priority(IntEnum):
     NORMAL = 10
     #: Throughput-oriented batch evaluation; yields to everything else.
     BULK = 20
-
-
-class QueueFullError(RuntimeError):
-    """The queue is at capacity and the back-pressure policy rejected."""
-
-
-class RequestExpiredError(TimeoutError):
-    """A request's per-request deadline passed before it was dispatched."""
 
 
 @dataclass
@@ -191,14 +188,15 @@ class RequestQueue:
             QueueFullError: Capacity exceeded and the policy is ``reject``,
                 the ``block`` wait timed out, or the request alone exceeds
                 ``max_blocks`` (it could never be admitted).
-            RuntimeError: The queue is closed.
+            ServiceClosedError: The queue is closed (a ``RuntimeError``
+                subclass, so historical handlers still catch it).
         """
         if deadline_s is not None and deadline_s < 0:
             raise ValueError("deadline_s must be >= 0")
         blocks = request.num_blocks
         with self._lock:
             if self._closed:
-                raise RuntimeError("queue is closed")
+                raise ServiceClosedError("queue is closed")
             if blocks > self.max_blocks:
                 self.rejected += 1
                 raise QueueFullError(
@@ -225,7 +223,9 @@ class RequestQueue:
                         )
                     self._not_full.wait(remaining)
                     if self._closed:
-                        raise RuntimeError("queue closed while waiting for space")
+                        raise ServiceClosedError(
+                            "queue closed while waiting for space"
+                        )
             sequence = next(self._sequence)
             enqueued_at = time.monotonic()
             entry = QueuedRequest(

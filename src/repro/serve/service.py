@@ -29,7 +29,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -37,13 +37,16 @@ import numpy as np
 from repro.data.datasets import TARGET_MICROARCHITECTURES
 from repro.isa.basic_block import BasicBlock
 from repro.models.base import ThroughputModel
-from repro.models.config import default_inference_dtype
-from repro.nn.tensor import SUPPORTED_DTYPES
 from repro.serve.batching import (
-    PredictionRequest,
-    PredictionResponse,
     coalesce_requests,
     coalesce_requests_by_ring,
+)
+from repro.serve.config import SHARDING_MODES, ServiceConfig
+from repro.serve.stats import CacheStats, ModelStats, WorkerStats
+from repro.serve.types import (
+    PredictionRequest,
+    PredictionResponse,
+    ServiceClosedError,
 )
 from repro.serve.workers import (
     PARSE_CACHE_SIZE,
@@ -54,95 +57,9 @@ from repro.serve.workers import (
 )
 from repro.utils.cache import LRUCache
 
+# ServiceConfig moved to repro.serve.config; re-exported here so the
+# historical ``from repro.serve.service import ServiceConfig`` keeps working.
 __all__ = ["ServiceConfig", "ServiceStats", "PredictionService", "SHARDING_MODES"]
-
-#: Worker-sharding strategies accepted by :class:`ServiceConfig`.
-SHARDING_MODES = ("hash", "round_robin")
-
-
-@dataclass(frozen=True)
-class ServiceConfig:
-    """Configuration of a :class:`PredictionService`.
-
-    Attributes:
-        model_name: ``"granite"``, ``"ithemal"`` or ``"ithemal+"``.
-        tasks: Microarchitecture heads of the served model; ``None`` uses
-            the model family's default heads.
-        small_model: Serve the reduced CPU-friendly configuration.
-        seed: Weight initialisation seed (all worker replicas share it, so
-            they are numerically identical).
-        checkpoint_path: Optional ``.npz`` checkpoint restored into every
-            replica at warm-start (the trained weights to serve).
-        max_batch_size: Upper bound on blocks per micro-batch.
-        num_workers: Worker processes; 0 serves in-process.  In sharded
-            mode this is the *initial* pool size; see ``min_workers`` /
-            ``max_workers`` for elasticity.
-        min_workers: Lower bound for elastic scaling (``None`` =
-            ``num_workers``, i.e. never scale below the initial size).
-        max_workers: Upper bound for elastic scaling (``None`` =
-            ``num_workers``, i.e. a fixed pool).  Autoscaling is active
-            exactly when the ``[min_workers, max_workers]`` interval allows
-            a size other than ``num_workers``; manual
-            :meth:`PredictionService.scale_workers` calls work regardless.
-        scale_cooldown_s: Minimum seconds between autoscaler resizes.
-        sharding: ``"hash"`` routes every block through a consistent hash
-            ring over the live worker ids (stable cache affinity, and only
-            ~1/N of the key space moves when the pool resizes);
-            ``"round_robin"`` deals micro-batches out cyclically.
-        inference_dtype: Compute dtype of every replica's no-grad inference
-            fast path (``"float64"`` default, ``"float32"`` for
-            mixed-precision serving).  Propagated to all worker processes —
-            a whole hash-sharded pool runs float32 behind the same queue —
-            and into the replicas' prediction-cache keys, so float32 and
-            float64 services never alias cached values.  The default
-            honours the ``INFERENCE_DTYPE`` environment variable.
-    """
-
-    model_name: str = "granite"
-    tasks: Optional[Tuple[str, ...]] = None
-    small_model: bool = True
-    seed: int = 0
-    checkpoint_path: Optional[str] = None
-    max_batch_size: int = 64
-    num_workers: int = 0
-    min_workers: Optional[int] = None
-    max_workers: Optional[int] = None
-    scale_cooldown_s: float = 2.0
-    sharding: str = "hash"
-    inference_dtype: str = field(default_factory=default_inference_dtype)
-
-    def __post_init__(self) -> None:
-        if self.max_batch_size < 1:
-            raise ValueError("max_batch_size must be positive")
-        if self.num_workers < 0:
-            raise ValueError("num_workers must be >= 0")
-        if self.min_workers is not None or self.max_workers is not None:
-            if self.num_workers < 1:
-                raise ValueError(
-                    "elastic worker bounds need a sharded service "
-                    "(num_workers >= 1)"
-                )
-            low = self.num_workers if self.min_workers is None else self.min_workers
-            high = self.num_workers if self.max_workers is None else self.max_workers
-            if low < 1:
-                raise ValueError("min_workers must be >= 1")
-            if not low <= self.num_workers <= high:
-                raise ValueError(
-                    f"need min_workers <= num_workers <= max_workers, got "
-                    f"{low} / {self.num_workers} / {high}"
-                )
-        if self.scale_cooldown_s < 0:
-            raise ValueError("scale_cooldown_s must be >= 0")
-        if self.sharding not in SHARDING_MODES:
-            raise ValueError(
-                f"unknown sharding mode {self.sharding!r}; "
-                f"expected one of {SHARDING_MODES}"
-            )
-        if self.inference_dtype not in SUPPORTED_DTYPES:
-            raise ValueError(
-                f"inference_dtype must be one of {SUPPORTED_DTYPES}, "
-                f"got {self.inference_dtype!r}"
-            )
 
 
 @dataclass
@@ -240,7 +157,9 @@ class PredictionService:
         if self._closed:
             # Without this, any use after close() would silently respawn a
             # whole new worker pool that nothing ever shuts down again.
-            raise RuntimeError("service is closed; worker pools do not restart")
+            raise ServiceClosedError(
+                "service is closed; worker pools do not restart"
+            )
         if self._pool is None:
             self._validate_worker_config()
             self._pool = ShardedWorkerPool(self.config)
@@ -321,11 +240,40 @@ class PredictionService:
             self.scale_workers(target)
         return target
 
-    def worker_stats(self) -> List[Dict[str, object]]:
-        """Per-worker cache/ring stats (empty for in-process services)."""
+    def worker_stats(self) -> List[WorkerStats]:
+        """Typed per-worker cache/ring stats (empty for in-process services)."""
         if self.config.num_workers < 1 or self._pool is None:
             return []
         return self._pool.worker_stats()
+
+    def snapshot(self) -> ModelStats:
+        """Typed aggregate view of this service (see :mod:`repro.serve.stats`).
+
+        Includes the in-process replica's cache counters when one has been
+        built; in worker mode each replica reports its own through
+        :meth:`worker_stats`.
+        """
+        cache: Optional[CacheStats] = None
+        if self._model is not None and self.config.num_workers == 0:
+            raw = dict(self._model.cache_stats())
+            raw["parse_hits"] = self._parse_cache.hits
+            raw["parse_misses"] = self._parse_cache.misses
+            cache = CacheStats.from_model_stats(raw)
+        with self._submit_lock:
+            stats = self.stats
+            return ModelStats(
+                model_name=self.config.model_name,
+                inference_dtype=self.inference_dtype,
+                requests=stats.requests,
+                blocks=stats.blocks,
+                batches=stats.batches,
+                seconds=stats.seconds,
+                blocks_per_second=stats.blocks_per_second,
+                respawns=stats.respawns,
+                resizes=stats.resizes,
+                num_workers=self.num_workers,
+                cache=cache,
+            )
 
     def check_health(self) -> int:
         """Respawns any crashed worker; returns how many were respawned.

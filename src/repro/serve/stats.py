@@ -1,0 +1,258 @@
+"""The typed stats contract of the serving stack.
+
+Every introspection surface of the stack returns instances of the
+dataclasses below instead of ad-hoc dicts:
+
+* ``PredictionService.snapshot()`` -> :class:`ModelStats`
+* ``ShardedWorkerPool.worker_stats()`` / ``PredictionService.worker_stats()``
+  -> ``List[``:class:`WorkerStats```]``
+* ``AsyncPredictionService.snapshot()`` -> :class:`ServiceSnapshot`
+  (sections: :class:`QueueStats`, :class:`FlushStats`, :class:`ModelStats`)
+* ``GET /v1/models/{model}/stats`` serializes exactly these dataclasses —
+  the JSON schema *is* the dataclass schema (:meth:`StatsStruct.to_dict`),
+  so the wire format can never drift from the in-process one.
+
+Backwards compatibility: the historical ``snapshot()`` /
+``worker_stats()`` consumers indexed flat dicts
+(``snapshot["flush_wait_p99_ms"]``, ``stats["prediction_hit_rate"]``).
+Every stats dataclass therefore supports read-only mapping access:
+``struct[key]`` resolves the key against the declared flat aliases, the
+dataclass's own fields, and finally any nested section that knows the key.
+New code should use attribute access (``snapshot.flush.wait_p99_ms``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "StatsStruct",
+    "CacheStats",
+    "WorkerStats",
+    "QueueStats",
+    "FlushStats",
+    "ModelStats",
+    "ServiceSnapshot",
+]
+
+
+def _plain(value: Any) -> Any:
+    """Plain-data view of ``value`` (StatsStructs and containers recursed)."""
+    if isinstance(value, StatsStruct):
+        return value.to_dict()
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _plain(item) for key, item in value.items()}
+    return value
+
+
+class StatsStruct:
+    """Mixin giving a stats dataclass dict-style reads and serialization.
+
+    ``to_dict()`` recursively converts the dataclass (nested sections
+    included) into plain JSON-ready dicts — the schema-driven
+    serialization used by the HTTP front end.  ``struct[key]`` provides
+    the historical flat-dict spelling: a key resolves, in order, against
+    :attr:`_FLAT_ALIASES` (dotted paths into nested sections), the
+    dataclass's own fields, and the nested sections themselves.
+    """
+
+    #: ``flat key -> dotted attribute path`` mapping for historical names
+    #: whose value lives in a nested section (or under a different name).
+    _FLAT_ALIASES: ClassVar[Mapping[str, str]] = {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Recursive plain-dict view, field order preserved."""
+        out: Dict[str, Any] = {}
+        for spec in dataclasses.fields(self):
+            out[spec.name] = _plain(getattr(self, spec.name))
+        return out
+
+    def __getitem__(self, key: str) -> Any:
+        path = self._FLAT_ALIASES.get(key)
+        if path is not None:
+            value: Any = self
+            for part in path.split("."):
+                value = getattr(value, part)
+            return value
+        field_names = {spec.name for spec in dataclasses.fields(self)}
+        if key in field_names:
+            return getattr(self, key)
+        for name in field_names:
+            section = getattr(self, name)
+            if isinstance(section, StatsStruct):
+                try:
+                    return section[key]
+                except KeyError:
+                    continue
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key: object) -> bool:
+        try:
+            self[key]  # type: ignore[index]
+        except (KeyError, TypeError):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class CacheStats(StatsStruct):
+    """Cache counters of one model replica (encode / prediction / parse)."""
+
+    encode_hits: int = 0
+    encode_misses: int = 0
+    encode_hit_rate: float = 0.0
+    prediction_hits: int = 0
+    prediction_misses: int = 0
+    prediction_hit_rate: float = 0.0
+    prediction_entries: int = 0
+    parse_hits: int = 0
+    parse_misses: int = 0
+
+    @classmethod
+    def from_model_stats(cls, stats: Mapping[str, Any]) -> "CacheStats":
+        """Parses the flat dict of ``ThroughputModel.cache_stats()``.
+
+        Unknown keys are ignored; missing keys keep their zero defaults —
+        worker replicas may add counters before the parent upgrades.
+        """
+        field_names = {spec.name for spec in dataclasses.fields(cls)}
+        return cls(**{key: stats[key] for key in stats.keys() & field_names})
+
+
+@dataclass(frozen=True)
+class WorkerStats(StatsStruct):
+    """One worker replica's identity, ring share and cache counters."""
+
+    worker_id: int
+    spawn_count: int
+    ring_share: float
+    inference_dtype: str
+    job_errors: int
+    cache: CacheStats
+
+
+@dataclass(frozen=True)
+class QueueStats(StatsStruct):
+    """Admission-side state of the async front end's request queue."""
+
+    depth_blocks: int
+    depth_requests: int
+    max_blocks: int
+    backpressure: str
+    submitted_requests: int
+    submitted_blocks: int
+    rejected: int
+    cancelled_drops: int
+    expired_drops: int
+
+
+@dataclass(frozen=True)
+class FlushStats(StatsStruct):
+    """Dispatcher-side flush counters and realized latency percentiles."""
+
+    policy: str
+    current_deadline_ms: float
+    flushes: int
+    size_flushes: int
+    deadline_flushes: int
+    close_flushes: int
+    flushed_blocks: int
+    mean_flush_blocks: float
+    wait_p50_ms: float
+    wait_p99_ms: float
+    deadline_p50_ms: float
+    deadline_p99_ms: float
+
+
+@dataclass(frozen=True)
+class ModelStats(StatsStruct):
+    """Aggregate serving counters of one (sync) prediction service."""
+
+    model_name: str
+    inference_dtype: str
+    requests: int
+    blocks: int
+    batches: int
+    seconds: float
+    blocks_per_second: float
+    respawns: int
+    resizes: int
+    num_workers: int
+    #: Cache counters of the in-process replica; ``None`` in worker mode
+    #: (each replica reports its own through ``worker_stats()``) and until
+    #: the model is first built.
+    cache: Optional[CacheStats] = None
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot(StatsStruct):
+    """Point-in-time view of one async serving stack.
+
+    Sections: :attr:`queue` (admission), :attr:`flush` (dispatcher),
+    :attr:`model` (the underlying sync service), plus the flush
+    controller's own :attr:`controller` state dict and the autoscale
+    monitor's error counter.  The historical flat keys
+    (``snapshot["flush_wait_p99_ms"]`` etc.) resolve through
+    :attr:`_FLAT_ALIASES`.
+    """
+
+    queue: QueueStats
+    flush: FlushStats
+    model: ModelStats
+    controller: Dict[str, Any]
+    autoscale_errors: int
+
+    _FLAT_ALIASES: ClassVar[Mapping[str, str]] = {
+        "flush_policy": "flush.policy",
+        "current_deadline_ms": "flush.current_deadline_ms",
+        "queue_depth_blocks": "queue.depth_blocks",
+        "queue_depth_requests": "queue.depth_requests",
+        "requests": "queue.submitted_requests",
+        "blocks": "queue.submitted_blocks",
+        "flushes": "flush.flushes",
+        "size_flushes": "flush.size_flushes",
+        "deadline_flushes": "flush.deadline_flushes",
+        "close_flushes": "flush.close_flushes",
+        "flushed_blocks": "flush.flushed_blocks",
+        "mean_flush_blocks": "flush.mean_flush_blocks",
+        "flush_wait_p50_ms": "flush.wait_p50_ms",
+        "flush_wait_p99_ms": "flush.wait_p99_ms",
+        "flush_deadline_p50_ms": "flush.deadline_p50_ms",
+        "flush_deadline_p99_ms": "flush.deadline_p99_ms",
+        "cancelled_drops": "queue.cancelled_drops",
+        "expired_drops": "queue.expired_drops",
+        "rejected": "queue.rejected",
+        "num_workers": "model.num_workers",
+    }
+
+
+def worker_stats_from_raw(
+    raw: Mapping[str, Any],
+    worker_id: int,
+    spawn_count: int,
+    ring_share: float,
+) -> WorkerStats:
+    """Builds a :class:`WorkerStats` from one worker's raw stats reply."""
+    return WorkerStats(
+        worker_id=worker_id,
+        spawn_count=spawn_count,
+        ring_share=ring_share,
+        inference_dtype=str(raw.get("inference_dtype", "")),
+        job_errors=int(raw.get("job_errors", 0)),
+        cache=CacheStats.from_model_stats(raw),
+    )
+
+
+def worker_stats_list(entries: List[WorkerStats]) -> List[Dict[str, Any]]:
+    """Plain-dict view of a ``worker_stats()`` result (JSON-ready)."""
+    return [entry.to_dict() for entry in entries]

@@ -51,8 +51,9 @@ import numpy as np
 from repro.isa.basic_block import BasicBlock
 from repro.models import create_model
 from repro.models.base import ThroughputModel
-from repro.nn.serialization import load_checkpoint
 from repro.serve.ring import HashRing
+from repro.serve.stats import WorkerStats, worker_stats_from_raw
+from repro.serve.types import ServiceClosedError
 from repro.utils.cache import LRUCache
 
 __all__ = [
@@ -111,12 +112,13 @@ def build_model(config) -> ThroughputModel:
     dtype = getattr(config, "inference_dtype", None)
     if dtype is not None:
         kwargs["inference_dtype"] = dtype
-    model = create_model(
-        config.model_name, small=config.small_model, seed=config.seed, **kwargs
+    return create_model(
+        config.model_name,
+        small=config.small_model,
+        seed=config.seed,
+        checkpoint_path=config.checkpoint_path,
+        **kwargs,
     )
-    if config.checkpoint_path is not None:
-        load_checkpoint(model, config.checkpoint_path)
-    return model
 
 
 def predict_texts(
@@ -355,12 +357,14 @@ class ShardedWorkerPool:
         results = self._run_jobs([(index, "ping", None) for index in range(self.num_workers)])
         return [int(pid) for pid in results]
 
-    def worker_stats(self) -> List[Dict[str, object]]:
-        """Per-worker cache counters (encode/prediction/parse hits, misses)
-        plus the replica's ``inference_dtype``, its ``job_errors`` count
-        (jobs that raised since the replica spawned), its stable
-        ``worker_id``, the fraction of the hash ring it owns
-        (``ring_share``) and its ``spawn_count`` (1 = never respawned).
+    def worker_stats(self) -> List[WorkerStats]:
+        """Typed per-worker stats (:class:`~repro.serve.stats.WorkerStats`):
+        the replica's cache counters (encode/prediction/parse hits, misses),
+        its ``inference_dtype``, its ``job_errors`` count (jobs that raised
+        since the replica spawned), its stable ``worker_id``, the fraction
+        of the hash ring it owns (``ring_share``) and its ``spawn_count``
+        (1 = never respawned).  Entries support the historical flat
+        dict-style reads (``entry["prediction_hit_rate"]``).
 
         Everything — the stats round-trips, the ring shares and the
         worker pairing — happens under the jobs lock, so a concurrent
@@ -373,14 +377,15 @@ class ShardedWorkerPool:
                 [(index, "stats", None) for index in range(len(self._workers))]
             )
             shares = self.ring.shares()
-            stats: List[Dict[str, object]] = []
-            for worker, result in zip(self._workers, results):
-                entry = dict(result)
-                entry["worker_id"] = worker.worker_id
-                entry["ring_share"] = shares.get(worker.worker_id, 0.0)
-                entry["spawn_count"] = worker.spawn_count
-                stats.append(entry)
-            return stats
+            return [
+                worker_stats_from_raw(
+                    result,
+                    worker_id=worker.worker_id,
+                    spawn_count=worker.spawn_count,
+                    ring_share=shares.get(worker.worker_id, 0.0),
+                )
+                for worker, result in zip(self._workers, results)
+            ]
 
     # ------------------------------------------------------------------ #
     # Work.
@@ -511,7 +516,7 @@ class ShardedWorkerPool:
     # ------------------------------------------------------------------ #
     def _check_open_locked(self) -> None:
         if self._closed:
-            raise RuntimeError("worker pool is closed")
+            raise ServiceClosedError("worker pool is closed")
 
     def close(self) -> None:
         """Stops every worker (idempotent).

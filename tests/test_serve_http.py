@@ -1,0 +1,510 @@
+"""End-to-end tests of the HTTP front end (repro.serve.http).
+
+One server, several named model variants (different uarch heads and
+dtypes), per-tenant API keys — every test talks to a real socket.
+"""
+
+import dataclasses
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    AsyncOptions,
+    FlushStats,
+    HttpServerConfig,
+    ModelRegistry,
+    ModelStats,
+    ModelVariant,
+    PredictionHttpServer,
+    QueueStats,
+    ReasonCode,
+    STATUS_BY_REASON,
+    ServiceConfig,
+    ServiceSnapshot,
+    Tenant,
+    TenantDirectory,
+)
+
+ACME_KEY = "test-key-acme"
+BLUE_KEY = "test-key-blue"
+
+
+def http(
+    port, method, path, payload=None, api_key=None, bearer=False, timeout=120.0
+):
+    """One raw HTTP/1.1 exchange; returns (status, parsed-or-raw body)."""
+    body = b"" if payload is None else json.dumps(payload).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(body)}\r\n"
+    )
+    if api_key is not None:
+        head += (
+            f"Authorization: Bearer {api_key}\r\n"
+            if bearer
+            else f"X-API-Key: {api_key}\r\n"
+        )
+    head += "Connection: close\r\n\r\n"
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall(head.encode() + body)
+        raw = b""
+        while True:
+            part = sock.recv(65536)
+            if not part:
+                break
+            raw += part
+    header_blob, _, rest = raw.partition(b"\r\n\r\n")
+    status = int(header_blob.split(b" ")[1])
+    if b"transfer-encoding: chunked" in header_blob.lower():
+        chunks = []
+        while rest:
+            size_line, _, rest = rest.partition(b"\r\n")
+            size = int(size_line, 16)
+            if size == 0:
+                break
+            chunks.append(rest[:size])
+            rest = rest[size + 2 :]
+        lines = b"".join(chunks).decode().strip().split("\n")
+        return status, [json.loads(line) for line in lines]
+    return status, json.loads(rest) if rest else None
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One HTTP server over three variants and two tenants."""
+    registry = ModelRegistry(
+        (
+            ModelVariant(
+                "granite-haswell",
+                ServiceConfig(tasks=("haswell",), max_batch_size=4),
+                description="haswell head",
+            ),
+            ModelVariant(
+                "granite-skylake-f32",
+                ServiceConfig(
+                    tasks=("skylake",),
+                    max_batch_size=8,
+                    inference_dtype="float32",
+                ),
+                description="mixed-precision skylake head",
+            ),
+            # Saturation target: a 2-block queue behind a one-minute static
+            # flush deadline, rejecting instead of blocking.
+            ModelVariant(
+                "tiny-queue",
+                ServiceConfig(
+                    tasks=("haswell",),
+                    max_batch_size=4,
+                    async_options=AsyncOptions(
+                        max_latency_ms=60_000.0,
+                        flush_policy="static",
+                        max_queue_blocks=2,
+                        backpressure="reject",
+                    ),
+                ),
+            ),
+        )
+    )
+    auth = TenantDirectory(
+        (
+            Tenant(
+                "acme",
+                api_key=ACME_KEY,
+                allowed_models=("granite-haswell", "tiny-queue"),
+            ),
+            Tenant("blue", api_key=BLUE_KEY),
+        )
+    )
+    with PredictionHttpServer(
+        registry, HttpServerConfig(), auth=auth, own_registry=True
+    ) as running:
+        yield running
+
+
+class TestRoutingAndAuth:
+    def test_healthz_needs_no_key(self, server):
+        status, body = http(server.port, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["uptime_s"] >= 0
+
+    def test_missing_and_unknown_keys_are_401(self, server):
+        for api_key in (None, "wrong-key"):
+            status, body = http(server.port, "GET", "/v1/models", api_key=api_key)
+            assert status == 401
+            assert body["error"]["code"] == "unauthenticated"
+
+    def test_listing_is_filtered_per_tenant(self, server):
+        status, body = http(server.port, "GET", "/v1/models", api_key=ACME_KEY)
+        assert status == 200
+        assert [model["name"] for model in body["models"]] == [
+            "granite-haswell",
+            "tiny-queue",
+        ]
+        status, body = http(
+            server.port, "GET", "/v1/models", api_key=BLUE_KEY, bearer=True
+        )
+        assert status == 200
+        assert len(body["models"]) == 3
+
+    def test_model_off_allow_list_is_403(self, server):
+        status, body = http(
+            server.port,
+            "POST",
+            "/v1/models/granite-skylake-f32/predict",
+            payload={"block": "mov rax, 1"},
+            api_key=ACME_KEY,
+        )
+        assert status == 403
+        assert body["error"]["code"] == "forbidden"
+
+    def test_unknown_model_is_404(self, server):
+        status, body = http(
+            server.port,
+            "POST",
+            "/v1/models/ghost/predict",
+            payload={"block": "mov rax, 1"},
+            api_key=BLUE_KEY,
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown_model"
+
+    def test_unknown_route_is_400(self, server):
+        status, body = http(server.port, "GET", "/nope", api_key=BLUE_KEY)
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"blocks": []},
+            {"blocks": ["  "]},
+            {"blocks": [42]},
+            {"block": "mov rax, 1", "blocks": ["mov rax, 1"]},
+            {"blocks": ["mov rax, 1"], "priority": "urgent"},
+            {"blocks": ["mov rax, 1"], "deadline_ms": -5},
+            {"blocks": ["mov rax, 1"], "stream": "yes"},
+        ],
+    )
+    def test_malformed_predict_bodies_are_400(self, server, payload):
+        status, body = http(
+            server.port,
+            "POST",
+            "/v1/models/granite-haswell/predict",
+            payload=payload,
+            api_key=ACME_KEY,
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+
+    def test_status_map_covers_every_reason_code(self):
+        assert set(STATUS_BY_REASON) == set(ReasonCode)
+
+
+class TestPredict:
+    def test_unary_predict(self, server):
+        status, body = http(
+            server.port,
+            "POST",
+            "/v1/models/granite-haswell/predict",
+            payload={
+                "blocks": ["add rax, rbx\nsub rcx, 4", "mov rdx, 8"],
+                "priority": "interactive",
+            },
+            api_key=ACME_KEY,
+        )
+        assert status == 200
+        assert body["model"] == "granite-haswell"
+        assert body["num_blocks"] == 2
+        assert len(body["predictions"]["haswell"]) == 2
+        assert all(value > 0 for value in body["predictions"]["haswell"])
+
+    def test_two_variants_through_one_server(self, server):
+        """Same socket, different uarch head AND different dtype."""
+        blocks = ["add rax, rbx", "mov rcx, 4\nadd rcx, rdx"]
+        results = {}
+        for model in ("granite-haswell", "granite-skylake-f32"):
+            status, body = http(
+                server.port,
+                "POST",
+                f"/v1/models/{model}/predict",
+                payload={"blocks": blocks},
+                api_key=BLUE_KEY,
+            )
+            assert status == 200
+            results[model] = body["predictions"]
+        assert set(results["granite-haswell"]) == {"haswell"}
+        assert set(results["granite-skylake-f32"]) == {"skylake"}
+        for model, dtype in (
+            ("granite-haswell", "float64"),
+            ("granite-skylake-f32", "float32"),
+        ):
+            status, report = http(
+                server.port,
+                "GET",
+                f"/v1/models/{model}/stats",
+                api_key=BLUE_KEY,
+            )
+            assert status == 200
+            assert report["snapshot"]["model"]["inference_dtype"] == dtype
+
+    def test_concurrent_multi_model_traffic(self, server):
+        """Parallel clients on both variants: isolated caches and answers."""
+        outcomes = {}
+
+        def client(tag, model, block):
+            outcomes[tag] = http(
+                server.port,
+                "POST",
+                f"/v1/models/{model}/predict",
+                payload={"blocks": [block] * 3},
+                api_key=BLUE_KEY,
+            )
+
+        threads = [
+            threading.Thread(
+                target=client,
+                args=(
+                    index,
+                    ("granite-haswell", "granite-skylake-f32")[index % 2],
+                    f"add rax, {index}\nmov rbx, {index}",
+                ),
+            )
+            for index in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(outcomes) == 6
+        for index, (status, body) in outcomes.items():
+            assert status == 200
+            expected = ("haswell", "skylake")[index % 2]
+            assert set(body["predictions"]) == {expected}
+            assert body["num_blocks"] == 3
+
+    def test_streaming_emits_one_line_per_micro_batch(self, server):
+        blocks = [f"add rax, {i}\nmov rbx, {i}" for i in range(10)]
+        status, lines = http(
+            server.port,
+            "POST",
+            "/v1/models/granite-haswell/predict",
+            payload={"blocks": blocks, "stream": True},
+            api_key=ACME_KEY,
+        )
+        assert status == 200
+        # max_batch_size=4 over 10 blocks -> 3 chunks + the done line.
+        assert lines[-1] == {"done": True, "chunks": 3}
+        data_lines = lines[:-1]
+        assert sorted(line["chunk"] for line in data_lines) == [0, 1, 2]
+        assert sorted(line["offset"] for line in data_lines) == [0, 4, 8]
+        assert sum(line["num_blocks"] for line in data_lines) == 10
+        for line in data_lines:
+            assert len(line["predictions"]["haswell"]) == line["num_blocks"]
+
+    def test_zero_deadline_is_408(self, server):
+        status, body = http(
+            server.port,
+            "POST",
+            "/v1/models/granite-haswell/predict",
+            payload={"block": "mov rax, 1", "deadline_ms": 0},
+            api_key=ACME_KEY,
+        )
+        assert status == 408
+        assert body["error"]["code"] == "deadline_expired"
+
+
+class TestBackpressure:
+    def test_forced_saturation_is_429(self, server):
+        """Fill tiny-queue's 2-block reject queue, then get turned away."""
+        results = {}
+
+        def filler():
+            results["fill"] = http(
+                server.port,
+                "POST",
+                "/v1/models/tiny-queue/predict",
+                payload={
+                    "blocks": ["mov rax, 1", "mov rbx, 2"],
+                    "priority": "bulk",
+                },
+                api_key=ACME_KEY,
+            )
+
+        thread = threading.Thread(target=filler)
+        thread.start()
+        # Wait until the filler's two blocks are actually queued (the
+        # static one-minute deadline keeps them there).
+        deadline = time.monotonic() + 30.0
+        depth = 0
+        while time.monotonic() < deadline:
+            _, report = http(
+                server.port,
+                "GET",
+                "/v1/models/tiny-queue/stats",
+                api_key=ACME_KEY,
+            )
+            snapshot = report.get("snapshot")
+            depth = snapshot["queue"]["depth_blocks"] if snapshot else 0
+            if depth == 2:
+                break
+            time.sleep(0.05)
+        assert depth == 2, "saturation never established"
+        status, body = http(
+            server.port,
+            "POST",
+            "/v1/models/tiny-queue/predict",
+            payload={"block": "mov rcx, 3"},
+            api_key=ACME_KEY,
+        )
+        assert status == 429
+        assert body["error"]["code"] == "queue_full"
+        # An interactive request still jumps in once capacity frees: the
+        # filler is answered when its deadline flush fires on close/unload.
+        server.registry.unload("tiny-queue")
+        thread.join(timeout=120.0)
+        assert not thread.is_alive()
+        assert results["fill"][0] == 200, "queued work must still be answered"
+
+
+class TestRegistryLifecycleOverHttp:
+    def test_lazy_load_visible_in_listing(self, server):
+        registry = server.registry
+        registry.register(
+            ModelVariant("lazy-model", ServiceConfig(tasks=("ivy_bridge",)))
+        )
+        _, body = http(server.port, "GET", "/v1/models", api_key=BLUE_KEY)
+        listed = {model["name"]: model for model in body["models"]}
+        assert listed["lazy-model"]["loaded"] is False
+        status, _ = http(
+            server.port,
+            "POST",
+            "/v1/models/lazy-model/predict",
+            payload={"block": "mov rax, 1"},
+            api_key=BLUE_KEY,
+        )
+        assert status == 200
+        _, body = http(server.port, "GET", "/v1/models", api_key=BLUE_KEY)
+        listed = {model["name"]: model for model in body["models"]}
+        assert listed["lazy-model"]["loaded"] is True
+        assert registry.unload("lazy-model") is True
+        _, report = http(
+            server.port,
+            "GET",
+            "/v1/models/lazy-model/stats",
+            api_key=BLUE_KEY,
+        )
+        assert report["info"]["loaded"] is False
+        assert report["snapshot"] is None
+
+    def test_closed_registry_is_503(self):
+        registry = ModelRegistry(
+            (ModelVariant("m", ServiceConfig(tasks=("haswell",))),)
+        )
+        with PredictionHttpServer(registry, HttpServerConfig()) as running:
+            registry.close()
+            status, body = http(
+                running.port,
+                "POST",
+                "/v1/models/m/predict",
+                payload={"block": "mov rax, 1"},
+            )
+            assert status == 503
+            assert body["error"]["code"] == "service_closed"
+
+
+class TestStatsSchema:
+    def test_stats_json_conforms_to_typed_schema(self, server):
+        http(
+            server.port,
+            "POST",
+            "/v1/models/granite-haswell/predict",
+            payload={"block": "mov rax, 1"},
+            api_key=ACME_KEY,
+        )
+        status, report = http(
+            server.port,
+            "GET",
+            "/v1/models/granite-haswell/stats",
+            api_key=ACME_KEY,
+        )
+        assert status == 200
+        snapshot = report["snapshot"]
+        # The wire schema is exactly the dataclass schema.
+        assert set(snapshot) == {
+            spec.name for spec in dataclasses.fields(ServiceSnapshot)
+        }
+        assert set(snapshot["queue"]) == {
+            spec.name for spec in dataclasses.fields(QueueStats)
+        }
+        assert set(snapshot["flush"]) == {
+            spec.name for spec in dataclasses.fields(FlushStats)
+        }
+        assert set(snapshot["model"]) == {
+            spec.name for spec in dataclasses.fields(ModelStats)
+        }
+        assert snapshot["queue"]["submitted_requests"] >= 1
+        assert snapshot["model"]["model_name"] == "granite"
+
+    def test_per_tenant_counters_in_stats(self, server):
+        for _ in range(2):
+            http(
+                server.port,
+                "POST",
+                "/v1/models/granite-haswell/predict",
+                payload={"block": "mov rax, 1"},
+                api_key=ACME_KEY,
+            )
+        http(
+            server.port,
+            "POST",
+            "/v1/models/granite-haswell/predict",
+            payload={"block": "mov rax, 1"},
+            api_key=BLUE_KEY,
+        )
+        _, report = http(
+            server.port,
+            "GET",
+            "/v1/models/granite-haswell/stats",
+            api_key=BLUE_KEY,
+        )
+        by_tenant = report["info"]["requests_by_tenant"]
+        assert by_tenant["acme"] >= 2
+        assert by_tenant["blue"] >= 1
+
+
+class TestServerLifecycle:
+    def test_close_is_idempotent_and_start_after_close_fails(self):
+        from repro.serve import ServiceClosedError
+
+        running = PredictionHttpServer(
+            ModelRegistry(), HttpServerConfig(), own_registry=True
+        ).start()
+        port = running.port
+        assert http(port, "GET", "/healthz")[0] == 200
+        running.close()
+        running.close()
+        with pytest.raises(ServiceClosedError):
+            running.start()
+        with pytest.raises(ConnectionError):
+            socket.create_connection(("127.0.0.1", port), timeout=5)
+
+    def test_port_conflict_surfaces_at_start(self):
+        first = PredictionHttpServer(
+            ModelRegistry(), HttpServerConfig(), own_registry=True
+        ).start()
+        second = PredictionHttpServer(
+            ModelRegistry(),
+            HttpServerConfig(port=first.port),
+            own_registry=True,
+        )
+        try:
+            with pytest.raises(OSError):
+                second.start()
+        finally:
+            first.close()
