@@ -71,7 +71,24 @@ the in-process one:
 
 Every stats dataclass also supports the historical flat-dict reads
 (``snapshot["flush_wait_p99_ms"]``); new code should prefer attribute
-access (``snapshot.flush.wait_p99_ms``).
+access (``snapshot.flush.wait_p99_ms``).  Latency percentiles are NaN —
+never 0.0 — while their sample window is empty, and serialize to JSON
+``null``.
+
+Tail-latency harness
+--------------------
+
+:mod:`repro.serve.replay` closes the SLO loop: capture live traffic with
+:class:`TraceRecorder` (the HTTP server's ``recorder`` hook) or
+synthesize Zipf-skewed bursty traces with :func:`synthesize_trace`, drive
+them through :class:`TraceReplayer` at recorded or time-scaled pacing,
+and judge the realized p50/p99/p99.9 against an :class:`SloPolicy`.  The
+tail-attacking machinery lives alongside: hedged requests
+(``AsyncOptions.hedge_enabled`` — duplicate a request once it outlives
+the observed latency quantile, first result wins, the loser is
+cancelled), hot-key replication (``ServiceConfig.hot_key_replicas`` —
+:class:`HotKeyRouter` spreads Zipf-head keys read-any across their ring
+replica sets), and a latency-fed autoscaler.
 """
 
 from repro.serve.async_service import (
@@ -83,6 +100,7 @@ from repro.serve.batching import (
     MicroBatch,
     coalesce_requests,
     coalesce_requests_by_ring,
+    coalesce_requests_by_router,
     coalesce_requests_by_shard,
     shard_key,
 )
@@ -95,6 +113,7 @@ from repro.serve.flush import (
     FLUSH_POLICIES,
     AdaptiveFlushController,
     FlushController,
+    HedgeController,
     StaticFlushController,
     create_flush_controller,
     default_flush_policy,
@@ -115,16 +134,28 @@ from repro.serve.registry import (
     ModelReport,
     ModelVariant,
 )
-from repro.serve.ring import HashRing
+from repro.serve.replay import (
+    ReplayReport,
+    SloPolicy,
+    SloVerdict,
+    Trace,
+    TraceRecorder,
+    TraceReplayer,
+    TraceRequest,
+    synthesize_trace,
+)
+from repro.serve.ring import HashRing, HotKeyRouter, HotKeyTracker
 from repro.serve.service import PredictionService, ServiceStats
 from repro.serve.stats import (
     CacheStats,
     FlushStats,
+    HedgeStats,
     ModelStats,
     QueueStats,
     ServiceSnapshot,
     StatsStruct,
     WorkerStats,
+    latency_percentile,
 )
 from repro.serve.types import (
     AuthenticationError,
@@ -152,6 +183,7 @@ __all__ = [
     "PredictionResponse",
     "coalesce_requests",
     "coalesce_requests_by_ring",
+    "coalesce_requests_by_router",
     "coalesce_requests_by_shard",
     "shard_key",
     # Services and configuration.
@@ -162,15 +194,18 @@ __all__ = [
     "AsyncOptions",
     "AsyncServiceConfig",
     "AsyncServiceStats",
-    # Flush policies.
+    # Flush and hedge policies.
     "FLUSH_POLICIES",
     "AdaptiveFlushController",
     "FlushController",
+    "HedgeController",
     "StaticFlushController",
     "create_flush_controller",
     "default_flush_policy",
-    # Queueing.
+    # Queueing and routing.
     "HashRing",
+    "HotKeyRouter",
+    "HotKeyTracker",
     "Priority",
     "QueuedRequest",
     "RequestQueue",
@@ -194,8 +229,19 @@ __all__ = [
     "WorkerStats",
     "QueueStats",
     "FlushStats",
+    "HedgeStats",
     "ModelStats",
     "ServiceSnapshot",
+    "latency_percentile",
+    # Tail-latency SLO harness.
+    "Trace",
+    "TraceRequest",
+    "TraceRecorder",
+    "TraceReplayer",
+    "ReplayReport",
+    "SloPolicy",
+    "SloVerdict",
+    "synthesize_trace",
     # Tenancy.
     "Tenant",
     "TenantDirectory",

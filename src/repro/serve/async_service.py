@@ -42,25 +42,39 @@ movement to ~1/N per resize.
 
 from __future__ import annotations
 
+import functools
+import math
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Sequence, Union
+from typing import Deque, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.isa.basic_block import BasicBlock
 from repro.serve.config import AsyncOptions, AsyncServiceConfig
-from repro.serve.flush import FlushController, create_flush_controller
+from repro.serve.flush import (
+    FlushController,
+    HedgeController,
+    create_flush_controller,
+)
 from repro.serve.queue import (
     Priority,
+    QueuedRequest,
+    QueueFullError,
     RequestExpiredError,
     RequestQueue,
 )
 from repro.serve.service import PredictionService, ServiceConfig
-from repro.serve.stats import FlushStats, QueueStats, ServiceSnapshot
+from repro.serve.stats import (
+    FlushStats,
+    HedgeStats,
+    QueueStats,
+    ServiceSnapshot,
+    latency_percentile,
+)
 from repro.serve.types import PredictionRequest, ServiceClosedError
 
 # AsyncServiceConfig moved to repro.serve.config (deprecated in favour of
@@ -87,7 +101,10 @@ class AsyncServiceStats:
     #: (queue-side expiries are counted by the queue).
     expired_drops: int = 0
     #: Wait of each flush's *oldest* request, enqueue -> dispatch, seconds.
-    #: Bounded so a long-lived service cannot grow without limit.
+    #: Bounded so a long-lived service cannot grow without limit.  A biased
+    #: request-latency estimate by construction (one sample per flush, the
+    #: worst-waiting request only) — per-request latency lives in
+    #: ``request_latencies``.
     flush_waits: Deque[float] = field(default_factory=lambda: deque(maxlen=8192))
     #: Flush deadline (ms) in effect at each flush — how benchmarks watch
     #: the adaptive controller act.  Bounded like ``flush_waits``.
@@ -96,31 +113,106 @@ class AsyncServiceStats:
     )
     #: Queue depth (pending blocks) right after each flush was drained.
     queue_depths: Deque[int] = field(default_factory=lambda: deque(maxlen=8192))
+    #: Per-request enqueue -> completion latency, seconds (bounded
+    #: reservoir).  Every served queue entry contributes one sample — the
+    #: whole distribution, not just each flush's oldest request — so these
+    #: percentiles are what clients actually experienced, including the
+    #: model call itself.  Under hedging, winning and losing attempts both
+    #: contribute (the straggling loser keeps the tail honest, which also
+    #: keeps the hedge deadline from chasing its own improvement).
+    request_latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=8192)
+    )
+    #: Wall time of each flush's ``PredictionService.submit`` call, seconds
+    #: — the per-batch service latency the autoscaler uses to estimate
+    #: drain time.
+    flush_service_s: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=8192)
+    )
+    #: Queue entries resolved with a response / with a service error.
+    requests_completed: int = 0
+    request_errors: int = 0
+    #: Hedge duplicates submitted / that answered the client first / that
+    #: were cancelled while still queued.
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    hedges_cancelled: int = 0
 
     @property
     def mean_flush_blocks(self) -> float:
         return self.flushed_blocks / self.flushes if self.flushes else 0.0
 
     def flush_wait_percentile(self, quantile: float) -> float:
-        """The ``quantile`` (0..1) of recorded flush waits, in seconds."""
-        if not 0.0 <= quantile <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        # list(deque) is a single C-level copy, so it cannot interleave with
-        # the dispatcher thread appending mid-iteration (np.asarray on the
-        # live deque could).
-        samples = list(self.flush_waits)
-        if not samples:
-            return 0.0
-        return float(np.quantile(np.asarray(samples), quantile))
+        """The ``quantile`` (0..1) of recorded flush waits, in seconds.
+
+        NaN while no flush has been recorded: an empty window must never
+        read as 0.0, or SLO checks and the autoscaler would mistake "no
+        samples yet" for "zero latency".
+        """
+        return latency_percentile(self.flush_waits, quantile)
 
     def flush_deadline_percentile(self, quantile: float) -> float:
-        """The ``quantile`` (0..1) of realized flush deadlines, in ms."""
-        if not 0.0 <= quantile <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        samples = list(self.flush_deadlines_ms)
-        if not samples:
-            return 0.0
-        return float(np.quantile(np.asarray(samples), quantile))
+        """The ``quantile`` (0..1) of realized flush deadlines, in ms.
+
+        NaN for an empty window, like :meth:`flush_wait_percentile`.
+        """
+        return latency_percentile(self.flush_deadlines_ms, quantile)
+
+    def request_latency_percentile(self, quantile: float) -> float:
+        """The ``quantile`` (0..1) of per-request latencies, in seconds.
+
+        NaN for an empty window, like :meth:`flush_wait_percentile`.
+        """
+        return latency_percentile(self.request_latencies, quantile)
+
+
+class _HedgedCall:
+    """Mutable race state of one client request (primary vs. hedge attempt).
+
+    Plain data plus a leaf lock: every transition happens inside
+    ``AsyncPredictionService`` methods under :attr:`lock`, which is never
+    held while resolving or cancelling a future (done callbacks run
+    synchronously and re-enter these methods).
+    """
+
+    __slots__ = (
+        "request",
+        "priority",
+        "deadline_s",
+        "enqueued_at",
+        "client",
+        "lock",
+        "attempts",
+        "outstanding",
+        "hedged",
+        "finished",
+        "first_error",
+    )
+
+    def __init__(
+        self,
+        request: PredictionRequest,
+        priority: int,
+        deadline_s: Optional[float],
+        enqueued_at: float,
+    ) -> None:
+        self.request = request
+        self.priority = priority
+        self.deadline_s = deadline_s
+        self.enqueued_at = enqueued_at
+        #: The future handed to the client; resolved exactly once by the
+        #: first attempt to finish (set_running_or_notify_cancel guards the
+        #: client-cancelled race).
+        self.client: Future = Future()
+        self.lock = threading.Lock()
+        #: Queue entries issued for this call (primary first).
+        self.attempts: List[QueuedRequest] = []
+        self.outstanding = 0
+        self.hedged = False
+        self.finished = False
+        #: First attempt error, so a later loser's cancellation/expiry
+        #: cannot shadow the informative failure.
+        self.first_error: Optional[BaseException] = None
 
 
 class AsyncPredictionService:
@@ -183,10 +275,36 @@ class AsyncPredictionService:
         self._lifecycle_lock = threading.Lock()
         self._dispatcher: Optional[threading.Thread] = None
         self._autoscale_monitor: Optional[threading.Thread] = None
+        self._hedge_monitor: Optional[threading.Thread] = None
         self._monitor_stop = threading.Event()
         #: Autoscale attempts that raised (e.g. a worker spawn failing
         #: under resource pressure); the monitor retries on the next poll.
         self.autoscale_errors = 0
+        # Concurrent flush dispatch: >1 hands flushes to this pool so a
+        # straggling batch cannot head-of-line-block the batches (and
+        # hedges) behind it.  The semaphore bounds in-flight flushes and
+        # doubles as the dispatcher's drain barrier.
+        if options.max_concurrent_flushes > 1:
+            self._flush_pool: Optional[ThreadPoolExecutor] = ThreadPoolExecutor(
+                max_workers=options.max_concurrent_flushes,
+                thread_name_prefix="repro-serve-flush",
+            )
+            self._flush_slots: Optional[threading.Semaphore] = threading.Semaphore(
+                options.max_concurrent_flushes
+            )
+        else:
+            self._flush_pool = None
+            self._flush_slots = None
+        # Hedging: the monitor re-submits calls that outlive the deadline
+        # derived from observed request latencies.
+        self._hedge_controller = HedgeController(
+            quantile=options.hedge_quantile,
+            min_samples=options.hedge_min_samples,
+            min_s=options.hedge_min_ms / 1e3,
+            max_s=None if options.hedge_max_ms is None else options.hedge_max_ms / 1e3,
+        )
+        self._hedge_lock = threading.Lock()
+        self._hedge_calls: set = set()
         self._closed = False
 
     @property
@@ -227,6 +345,13 @@ class AsyncPredictionService:
                     daemon=True,
                 )
                 self._autoscale_monitor.start()
+            if self._hedge_monitor is None and self.options.hedge_enabled:
+                self._hedge_monitor = threading.Thread(
+                    target=self._hedge_loop,
+                    name="repro-serve-hedger",
+                    daemon=True,
+                )
+                self._hedge_monitor.start()
         return self
 
     def close(self) -> None:
@@ -242,15 +367,22 @@ class AsyncPredictionService:
             self._closed = True
             dispatcher, self._dispatcher = self._dispatcher, None
             monitor, self._autoscale_monitor = self._autoscale_monitor, None
+            hedger, self._hedge_monitor = self._hedge_monitor, None
         self._monitor_stop.set()
         if monitor is not None:
             monitor.join()
+        if hedger is not None:
+            hedger.join()
         self.queue.close()
         if dispatcher is not None:
             dispatcher.join()
         else:
             # Never started: resolve whatever was queued ourselves.
             self._drain_queue(max_wait_s=0.0)
+        # The dispatcher's drain barrier already waited for in-flight
+        # flushes; shutting down afterwards just retires the idle threads.
+        if self._flush_pool is not None:
+            self._flush_pool.shutdown(wait=True)
         if self._owns_service:
             self.service.close()
 
@@ -286,23 +418,37 @@ class AsyncPredictionService:
 
         The returned future supports ``cancel()`` while the request is
         queued: a cancelled entry is discarded eagerly (its blocks free up
-        queue capacity immediately) and never reaches a worker.
+        queue capacity immediately) and never reaches a worker.  With
+        ``hedge_enabled`` the future is a wrapper racing the primary queue
+        entry against a possible hedge duplicate — first result wins,
+        cancelling it cancels every attempt.
 
         Raises:
             QueueFullError: The queue is full (``reject`` policy) or the
                 wait for space timed out (``block`` policy).
         """
+        deadline_s = None if deadline_ms is None else deadline_ms / 1e3
         entry = self.queue.put(
             request,
             priority=priority,
             timeout=timeout,
-            deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
+            deadline_s=deadline_s,
         )
+        client: Future = entry.future
+        if self.options.hedge_enabled:
+            call = _HedgedCall(request, int(priority), deadline_s, entry.enqueued_at)
+            with self._hedge_lock:
+                self._hedge_calls.add(call)
+            self._attach_attempt(call, entry, is_hedge=False)
+            call.client.add_done_callback(
+                functools.partial(self._on_client_done, call)
+            )
+            client = call.client
         self.controller.observe_arrival(request.num_blocks)
         with self._stats_lock:
             self.stats.requests += 1
             self.stats.blocks += request.num_blocks
-        return entry.future
+        return client
 
     def predict_blocks(
         self,
@@ -322,6 +468,147 @@ class AsyncPredictionService:
             PredictionRequest.of(blocks), priority=priority, timeout=timeout
         )
         return future.result(timeout).predictions
+
+    # ------------------------------------------------------------------ #
+    # Hedging.
+    # ------------------------------------------------------------------ #
+    def _attach_attempt(
+        self, call: _HedgedCall, entry: QueuedRequest, is_hedge: bool
+    ) -> None:
+        with call.lock:
+            call.attempts.append(entry)
+            call.outstanding += 1
+        # Outside call.lock: an already-resolved entry runs the callback
+        # synchronously, and the callback re-acquires call.lock.
+        entry.future.add_done_callback(
+            functools.partial(self._on_attempt_done, call, is_hedge)
+        )
+
+    def _on_client_done(self, call: _HedgedCall, future: Future) -> None:
+        if not future.cancelled():
+            return
+        with call.lock:
+            attempts = list(call.attempts)
+        for entry in attempts:
+            entry.future.cancel()
+
+    def _on_attempt_done(
+        self, call: _HedgedCall, is_hedge: bool, future: Future
+    ) -> None:
+        """Settles the race when an attempt resolves (first result wins).
+
+        Runs as a done callback — synchronously inside whatever resolved
+        the attempt (flush thread, queue expiry, a cancel) — so it must
+        not block and must release ``call.lock`` before touching any
+        future.
+        """
+        deliver = None  # ("result", response) | ("error", exc) | ("cancelled",)
+        with call.lock:
+            call.outstanding -= 1
+            last = call.outstanding == 0
+            if not call.finished:
+                if future.cancelled():
+                    if last:
+                        call.finished = True
+                        deliver = (
+                            ("error", call.first_error)
+                            if call.first_error is not None
+                            else ("cancelled",)
+                        )
+                else:
+                    error = future.exception()
+                    if error is None:
+                        call.finished = True
+                        deliver = ("result", future.result())
+                    else:
+                        if call.first_error is None:
+                            call.first_error = error
+                        if last:
+                            call.finished = True
+                            deliver = ("error", call.first_error)
+            losers = (
+                [e for e in call.attempts if e.future is not future]
+                if deliver is not None and deliver[0] == "result"
+                else []
+            )
+        if deliver is not None:
+            if deliver[0] == "result":
+                # set_running_or_notify_cancel returns False iff the client
+                # cancelled the wrapper — then the result is discarded (the
+                # loser entries were already cancelled by _on_client_done).
+                delivered = call.client.set_running_or_notify_cancel()
+                if delivered:
+                    call.client.set_result(deliver[1])
+                losers_cancelled = sum(
+                    1 for entry in losers if entry.future.cancel()
+                )
+                with self._stats_lock:
+                    if delivered and is_hedge:
+                        self.stats.hedges_won += 1
+                    self.stats.hedges_cancelled += losers_cancelled
+            elif deliver[0] == "error":
+                if call.client.set_running_or_notify_cancel():
+                    call.client.set_exception(deliver[1])
+            else:
+                # Every attempt was cancelled without a result or error —
+                # normally because the client cancelled the wrapper first,
+                # in which case this is a no-op.
+                call.client.cancel()
+        if last:
+            with self._hedge_lock:
+                self._hedge_calls.discard(call)
+
+    def _hedge_loop(self) -> None:
+        interval = self.options.hedge_poll_ms / 1e3
+        while not self._monitor_stop.wait(interval):
+            deadline_s = self._hedge_deadline_s()
+            if math.isnan(deadline_s):
+                continue  # under-sampled: hedging stays dormant
+            now = time.monotonic()
+            with self._hedge_lock:
+                calls = list(self._hedge_calls)
+            for call in calls:
+                with call.lock:
+                    due = (
+                        not call.hedged
+                        and not call.finished
+                        and now - call.enqueued_at >= deadline_s
+                    )
+                    if due:
+                        call.hedged = True
+                if due:
+                    self._issue_hedge(call)
+
+    def _hedge_deadline_s(self) -> float:
+        """The age (seconds) past which an in-flight call gets hedged."""
+        with self._stats_lock:
+            samples = list(self.stats.request_latencies)
+        return self._hedge_controller.deadline_s(samples)
+
+    def _issue_hedge(self, call: _HedgedCall) -> None:
+        deadline_s = None
+        if call.deadline_s is not None:
+            deadline_s = call.deadline_s - (time.monotonic() - call.enqueued_at)
+            if deadline_s <= 0:
+                return  # the primary is about to expire; don't pile on
+        try:
+            # timeout=0: the hedge monitor must never park on a full queue
+            # (a hedge that has to wait for capacity would arrive too late
+            # to beat anything anyway).
+            entry = self.queue.put(
+                call.request,
+                priority=call.priority,
+                timeout=0.0,
+                deadline_s=deadline_s,
+            )
+        except (QueueFullError, ServiceClosedError):
+            with call.lock:
+                call.hedged = False  # no capacity now; re-candidate next poll
+            return
+        self.controller.observe_arrival(call.request.num_blocks)
+        with self._stats_lock:
+            self.stats.hedges_issued += 1
+        self._attach_attempt(call, entry, is_hedge=True)
 
     # ------------------------------------------------------------------ #
     # Introspection.
@@ -366,10 +653,29 @@ class AsyncPredictionService:
                 wait_p99_ms=stats.flush_wait_percentile(0.99) * 1e3,
                 deadline_p50_ms=stats.flush_deadline_percentile(0.50),
                 deadline_p99_ms=stats.flush_deadline_percentile(0.99),
+                request_p50_ms=stats.request_latency_percentile(0.50) * 1e3,
+                request_p99_ms=stats.request_latency_percentile(0.99) * 1e3,
+                request_p999_ms=stats.request_latency_percentile(0.999) * 1e3,
+                requests_completed=stats.requests_completed,
+                request_errors=stats.request_errors,
             )
             dispatcher_cancelled = stats.cancelled_drops
             dispatcher_expired = stats.expired_drops
             autoscale_errors = self.autoscale_errors
+            hedge_samples = list(stats.request_latencies)
+            hedges_issued = stats.hedges_issued
+            hedges_won = stats.hedges_won
+            hedges_cancelled = stats.hedges_cancelled
+        with self._hedge_lock:
+            hedge_inflight = len(self._hedge_calls)
+        hedge = HedgeStats(
+            enabled=self.options.hedge_enabled,
+            issued=hedges_issued,
+            won=hedges_won,
+            losers_cancelled=hedges_cancelled,
+            deadline_ms=self._hedge_controller.deadline_s(hedge_samples) * 1e3,
+            inflight=hedge_inflight,
+        )
         queue = QueueStats(
             depth_blocks=self.queue.pending_blocks,
             depth_requests=len(self.queue),
@@ -385,6 +691,7 @@ class AsyncPredictionService:
             queue=queue,
             flush=flush,
             model=self.service.snapshot(),
+            hedge=hedge,
             controller=self.controller.state(),
             autoscale_errors=autoscale_errors,
         )
@@ -400,9 +707,43 @@ class AsyncPredictionService:
 
     def _autoscale_loop(self) -> None:
         interval = self.config.autoscale_poll_ms / 1e3
+        # The wait budget the realized-latency signals are judged against:
+        # twice the flush-deadline ceiling.  Waits below it are the
+        # batching policy working as configured; sustained p99 beyond it
+        # means the pool drains slower than the deadline assumes.
+        wait_budget_s = 2.0 * self.options.max_latency_ms / 1e3
+        flushes_seen = 0
         while not self._monitor_stop.wait(interval):
+            with self._stats_lock:
+                # Only the waits of flushes completed since the previous
+                # poll: a percentile over any fixed-size window would keep
+                # reporting a long-gone burst forever once traffic stops,
+                # pinning the pool at its burst size.  No new flushes ->
+                # NaN -> the autoscaler sees no wait signal and the idle
+                # shrink path works exactly as before.
+                new_flushes = min(
+                    self.stats.flushes - flushes_seen, len(self.stats.flush_waits)
+                )
+                flushes_seen = self.stats.flushes
+                fresh_waits = (
+                    list(self.stats.flush_waits)[-new_flushes:]
+                    if new_flushes > 0
+                    else []
+                )
+                wait_p99_s = latency_percentile(fresh_waits, 0.99)
+                # Service time per flush barely drifts, so staleness is
+                # harmless here (and drain pressure already vanishes with
+                # an empty queue: it scales with pending_blocks).
+                batch_latency_s = latency_percentile(
+                    list(self.stats.flush_service_s)[-64:], 0.50
+                )
             try:
-                self.service.maybe_autoscale(self.queue.pending_blocks)
+                self.service.maybe_autoscale(
+                    self.queue.pending_blocks,
+                    flush_wait_p99_s=wait_p99_s,
+                    batch_latency_s=batch_latency_s,
+                    wait_budget_s=wait_budget_s,
+                )
             except RuntimeError:
                 return  # the service closed under us; nothing left to scale
             except Exception:
@@ -418,14 +759,37 @@ class AsyncPredictionService:
 
         ``max_wait_s`` is a float or a ``pending_blocks -> seconds``
         callable, passed straight through to ``RequestQueue.take_batch``.
+        With ``max_concurrent_flushes > 1`` each flush is handed to the
+        flush pool (bounded by the slot semaphore) so the next batch can
+        dispatch while a straggler is still in the service.
         """
-        while True:
-            entries, reason = self.queue.take_batch(
-                self.config.max_batch_size, max_wait_s
-            )
-            if not entries:
-                return  # closed and fully drained
+        pool, slots = self._flush_pool, self._flush_slots
+        try:
+            while True:
+                entries, reason = self.queue.take_batch(
+                    self.config.max_batch_size, max_wait_s
+                )
+                if not entries:
+                    return  # closed and fully drained
+                if pool is None:
+                    self._flush(entries, reason)
+                else:
+                    slots.acquire()
+                    pool.submit(self._flush_and_release, entries, reason)
+        finally:
+            if slots is not None:
+                # Drain barrier: owning every slot proves no flush is in
+                # flight, so close() can resolve "drained" truthfully.
+                for _ in range(self.options.max_concurrent_flushes):
+                    slots.acquire()
+                for _ in range(self.options.max_concurrent_flushes):
+                    slots.release()
+
+    def _flush_and_release(self, entries, reason: str) -> None:
+        try:
             self._flush(entries, reason)
+        finally:
+            self._flush_slots.release()
 
     def _flush(self, entries, reason: str) -> None:
         now = time.monotonic()
@@ -478,11 +842,24 @@ class AsyncPredictionService:
                 self.stats.deadline_flushes += 1
             else:
                 self.stats.close_flushes += 1
+        service_started = time.monotonic()
         try:
             responses = self.service.submit([entry.request for entry in entries])
         except Exception as error:
             for entry in entries:
                 entry.future.set_exception(error)
+            with self._stats_lock:
+                self.stats.request_errors += len(entries)
             return
+        service_s = time.monotonic() - service_started
+        # Record latencies *before* resolving the futures: a client (or the
+        # hedge monitor) reacting to a result must never observe stats that
+        # don't include it yet.
+        done_at = time.monotonic()
+        with self._stats_lock:
+            self.stats.flush_service_s.append(service_s)
+            for entry in entries:
+                self.stats.request_latencies.append(done_at - entry.enqueued_at)
+            self.stats.requests_completed += len(entries)
         for entry, response in zip(entries, responses):
             entry.future.set_result(response)

@@ -29,6 +29,7 @@ __all__ = [
     "MicroBatch",
     "coalesce_requests",
     "coalesce_requests_by_ring",
+    "coalesce_requests_by_router",
     "coalesce_requests_by_shard",
     "shard_key",
 ]
@@ -201,3 +202,31 @@ def coalesce_requests_by_ring(
     return _coalesce_by_owner(
         requests, max_batch_size, lambda text: ring.owner(shard_key(text))
     )
+
+
+def coalesce_requests_by_router(
+    requests: Sequence[PredictionRequest],
+    max_batch_size: int,
+    router,
+) -> List[Tuple[int, MicroBatch]]:
+    """Like :func:`coalesce_requests_by_ring`, but hot keys spread out.
+
+    Routes every block through a
+    :class:`repro.serve.ring.HotKeyRouter`: cold keys go to their single
+    ring owner exactly as before, while keys the router's tracker has
+    classified hot round-robin across their replica set.  The router
+    observes every block it routes, so hotness tracking needs no separate
+    pass over the traffic.
+
+    Args:
+        requests: The requests of one submission.
+        max_batch_size: Upper bound on the blocks per micro-batch.
+        router: The service's hot-key router (wraps the pool's live ring).
+
+    Returns:
+        ``(worker_id, micro_batch)`` pairs covering every block exactly
+        once, grouped per worker in ascending worker-id order.
+    """
+    if not len(router.ring):
+        raise ValueError("the ring has no workers to route to")
+    return _coalesce_by_owner(requests, max_batch_size, router.route_text)

@@ -65,6 +65,29 @@ class AsyncOptions:
         backpressure: ``"block"`` (producers wait for space) or
             ``"reject"`` (producers get
             :class:`~repro.serve.types.QueueFullError`).
+        max_concurrent_flushes: Micro-batch flushes allowed in flight at
+            once.  1 (default) keeps the historical serial dispatcher; >1
+            hands flushes to a small thread pool so one straggling batch
+            cannot head-of-line-block every batch behind it (a
+            prerequisite for hedging to beat a straggler at all).
+        hedge_enabled: Re-submit requests that outlive the observed
+            request-latency hedge deadline as a duplicate queue entry;
+            first result wins, the loser is cancelled (or its result
+            discarded).  Requires no cooperation from the service behind
+            the queue.
+        hedge_quantile: The request-latency quantile used as the hedge
+            deadline (a request older than this is duplicated).
+        hedge_min_ms: Deadline floor — never hedge faster than this, so
+            cache-warm microsecond traffic cannot trigger hedge storms.
+        hedge_max_ms: Optional deadline cap.  Under a straggler regime the
+            observed p99 itself inflates toward the straggler latency;
+            capping keeps hedges firing within the latency budget the
+            operator actually cares about.  ``None`` = uncapped.
+        hedge_min_samples: Observed request latencies required before any
+            hedge fires (the deadline is NaN — and hedging dormant —
+            until then).
+        hedge_poll_ms: How often the hedge monitor scans in-flight
+            requests for deadline overruns.
     """
 
     max_latency_ms: float = 10.0
@@ -74,6 +97,13 @@ class AsyncOptions:
     autoscale_poll_ms: float = 50.0
     max_queue_blocks: int = 4096
     backpressure: str = "block"
+    max_concurrent_flushes: int = 1
+    hedge_enabled: bool = False
+    hedge_quantile: float = 0.99
+    hedge_min_ms: float = 1.0
+    hedge_max_ms: Optional[float] = None
+    hedge_min_samples: int = 32
+    hedge_poll_ms: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_latency_ms < 0:
@@ -103,6 +133,18 @@ class AsyncOptions:
                 f"unknown back-pressure policy {self.backpressure!r}; "
                 f"expected one of {BACKPRESSURE_POLICIES}"
             )
+        if self.max_concurrent_flushes < 1:
+            raise ValueError("max_concurrent_flushes must be >= 1")
+        if not 0.0 < self.hedge_quantile <= 1.0:
+            raise ValueError("hedge_quantile must be in (0, 1]")
+        if self.hedge_min_ms < 0:
+            raise ValueError("hedge_min_ms must be >= 0")
+        if self.hedge_max_ms is not None and self.hedge_max_ms < self.hedge_min_ms:
+            raise ValueError("need hedge_min_ms <= hedge_max_ms")
+        if self.hedge_min_samples < 1:
+            raise ValueError("hedge_min_samples must be >= 1")
+        if self.hedge_poll_ms <= 0:
+            raise ValueError("hedge_poll_ms must be positive")
 
 
 @dataclass(frozen=True)
@@ -136,6 +178,13 @@ class ServiceConfig:
             ring over the live worker ids (stable cache affinity, and only
             ~1/N of the key space moves when the pool resizes);
             ``"round_robin"`` deals micro-batches out cyclically.
+        hot_key_replicas: Replication factor for Zipf-head block keys
+            under ``"hash"`` sharding.  1 (default) keeps the pure ring
+            (every key has exactly one owner); >= 2 routes the hottest
+            keys read-any across that many distinct ring successors, so a
+            single scorching key no longer serializes on one worker.  Only
+            meaningful with ``num_workers >= 2``.
+        hot_key_count: How many keys may be classified hot at once.
         inference_dtype: Compute dtype of every replica's no-grad inference
             fast path (``"float64"`` default, ``"float32"`` for
             mixed-precision serving).  Propagated to all worker processes —
@@ -159,6 +208,8 @@ class ServiceConfig:
     max_workers: Optional[int] = None
     scale_cooldown_s: float = 2.0
     sharding: str = "hash"
+    hot_key_replicas: int = 1
+    hot_key_count: int = 8
     inference_dtype: str = field(default_factory=default_inference_dtype)
     async_options: AsyncOptions = field(default_factory=AsyncOptions)
 
@@ -189,6 +240,12 @@ class ServiceConfig:
                 f"unknown sharding mode {self.sharding!r}; "
                 f"expected one of {SHARDING_MODES}"
             )
+        if self.hot_key_replicas < 1:
+            raise ValueError("hot_key_replicas must be >= 1")
+        if self.hot_key_replicas > 1 and self.sharding != "hash":
+            raise ValueError("hot_key_replicas > 1 requires sharding='hash'")
+        if self.hot_key_count < 1:
+            raise ValueError("hot_key_count must be >= 1")
         if self.inference_dtype not in SUPPORTED_DTYPES:
             raise ValueError(
                 f"inference_dtype must be one of {SUPPORTED_DTYPES}, "
@@ -217,6 +274,13 @@ class AsyncServiceConfig:
     autoscale_poll_ms: float = 50.0
     max_queue_blocks: int = 4096
     backpressure: str = "block"
+    max_concurrent_flushes: int = 1
+    hedge_enabled: bool = False
+    hedge_quantile: float = 0.99
+    hedge_min_ms: float = 1.0
+    hedge_max_ms: Optional[float] = None
+    hedge_min_samples: int = 32
+    hedge_poll_ms: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -236,6 +300,13 @@ class AsyncServiceConfig:
             autoscale_poll_ms=self.autoscale_poll_ms,
             max_queue_blocks=self.max_queue_blocks,
             backpressure=self.backpressure,
+            max_concurrent_flushes=self.max_concurrent_flushes,
+            hedge_enabled=self.hedge_enabled,
+            hedge_quantile=self.hedge_quantile,
+            hedge_min_ms=self.hedge_min_ms,
+            hedge_max_ms=self.hedge_max_ms,
+            hedge_min_samples=self.hedge_min_samples,
+            hedge_poll_ms=self.hedge_poll_ms,
         )
 
     @classmethod
@@ -252,4 +323,11 @@ class AsyncServiceConfig:
             autoscale_poll_ms=options.autoscale_poll_ms,
             max_queue_blocks=options.max_queue_blocks,
             backpressure=options.backpressure,
+            max_concurrent_flushes=options.max_concurrent_flushes,
+            hedge_enabled=options.hedge_enabled,
+            hedge_quantile=options.hedge_quantile,
+            hedge_min_ms=options.hedge_min_ms,
+            hedge_max_ms=options.hedge_max_ms,
+            hedge_min_samples=options.hedge_min_samples,
+            hedge_poll_ms=options.hedge_poll_ms,
         )

@@ -38,6 +38,7 @@ __all__ = [
     "FlushController",
     "StaticFlushController",
     "AdaptiveFlushController",
+    "HedgeController",
     "create_flush_controller",
     "default_flush_policy",
 ]
@@ -215,6 +216,60 @@ class AdaptiveFlushController(FlushController):
             "min_deadline_ms": self.min_latency_s * 1e3,
             "max_deadline_ms": self.max_latency_s * 1e3,
         }
+
+
+class HedgeController:
+    """Turns observed request latencies into a hedge deadline.
+
+    The async front end re-submits a request once it has outlived this
+    deadline (see ``AsyncOptions.hedge_*``).  The deadline is the
+    ``quantile`` of the request-latency reservoir, clamped to
+    ``[min_s, max_s]`` — the floor prevents hedge storms when the service
+    is microsecond-fast, the cap keeps hedges firing within the
+    operator's latency budget even when stragglers inflate the observed
+    quantile itself.  Until ``min_samples`` latencies exist the deadline
+    is NaN and callers must not hedge: a deadline guessed from nothing
+    would either never fire or fire for everything.
+
+    Stateless between calls, so it needs no lock; the caller passes a
+    stable copy of the sample window.
+    """
+
+    def __init__(
+        self,
+        quantile: float = 0.99,
+        min_samples: int = 32,
+        min_s: float = 1e-3,
+        max_s: Optional[float] = None,
+    ) -> None:
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if min_s < 0:
+            raise ValueError("min_s must be >= 0")
+        if max_s is not None and max_s < min_s:
+            raise ValueError("need min_s <= max_s")
+        self.quantile = float(quantile)
+        self.min_samples = int(min_samples)
+        self.min_s = float(min_s)
+        self.max_s = None if max_s is None else float(max_s)
+
+    def deadline_s(self, latency_samples_s) -> float:
+        """The hedge deadline (seconds), NaN while under-sampled."""
+        # Imported here, not at module top: stats imports nothing from
+        # flush, so the one-way dependency stays acyclic either way, but
+        # the lazy import keeps this module import-light for config.py.
+        from repro.serve.stats import latency_percentile
+
+        samples = list(latency_samples_s)
+        if len(samples) < self.min_samples:
+            return float("nan")
+        deadline = latency_percentile(samples, self.quantile)
+        deadline = max(deadline, self.min_s)
+        if self.max_s is not None:
+            deadline = min(deadline, self.max_s)
+        return deadline
 
 
 def create_flush_controller(

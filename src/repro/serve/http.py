@@ -30,6 +30,11 @@ Routes
     chunk *as its micro-batch flushes* — results arrive while later
     chunks are still queued — ending with a ``{"done": true}`` line.
 
+A *record hook* (the ``recorder`` constructor argument, duck-typed to
+:class:`repro.serve.replay.TraceRecorder`) observes every admitted predict
+call — blocks, priority, deadline, arrival time — so live traffic can be
+captured as a replayable trace for the tail-latency harness.
+
 Authentication is an ``X-API-Key`` (or ``Authorization: Bearer``) header
 resolved through a :class:`~repro.serve.auth.TenantDirectory`.  Outcomes
 map to status codes purely via the reason codes of
@@ -160,6 +165,13 @@ class PredictionHttpServer:
         config: Transport configuration (defaults bind ``127.0.0.1:0``).
         auth: Tenant directory; the default allows anonymous access.
         own_registry: Close the registry when the server closes.
+        recorder: Optional record hook (anything with the
+            ``record(block_texts, priority=..., deadline_ms=..., model=...,
+            stream=...)`` signature of
+            :class:`repro.serve.replay.TraceRecorder`).  Called on the loop
+            thread for every predict call that passes authentication and
+            parsing, so captured traces contain exactly the traffic the
+            queue saw.  Must be cheap and non-blocking.
 
     The event loop lives on a daemon thread; ``start()`` returns once the
     socket is bound (or raises what the bind raised).  Blocking work —
@@ -174,10 +186,12 @@ class PredictionHttpServer:
         config: Optional[HttpServerConfig] = None,
         auth: Optional[TenantDirectory] = None,
         own_registry: bool = False,
+        recorder: Optional[Any] = None,
     ) -> None:
         self.registry = registry
         self.config = config or HttpServerConfig()
         self.auth = auth or TenantDirectory()
+        self.recorder = recorder
         self._own_registry = own_registry
         self._lifecycle_lock = threading.Lock()
         self._closed = False  # guarded-by: _lifecycle_lock
@@ -195,6 +209,9 @@ class PredictionHttpServer:
         self._requests_handled = 0
         self._protocol_errors = 0
         self._internal_errors = 0
+        self._requests_recorded = 0
+        self._stream_disconnects = 0
+        self._stream_cancelled_chunks = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle.
@@ -310,7 +327,7 @@ class PredictionHttpServer:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                keep_alive = await self._dispatch(request, writer)
+                keep_alive = await self._dispatch(request, reader, writer)
                 if not keep_alive:
                     break
         except asyncio.CancelledError:
@@ -365,12 +382,15 @@ class PredictionHttpServer:
         return _HttpRequest(method=method, path=path, headers=headers, body=body)
 
     async def _dispatch(
-        self, request: _HttpRequest, writer: asyncio.StreamWriter
+        self,
+        request: _HttpRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
     ) -> bool:
         self._requests_handled += 1
         keep_alive = request.headers.get("connection", "").lower() != "close"
         try:
-            return await self._route(request, writer, keep_alive)
+            return await self._route(request, reader, writer, keep_alive)
         except ServeError as exc:
             status = STATUS_BY_REASON.get(exc.code, 500)
             await self._write_json(
@@ -396,7 +416,11 @@ class PredictionHttpServer:
             return False
 
     async def _route(
-        self, request: _HttpRequest, writer: asyncio.StreamWriter, keep_alive: bool
+        self,
+        request: _HttpRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
     ) -> bool:
         if request.method == "GET" and request.path == "/healthz":
             await self._write_json(
@@ -408,6 +432,9 @@ class PredictionHttpServer:
                     "requests_handled": self._requests_handled,
                     "protocol_errors": self._protocol_errors,
                     "internal_errors": self._internal_errors,
+                    "requests_recorded": self._requests_recorded,
+                    "stream_disconnects": self._stream_disconnects,
+                    "stream_cancelled_chunks": self._stream_cancelled_chunks,
                 },
                 keep_alive,
             )
@@ -434,14 +461,26 @@ class PredictionHttpServer:
             tenant = self._authenticate(request)
             name = match.group(1)
             blocks, priority, deadline_ms, stream = self._parse_predict(request)
+            if self.recorder is not None:
+                # After parsing, before admission: the trace captures every
+                # well-formed call the queue is offered, including those the
+                # queue then rejects (a replay must reproduce that load).
+                self.recorder.record(
+                    blocks,
+                    priority=priority,
+                    deadline_ms=deadline_ms,
+                    model=name,
+                    stream=stream,
+                )
+                self._requests_recorded += 1
             if stream:
-                await self._predict_stream(
-                    writer, name, tenant, blocks, priority, deadline_ms, keep_alive
+                return await self._predict_stream(
+                    reader, writer, name, tenant, blocks, priority, deadline_ms,
+                    keep_alive,
                 )
-            else:
-                await self._predict_unary(
-                    writer, name, tenant, blocks, priority, deadline_ms, keep_alive
-                )
+            await self._predict_unary(
+                writer, name, tenant, blocks, priority, deadline_ms, keep_alive
+            )
             return keep_alive
         raise InvalidRequestError(
             f"no route for {request.method} {request.path}"
@@ -558,6 +597,7 @@ class PredictionHttpServer:
 
     async def _predict_stream(
         self,
+        reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         name: str,
         tenant,
@@ -565,7 +605,7 @@ class PredictionHttpServer:
         priority: int,
         deadline_ms: Optional[float],
         keep_alive: bool,
-    ) -> None:
+    ) -> bool:
         """NDJSON streaming: one line per micro-batch-sized chunk.
 
         Every chunk is its own queue request, so lines appear as the
@@ -575,6 +615,14 @@ class PredictionHttpServer:
         (unknown model, full queue) still map to proper status codes.
         Per-chunk failures after that (an expired deadline, a drained
         close) become ``"error"`` lines instead of poisoning the stream.
+
+        A client that disconnects mid-stream is noticed within one poll
+        interval (``reader.at_eof()`` flips as soon as the transport sees
+        the FIN, whether or not anything is reading): every still-pending
+        chunk future is cancelled, which propagates to the queue's eager
+        cancel-discard and frees the abandoned blocks' capacity instead of
+        predicting for nobody.  Returns whether the connection is reusable
+        (always ``False`` after a disconnect).
         """
         chunk_size = self.registry.variant(name).config.max_batch_size
         pending: Dict["asyncio.Future", Tuple[int, int]] = {}
@@ -585,39 +633,64 @@ class PredictionHttpServer:
             )
             pending[awaitable] = (chunk_index, offset)
         total_chunks = len(pending)
-        head = (
-            "HTTP/1.1 200 OK\r\n"
-            "Content-Type: application/x-ndjson\r\n"
-            "Transfer-Encoding: chunked\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n"
-        )
-        writer.write(head.encode("latin-1"))
-        await writer.drain()
-        while pending:
-            done, _ = await asyncio.wait(
-                pending.keys(), return_when=asyncio.FIRST_COMPLETED
+        disconnected = False
+        try:
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                "\r\n"
             )
-            for finished in done:
-                chunk_index, offset = pending.pop(finished)
-                line: Dict[str, Any] = {"chunk": chunk_index, "offset": offset}
-                try:
-                    response = finished.result()
-                    line.update(
-                        request_id=response.request_id,
-                        num_blocks=response.num_blocks,
-                        seconds=response.seconds,
-                        predictions=response.predictions,
-                    )
-                except ServeError as exc:
-                    line["error"] = {
-                        "code": exc.code.value,
-                        "message": str(exc),
-                    }
-                await self._write_ndjson_line(writer, line)
-        await self._write_ndjson_line(writer, {"done": True, "chunks": total_chunks})
-        writer.write(b"0\r\n\r\n")
-        await writer.drain()
+            writer.write(head.encode("latin-1"))
+            await writer.drain()
+            while pending:
+                if reader.at_eof() or reader.exception() is not None:
+                    disconnected = True
+                    break
+                done, _ = await asyncio.wait(
+                    pending.keys(),
+                    timeout=0.05,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                for finished in done:
+                    chunk_index, offset = pending.pop(finished)
+                    line: Dict[str, Any] = {"chunk": chunk_index, "offset": offset}
+                    try:
+                        response = finished.result()
+                        line.update(
+                            request_id=response.request_id,
+                            num_blocks=response.num_blocks,
+                            seconds=response.seconds,
+                            predictions=response.predictions,
+                        )
+                    except ServeError as exc:
+                        line["error"] = {
+                            "code": exc.code.value,
+                            "message": str(exc),
+                        }
+                    await self._write_ndjson_line(writer, line)
+            if not disconnected:
+                await self._write_ndjson_line(
+                    writer, {"done": True, "chunks": total_chunks}
+                )
+                writer.write(b"0\r\n\r\n")
+                await writer.drain()
+        except (ConnectionError, OSError):
+            # The peer vanished between the at_eof poll and a write; same
+            # cleanup as a detected disconnect.
+            disconnected = True
+        finally:
+            if pending:
+                # Cancelling the asyncio wrapper chains to the underlying
+                # queue future; chunks still queued are dropped and their
+                # blocks freed, chunks already mid-flush finish unobserved.
+                self._stream_cancelled_chunks += sum(
+                    1 for future in pending if future.cancel()
+                )
+            if disconnected:
+                self._stream_disconnects += 1
+        return keep_alive and not disconnected
 
     # ------------------------------------------------------------------ #
     # Wire helpers.

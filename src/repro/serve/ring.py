@@ -21,15 +21,39 @@ with queue depth while the surviving workers' caches stay warm.
 Vnode points use CRC32 like :func:`repro.serve.batching.shard_key` — a
 salted ``hash()`` would scatter the ring differently in every process,
 breaking parent/worker agreement after respawns.
+
+Hot-key replication
+-------------------
+
+Consistent hashing gives every key exactly one owner — which is exactly
+wrong for a Zipf-skewed key stream, where the head key alone can carry a
+double-digit share of the traffic and serializes on one worker while the
+rest of the pool idles.  :class:`HotKeyTracker` surfaces the Zipf head
+(bounded space-saving counters with periodic decay), and
+:class:`HotKeyRouter` routes those keys *read-any* across their first
+``replicas`` distinct ring successors (:meth:`HashRing.owners`) instead
+of pinning them to one.  Throughput predictions are deterministic per
+block text, so any replica's answer is equally correct; each replica's
+prediction cache warms the key independently and the per-key round-robin
+spreads the load.  Cold keys keep the pure single-owner routing (perfect
+cache affinity), and replica sets move under resizes exactly like single
+owners do: ~1/N of the key space, no more.
 """
 
 from __future__ import annotations
 
 import bisect
+import heapq
 import zlib
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
-__all__ = ["HashRing", "DEFAULT_VNODES", "RING_SPACE"]
+__all__ = [
+    "HashRing",
+    "HotKeyTracker",
+    "HotKeyRouter",
+    "DEFAULT_VNODES",
+    "RING_SPACE",
+]
 
 #: Virtual nodes per worker.  More vnodes mean better balance (relative
 #: load deviation shrinks roughly with 1/sqrt(vnodes)) at a small rebuild
@@ -126,6 +150,41 @@ class HashRing:
             index = 0  # wrap: keys past the last point belong to the first
         return self._owners[index]
 
+    def owners(self, key: int, count: int = 1) -> List[int]:
+        """The first ``count`` *distinct* workers clockwise from ``key``.
+
+        ``owners(key, 1) == [owner(key)]`` by construction, and growing
+        ``count`` only ever appends — the replica set of a key is a prefix
+        of its clockwise successor sequence, which is what makes
+        replication inherit consistent hashing's movement bound: adding a
+        node can displace at most one member of any key's replica set
+        (the new node itself slots in), removing a node replaces only that
+        node with the next successor.
+
+        ``count`` is clamped to the number of nodes on the ring (a
+        two-worker pool cannot hold three replicas).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if not self._points:
+            raise LookupError("the ring has no nodes")
+        count = min(count, len(self._nodes))
+        index = bisect.bisect_left(self._points, int(key) % RING_SPACE)
+        total = len(self._points)
+        owners: List[int] = []
+        seen: set = set()
+        # Walk clockwise until `count` distinct owners surface; bounded by
+        # one full lap (every node appears within one lap by definition).
+        for step in range(total):
+            position = (index + step) % total
+            node = self._owners[position]
+            if node not in seen:
+                seen.add(node)
+                owners.append(node)
+                if len(owners) == count:
+                    break
+        return owners
+
     def shares(self) -> Dict[int, float]:
         """Fraction of the key space owned per worker (sums to 1.0)."""
         if not self._points:
@@ -136,3 +195,155 @@ class HashRing:
             shares[node] += (point - previous) / RING_SPACE
             previous = point
         return shares
+
+
+class HotKeyTracker:
+    """Bounded frequency tracker surfacing the Zipf head of a key stream.
+
+    A space-saving-style counter: at most ``capacity`` keys are tracked;
+    when a new key arrives at capacity it evicts the current minimum and
+    inherits its count (the classic over-estimate bound, fine here — we
+    only need the *head* to surface, not exact counts).  Every
+    ``decay_interval`` observations all counts halve and zeros drop, so a
+    formerly-hot key cools off instead of staying hot forever.
+
+    The hot set (the top ``hot_count`` keys with at least ``min_hits``
+    observations) is recomputed lazily once at least ``refresh_interval``
+    observations have arrived since the previous recomputation — a
+    watermark, not a modulo, so a refresh consumed early (the very first
+    route asks for the hot set) cannot push the next one a full interval
+    out.  Per-observation cost stays O(1) dict work.
+
+    Not thread-safe by itself; the service observes keys under its own
+    submission lock.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        hot_count: int = 8,
+        min_hits: int = 16,
+        decay_interval: int = 65536,
+        refresh_interval: int = 64,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if hot_count < 1:
+            raise ValueError("hot_count must be >= 1")
+        if min_hits < 1:
+            raise ValueError("min_hits must be >= 1")
+        if decay_interval < 1 or refresh_interval < 1:
+            raise ValueError("intervals must be >= 1")
+        self.capacity = int(capacity)
+        self.hot_count = int(hot_count)
+        self.min_hits = int(min_hits)
+        self.decay_interval = int(decay_interval)
+        self.refresh_interval = int(refresh_interval)
+        self._counts: Dict[int, int] = {}
+        self._observed = 0
+        self._hot: FrozenSet[int] = frozenset()
+        self._refreshed_at = 0  # _observed value at the last hot-set refresh
+
+    def observe(self, key: int) -> None:
+        """Records one occurrence of ``key``."""
+        counts = self._counts
+        if key in counts:
+            counts[key] += 1
+        elif len(counts) < self.capacity:
+            counts[key] = 1
+        else:
+            victim = min(counts, key=counts.__getitem__)
+            inherited = counts.pop(victim)
+            counts[key] = inherited + 1
+        self._observed += 1
+        if self._observed % self.decay_interval == 0:
+            self._counts = {
+                tracked: count // 2
+                for tracked, count in counts.items()
+                if count // 2 > 0
+            }
+            # Force a refresh on the next read: decayed keys may have
+            # dropped below min_hits.
+            self._refreshed_at = self._observed - self.refresh_interval
+
+    def hot_keys(self) -> FrozenSet[int]:
+        """The current hot set (lazily refreshed)."""
+        if self._observed - self._refreshed_at >= self.refresh_interval:
+            eligible = [
+                (count, key)
+                for key, count in self._counts.items()
+                if count >= self.min_hits
+            ]
+            top = heapq.nlargest(self.hot_count, eligible)
+            self._hot = frozenset(key for _, key in top)
+            self._refreshed_at = self._observed
+        return self._hot
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class HotKeyRouter:
+    """Read-any routing of hot keys over their ring replica sets.
+
+    Cold keys route exactly like the plain ring (``ring.owner``): one
+    owner, perfect cache affinity.  Keys the tracker classifies hot route
+    round-robin across their first ``replicas`` distinct ring successors,
+    so the Zipf head's traffic spreads instead of serializing on one
+    worker — each replica's prediction cache warms the key once and every
+    route after that is a cache hit wherever it lands.
+
+    The router reads the live ring on every route, so pool resizes need
+    no notification: replica sets follow the ring's own movement bound.
+    Not thread-safe by itself (used under the service's submission lock).
+    """
+
+    def __init__(
+        self,
+        ring: HashRing,
+        replicas: int = 2,
+        tracker: HotKeyTracker = None,
+        hot_count: int = 8,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.ring = ring
+        self.replicas = int(replicas)
+        # `tracker or ...` would discard an *empty* tracker (its __len__ is
+        # 0, hence falsy) — an explicit None check is required.
+        if tracker is None:
+            tracker = HotKeyTracker(hot_count=hot_count)
+        self.tracker = tracker
+        #: Per-hot-key round-robin cursor (pruned to the live hot set).
+        self._cursors: Dict[int, int] = {}
+        #: Blocks routed through a replica set (vs. the single owner).
+        self.replicated_routes = 0
+        self.total_routes = 0
+
+    def route(self, key: int) -> int:
+        """The worker ``key`` should go to right now (and counts the route)."""
+        self.total_routes += 1
+        if self.replicas > 1 and key in self.tracker.hot_keys():
+            owners = self.ring.owners(key, self.replicas)
+            if len(owners) > 1:
+                cursor = self._cursors.get(key, 0)
+                self._cursors[key] = cursor + 1
+                self.replicated_routes += 1
+                if len(self._cursors) > 4 * self.tracker.hot_count:
+                    hot = self.tracker.hot_keys()
+                    self._cursors = {
+                        k: v for k, v in self._cursors.items() if k in hot
+                    }
+                return owners[cursor % len(owners)]
+        return self.ring.owner(key)
+
+    def route_text(self, text: str) -> int:
+        """Observes and routes one block text (the coalescer's owner_of)."""
+        key = zlib.crc32(text.encode("utf-8"))
+        self.tracker.observe(key)
+        return self.route(key)
+
+    @property
+    def hot_keys(self) -> FrozenSet[int]:
+        """The tracker's current hot set."""
+        return self.tracker.hot_keys()

@@ -40,8 +40,10 @@ from repro.models.base import ThroughputModel
 from repro.serve.batching import (
     coalesce_requests,
     coalesce_requests_by_ring,
+    coalesce_requests_by_router,
 )
 from repro.serve.config import SHARDING_MODES, ServiceConfig
+from repro.serve.ring import HotKeyRouter
 from repro.serve.stats import CacheStats, ModelStats, WorkerStats
 from repro.serve.types import (
     PredictionRequest,
@@ -106,6 +108,9 @@ class PredictionService:
         self._model = model
         self._pool: Optional[ShardedWorkerPool] = None
         self._autoscaler: Optional[PoolAutoscaler] = None
+        # Hot-key replication router (hash sharding with
+        # hot_key_replicas > 1 only), built lazily with the pool.
+        self._hot_router: Optional[HotKeyRouter] = None  # guarded-by: _submit_lock
         self._parse_cache: LRUCache = LRUCache(PARSE_CACHE_SIZE)
         # Round-robin sharding deals micro-batches out across *submissions*
         # (not restarting at worker 0 every submit), like the former
@@ -216,13 +221,24 @@ class PredictionService:
                 self.stats.resizes += 1
             return delta
 
-    def maybe_autoscale(self, pending_blocks: int) -> int:
+    def maybe_autoscale(
+        self,
+        pending_blocks: int,
+        *,
+        flush_wait_p99_s: Optional[float] = None,
+        batch_latency_s: Optional[float] = None,
+        wait_budget_s: Optional[float] = None,
+    ) -> int:
         """Applies one autoscaler decision; returns the live worker count.
 
         Called by the async front end's monitor with the current queue
-        depth.  A no-op unless :attr:`autoscaling_enabled` (and the pool has
-        been built, so an idle service is never warm-started just to shrink
-        it).
+        depth plus, when it has them, realized-latency signals: the recent
+        p99 flush wait, the typical per-flush service time, and the wait
+        budget those are judged against (see
+        :meth:`repro.serve.workers.PoolAutoscaler.decide`).  NaN signals
+        mean "no data yet" and are ignored.  A no-op unless
+        :attr:`autoscaling_enabled` (and the pool has been built, so an
+        idle service is never warm-started just to shrink it).
         """
         if not self.autoscaling_enabled or self._pool is None or self._closed:
             return self.num_workers
@@ -235,10 +251,33 @@ class PredictionService:
                 cooldown_s=self.config.scale_cooldown_s,
             )
         current = self._pool.num_workers
-        target = self._autoscaler.decide(pending_blocks, current)
+        target = self._autoscaler.decide(
+            pending_blocks,
+            current,
+            flush_wait_p99_s=flush_wait_p99_s,
+            batch_latency_s=batch_latency_s,
+            wait_budget_s=wait_budget_s,
+        )
         if target != current:
             self.scale_workers(target)
         return target
+
+    def _hot_router_locked(self, pool: ShardedWorkerPool) -> Optional[HotKeyRouter]:
+        """The hot-key router, built on first use (``None`` when disabled).
+
+        The router wraps the pool's *live* ring, so resizes need no
+        re-wiring — replica sets follow the ring.  Caller holds
+        ``_submit_lock``.
+        """
+        if self.config.hot_key_replicas <= 1:
+            return None
+        if self._hot_router is None:
+            self._hot_router = HotKeyRouter(
+                pool.ring,
+                replicas=self.config.hot_key_replicas,
+                hot_count=self.config.hot_key_count,
+            )
+        return self._hot_router
 
     def worker_stats(self) -> List[WorkerStats]:
         """Typed per-worker cache/ring stats (empty for in-process services)."""
@@ -261,6 +300,7 @@ class PredictionService:
             cache = CacheStats.from_model_stats(raw)
         with self._submit_lock:
             stats = self.stats
+            router = self._hot_router
             return ModelStats(
                 model_name=self.config.model_name,
                 inference_dtype=self.inference_dtype,
@@ -272,6 +312,11 @@ class PredictionService:
                 respawns=stats.respawns,
                 resizes=stats.resizes,
                 num_workers=self.num_workers,
+                hot_key_replicas=self.config.hot_key_replicas,
+                hot_keys=len(router.hot_keys) if router is not None else 0,
+                replicated_routes=(
+                    router.replicated_routes if router is not None else 0
+                ),
                 cache=cache,
             )
 
@@ -386,9 +431,15 @@ class PredictionService:
             # on send/recv, respawns them and resubmits the lost work.
             pool = self._ensure_pool()
             if self.config.sharding == "hash":
-                assignments = coalesce_requests_by_ring(
-                    requests, self.config.max_batch_size, pool.ring
-                )
+                router = self._hot_router_locked(pool)
+                if router is not None:
+                    assignments = coalesce_requests_by_router(
+                        requests, self.config.max_batch_size, router
+                    )
+                else:
+                    assignments = coalesce_requests_by_ring(
+                        requests, self.config.max_batch_size, pool.ring
+                    )
             else:
                 assignments = [
                     ((self._round_robin_position + index) % pool.num_workers, batch)

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, ClassVar, Dict, List, Mapping, Optional, Tuple
+from typing import Any, ClassVar, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 __all__ = [
     "StatsStruct",
@@ -33,9 +35,31 @@ __all__ = [
     "WorkerStats",
     "QueueStats",
     "FlushStats",
+    "HedgeStats",
     "ModelStats",
     "ServiceSnapshot",
+    "latency_percentile",
 ]
+
+
+def latency_percentile(samples: Iterable[float], quantile: float) -> float:
+    """The ``quantile`` (0..1) of ``samples``, or NaN for an empty window.
+
+    NaN — not 0.0 — is the only honest answer when there are no samples:
+    an SLO check or autoscaler reading 0.0 would mistake "no data" for
+    "zero latency" and either pass a dead service or never scale.  NaN
+    propagates through arithmetic, fails every ``<=`` comparison, and
+    serializes to ``null`` on the wire (see ``repro.serve.http._jsonable``),
+    so every consumer is forced to treat the empty window explicitly.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    # list() is a single C-level copy, so iterating cannot interleave with
+    # a producer thread appending to a deque mid-iteration.
+    values = list(samples)
+    if not values:
+        return float("nan")
+    return float(np.quantile(np.asarray(values), quantile))
 
 
 def _plain(value: Any) -> Any:
@@ -158,7 +182,19 @@ class QueueStats(StatsStruct):
 
 @dataclass(frozen=True)
 class FlushStats(StatsStruct):
-    """Dispatcher-side flush counters and realized latency percentiles."""
+    """Dispatcher-side flush counters and realized latency percentiles.
+
+    Two latency families with deliberately distinct names:
+
+    * ``wait_*`` — per *flush*, the wait of that flush's oldest request
+      (the dispatcher's deadline-keeping signal; biased low as a request
+      latency, since only one request per flush is sampled);
+    * ``request_*`` — per *request*, enqueue -> completion (what a client
+      actually experienced, including the service call itself).
+
+    All percentiles are NaN while their sample window is empty (never
+    0.0 — "no data" must not read as "zero latency").
+    """
 
     policy: str
     current_deadline_ms: float
@@ -172,6 +208,32 @@ class FlushStats(StatsStruct):
     wait_p99_ms: float
     deadline_p50_ms: float
     deadline_p99_ms: float
+    request_p50_ms: float = float("nan")
+    request_p99_ms: float = float("nan")
+    request_p999_ms: float = float("nan")
+    requests_completed: int = 0
+    request_errors: int = 0
+
+
+@dataclass(frozen=True)
+class HedgeStats(StatsStruct):
+    """Hedged-request counters of the async front end.
+
+    ``issued`` counts duplicate submissions (a request outlived the hedge
+    deadline while queued or in flight); ``won`` counts client responses
+    that came from the hedge rather than the primary; ``losers_cancelled``
+    counts losing attempts cancelled while still queued (their blocks were
+    freed without reaching a worker).  ``deadline_ms`` is the hedge
+    deadline currently in effect — NaN until ``hedge_min_samples`` request
+    latencies have been observed.
+    """
+
+    enabled: bool = False
+    issued: int = 0
+    won: int = 0
+    losers_cancelled: int = 0
+    deadline_ms: float = float("nan")
+    inflight: int = 0
 
 
 @dataclass(frozen=True)
@@ -188,6 +250,12 @@ class ModelStats(StatsStruct):
     respawns: int
     resizes: int
     num_workers: int
+    #: Replication factor applied to Zipf-head keys (1 = replication off).
+    hot_key_replicas: int = 1
+    #: Keys currently classified hot (and routed read-any over replicas).
+    hot_keys: int = 0
+    #: Blocks routed through a replica set instead of the single ring owner.
+    replicated_routes: int = 0
     #: Cache counters of the in-process replica; ``None`` in worker mode
     #: (each replica reports its own through ``worker_stats()``) and until
     #: the model is first built.
@@ -199,9 +267,10 @@ class ServiceSnapshot(StatsStruct):
     """Point-in-time view of one async serving stack.
 
     Sections: :attr:`queue` (admission), :attr:`flush` (dispatcher),
-    :attr:`model` (the underlying sync service), plus the flush
-    controller's own :attr:`controller` state dict and the autoscale
-    monitor's error counter.  The historical flat keys
+    :attr:`model` (the underlying sync service), :attr:`hedge` (the hedged
+    duplicate machinery), plus the flush controller's own
+    :attr:`controller` state dict and the autoscale monitor's error
+    counter.  The historical flat keys
     (``snapshot["flush_wait_p99_ms"]`` etc.) resolve through
     :attr:`_FLAT_ALIASES`.
     """
@@ -209,6 +278,7 @@ class ServiceSnapshot(StatsStruct):
     queue: QueueStats
     flush: FlushStats
     model: ModelStats
+    hedge: HedgeStats
     controller: Dict[str, Any]
     autoscale_errors: int
 
@@ -229,6 +299,11 @@ class ServiceSnapshot(StatsStruct):
         "flush_wait_p99_ms": "flush.wait_p99_ms",
         "flush_deadline_p50_ms": "flush.deadline_p50_ms",
         "flush_deadline_p99_ms": "flush.deadline_p99_ms",
+        "request_latency_p50_ms": "flush.request_p50_ms",
+        "request_latency_p99_ms": "flush.request_p99_ms",
+        "request_latency_p999_ms": "flush.request_p999_ms",
+        "hedges_issued": "hedge.issued",
+        "hedges_won": "hedge.won",
         "cancelled_drops": "queue.cancelled_drops",
         "expired_drops": "queue.expired_drops",
         "rejected": "queue.rejected",

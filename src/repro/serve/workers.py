@@ -37,6 +37,7 @@ respawn instead of mis-assigning them.
 from __future__ import annotations
 
 import itertools
+import math
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -534,15 +535,18 @@ class ShardedWorkerPool:
 
 
 class PoolAutoscaler:
-    """Turns queue depth into pool-resize decisions under bounds.
+    """Turns queue depth and realized latency into pool-resize decisions.
 
     The policy is deliberately conservative:
 
     * **scale up** when the pending backlog exceeds
       ``scale_up_backlog_batches`` size-flushes *per worker* — the queue is
-      growing faster than the current pool drains it;
-    * **scale down** when the queue has stayed below one batch *total* for
-      ``idle_grace_s`` — the pool is provably over-provisioned;
+      growing faster than the current pool drains it — or when the
+      realized-latency signals say the SLO is already slipping (see
+      :meth:`decide`);
+    * **scale down** when the queue has stayed below one batch *total* —
+      and no latency signal has shown pressure — for ``idle_grace_s``:
+      the pool is provably over-provisioned;
     * never outside ``[min_workers, max_workers]``, and never within
       ``cooldown_s`` of the previous resize (spawning a replica costs a
       model build; flapping would be worse than either steady state).
@@ -576,17 +580,61 @@ class PoolAutoscaler:
         self._last_resize_at: Optional[float] = None
         self._busy_since: Optional[float] = None  # last time the queue was busy
 
+    @staticmethod
+    def _signal(value: Optional[float]) -> Optional[float]:
+        """Normalizes a latency signal: ``None``/NaN mean "no data"."""
+        if value is None or math.isnan(value):
+            return None
+        return float(value)
+
     def decide(
-        self, pending_blocks: int, num_workers: int, now: Optional[float] = None
+        self,
+        pending_blocks: int,
+        num_workers: int,
+        now: Optional[float] = None,
+        *,
+        flush_wait_p99_s: Optional[float] = None,
+        batch_latency_s: Optional[float] = None,
+        wait_budget_s: Optional[float] = None,
     ) -> int:
         """The worker count the pool should run right now.
 
-        Returns ``num_workers`` (no change) unless a resize is due; the
-        caller is responsible for applying the change and may call again
-        immediately (the cooldown starts from the *decision*).
+        Besides the queue depth, the caller may pass realized-latency
+        signals (``None``/NaN = no data, behave exactly as before):
+
+        * ``flush_wait_p99_s`` — the recent p99 of realized flush waits.
+          Exceeding ``wait_budget_s`` means clients are *already* waiting
+          too long, however short the queue looks right now: scale up.
+        * ``batch_latency_s`` — the typical wall time of one service
+          flush.  ``pending / max_batch_size x batch_latency / workers``
+          estimates how long draining the current backlog will take; a
+          drain time over budget is pressure the pure depth threshold
+          (which assumes flushes are instant) misses on slow models.
+
+        Latency pressure also counts as "busy", so an over-budget pool is
+        never scaled down no matter how shallow its queue.  Returns
+        ``num_workers`` (no change) unless a resize is due; the caller is
+        responsible for applying the change and may call again immediately
+        (the cooldown starts from the *decision*).
         """
         now = time.monotonic() if now is None else now
-        if self._busy_since is None or pending_blocks >= self.max_batch_size:
+        wait_p99 = self._signal(flush_wait_p99_s)
+        batch_latency = self._signal(batch_latency_s)
+        budget = self._signal(wait_budget_s)
+        latency_pressure = False
+        if budget is not None and budget > 0:
+            if wait_p99 is not None and wait_p99 > budget:
+                latency_pressure = True
+            if batch_latency is not None and num_workers > 0:
+                pending_batches = pending_blocks / self.max_batch_size
+                drain_s = pending_batches * batch_latency / num_workers
+                if drain_s > budget:
+                    latency_pressure = True
+        if (
+            self._busy_since is None
+            or pending_blocks >= self.max_batch_size
+            or latency_pressure
+        ):
             self._busy_since = now
         target = min(max(num_workers, self.min_workers), self.max_workers)
         if target != num_workers:
@@ -598,8 +646,8 @@ class PoolAutoscaler:
         elif (
             pending_blocks
             >= self.scale_up_backlog_batches * self.max_batch_size * num_workers
-            and num_workers < self.max_workers
-        ):
+            or latency_pressure
+        ) and num_workers < self.max_workers:
             target = num_workers + 1
         elif (
             now - self._busy_since >= self.idle_grace_s

@@ -12,6 +12,7 @@ import time
 
 import pytest
 
+from repro.models.config import default_inference_dtype
 from repro.serve import (
     AsyncOptions,
     FlushStats,
@@ -240,8 +241,11 @@ class TestPredict:
             results[model] = body["predictions"]
         assert set(results["granite-haswell"]) == {"haswell"}
         assert set(results["granite-skylake-f32"]) == {"skylake"}
+        # granite-haswell sets no explicit dtype, so it follows the
+        # process-wide default (the INFERENCE_DTYPE CI matrix leg);
+        # granite-skylake-f32 pins float32 regardless.
         for model, dtype in (
-            ("granite-haswell", "float64"),
+            ("granite-haswell", default_inference_dtype()),
             ("granite-skylake-f32", "float32"),
         ):
             status, report = http(
@@ -476,6 +480,119 @@ class TestStatsSchema:
         by_tenant = report["info"]["requests_by_tenant"]
         assert by_tenant["acme"] >= 2
         assert by_tenant["blue"] >= 1
+
+
+class TestStreamDisconnect:
+    @pytest.fixture()
+    def slow_server(self):
+        """A server whose queue holds blocks for a minute: streamed chunks
+        stay pending long enough for the client to walk away."""
+        registry = ModelRegistry(
+            (
+                ModelVariant(
+                    "slow",
+                    ServiceConfig(
+                        tasks=("haswell",),
+                        max_batch_size=8,
+                        async_options=AsyncOptions(
+                            max_latency_ms=60_000.0,
+                            flush_policy="static",
+                        ),
+                    ),
+                ),
+            )
+        )
+        with PredictionHttpServer(
+            registry, HttpServerConfig(), own_registry=True
+        ) as running:
+            yield running
+
+    def test_disconnect_cancels_pending_chunks(self, slow_server):
+        port = slow_server.port
+        payload = json.dumps(
+            {"blocks": [f"mov rax, {i}" for i in range(6)], "stream": True}
+        ).encode()
+        head = (
+            f"POST /v1/models/slow/predict HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+        ).encode()
+        with socket.create_connection(("127.0.0.1", port), timeout=30.0) as sock:
+            sock.sendall(head + payload)
+            # Wait for the response headers: the stream is now live and
+            # its chunk futures are queued behind the one-minute deadline.
+            raw = b""
+            while b"\r\n\r\n" not in raw:
+                raw += sock.recv(4096)
+            assert b"200" in raw.split(b"\r\n", 1)[0]
+        # Socket closed mid-stream.  The server's poll loop must notice,
+        # cancel the pending chunk futures and count the disconnect.
+        deadline = time.monotonic() + 30.0
+        body = {}
+        while time.monotonic() < deadline:
+            _, body = http(port, "GET", "/healthz")
+            if body["stream_disconnects"] >= 1:
+                break
+            time.sleep(0.05)
+        assert body["stream_disconnects"] == 1
+        assert body["stream_cancelled_chunks"] >= 1
+
+    def test_completed_stream_counts_no_disconnect(self, server):
+        blocks = [f"add rax, {i}" for i in range(4)]
+        status, lines = http(
+            server.port,
+            "POST",
+            "/v1/models/granite-haswell/predict",
+            payload={"blocks": blocks, "stream": True},
+            api_key=ACME_KEY,
+        )
+        assert status == 200
+        assert lines[-1]["done"] is True
+        _, body = http(server.port, "GET", "/healthz")
+        assert body["stream_disconnects"] == 0
+        assert body["stream_cancelled_chunks"] == 0
+
+
+class TestRecorderHook:
+    def test_predicts_are_captured_as_a_trace(self):
+        from repro.serve import TraceRecorder
+
+        recorder = TraceRecorder()
+        registry = ModelRegistry(
+            (ModelVariant("rec", ServiceConfig(tasks=("haswell",))),)
+        )
+        with PredictionHttpServer(
+            registry, HttpServerConfig(), own_registry=True, recorder=recorder
+        ) as running:
+            http(
+                running.port,
+                "POST",
+                "/v1/models/rec/predict",
+                payload={"blocks": ["mov rax, 1", "add rbx, 2"]},
+            )
+            http(
+                running.port,
+                "POST",
+                "/v1/models/rec/predict",
+                payload={"block": "sub rcx, 3", "priority": "bulk"},
+            )
+            # Rejected submissions are offered load too: a 404 model never
+            # reaches a queue but still lands in the trace.
+            http(
+                running.port,
+                "POST",
+                "/v1/models/ghost/predict",
+                payload={"block": "mov rdx, 4"},
+            )
+            _, body = http(running.port, "GET", "/healthz")
+        assert body["requests_recorded"] == 3
+        trace = recorder.trace()
+        assert trace.num_requests == 3
+        assert trace.requests[0].block_texts == ("mov rax, 1", "add rbx, 2")
+        assert trace.requests[0].model == "rec"
+        assert trace.requests[1].num_blocks == 1
+        assert trace.requests[2].model == "ghost"
+        offsets = [request.offset_s for request in trace.requests]
+        assert offsets == sorted(offsets) and offsets[0] == 0.0
 
 
 class TestServerLifecycle:

@@ -5,6 +5,8 @@ import pytest
 from repro.data.synthetic import BlockGenerator, GeneratorConfig
 from repro.serve import (
     HashRing,
+    HotKeyRouter,
+    HotKeyTracker,
     PredictionRequest,
     coalesce_requests_by_ring,
     shard_key,
@@ -150,3 +152,180 @@ class TestRingCoalescing:
             coalesce_requests_by_ring([request], 0, HashRing(nodes=(0,)))
         with pytest.raises(ValueError):
             coalesce_requests_by_ring([request], 4, HashRing())
+
+
+class TestReplicaSets:
+    """Invariants of HashRing.owners — the basis of hot-key replication."""
+
+    def test_single_replica_matches_owner(self, keys):
+        ring = HashRing(nodes=range(4))
+        for key in keys:
+            assert ring.owners(key, 1) == [ring.owner(key)]
+
+    def test_replica_sets_are_distinct_and_prefix_closed(self, keys):
+        ring = HashRing(nodes=range(5))
+        for key in keys:
+            three = ring.owners(key, 3)
+            assert len(three) == len(set(three)) == 3
+            # Growing count only appends: owners(k, n) is a prefix of
+            # owners(k, n+1).  This is what bounds replica-set movement.
+            assert ring.owners(key, 2) == three[:2]
+            assert ring.owners(key, 1) == three[:1]
+
+    def test_count_clamped_to_ring_size(self, keys):
+        ring = HashRing(nodes=(0, 1))
+        for key in keys[:50]:
+            owners = ring.owners(key, 5)
+            assert sorted(owners) == [0, 1]
+
+    def test_add_node_displaces_at_most_one_replica(self, keys):
+        """Adding a worker may insert itself into a key's replica set; it
+        never reshuffles the set beyond that single displacement."""
+        before = HashRing(nodes=range(4))
+        after = HashRing(nodes=range(5))
+        for key in keys:
+            old = before.owners(key, 2)
+            new = after.owners(key, 2)
+            # Every new replica is either an old one or the added node.
+            assert set(new) <= set(old) | {4}
+            assert len(set(old) - set(new)) <= 1
+
+    def test_remove_node_replaces_only_the_removed_replica(self, keys):
+        before = HashRing(nodes=range(5))
+        after = HashRing(nodes=range(4))  # node 4 removed
+        for key in keys:
+            old = before.owners(key, 2)
+            new = after.owners(key, 2)
+            if 4 not in old:
+                assert new == old  # untouched sets do not move at all
+            else:
+                # The survivor keeps its slot; one successor fills in.
+                assert set(old) - {4} <= set(new)
+
+    def test_owners_validation(self):
+        ring = HashRing(nodes=(0,))
+        with pytest.raises(ValueError):
+            ring.owners(1, 0)
+        with pytest.raises(LookupError):
+            HashRing().owners(1, 1)
+
+
+class TestHotKeyTracker:
+    def test_head_surfaces_after_refresh_interval(self):
+        tracker = HotKeyTracker(hot_count=2, min_hits=8, refresh_interval=16)
+        for _ in range(40):
+            tracker.observe(7)
+        for key in range(100, 110):
+            tracker.observe(key)
+        assert 7 in tracker.hot_keys()
+        assert not any(key in tracker.hot_keys() for key in range(100, 110))
+
+    def test_cold_keys_below_min_hits_never_hot(self):
+        tracker = HotKeyTracker(hot_count=4, min_hits=16, refresh_interval=8)
+        for key in range(64):
+            tracker.observe(key)  # one hit each — all below min_hits
+        assert tracker.hot_keys() == frozenset()
+
+    def test_capacity_eviction_keeps_tracker_bounded(self):
+        tracker = HotKeyTracker(capacity=8, min_hits=1, refresh_interval=4)
+        for key in range(1000):
+            tracker.observe(key)
+        assert len(tracker) <= 8
+
+    def test_decay_cools_formerly_hot_keys(self):
+        tracker = HotKeyTracker(
+            hot_count=2, min_hits=16, decay_interval=64, refresh_interval=8
+        )
+        for _ in range(30):
+            tracker.observe(1)
+        assert 1 in tracker.hot_keys()
+        # Drive other traffic across enough decay cycles that key 1's
+        # count halves below min_hits (30 -> 15 after one decay).
+        for index in range(40):
+            tracker.observe(200 + index % 5)
+        assert 1 not in tracker.hot_keys()
+
+    def test_watermark_refresh_is_not_starved_by_early_reads(self):
+        # The historical bug: an early hot_keys() read right after
+        # construction consumed the refresh and pushed the next one a full
+        # interval out, hiding the head for ~4x longer than configured.
+        tracker = HotKeyTracker(hot_count=1, min_hits=8, refresh_interval=16)
+        assert tracker.hot_keys() == frozenset()  # the early read
+        for _ in range(20):
+            tracker.observe(3)
+        assert 3 in tracker.hot_keys()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotKeyTracker(capacity=0)
+        with pytest.raises(ValueError):
+            HotKeyTracker(hot_count=0)
+        with pytest.raises(ValueError):
+            HotKeyTracker(min_hits=0)
+        with pytest.raises(ValueError):
+            HotKeyTracker(decay_interval=0)
+
+
+class TestHotKeyRouter:
+    @pytest.fixture()
+    def router(self):
+        ring = HashRing(nodes=range(4))
+        tracker = HotKeyTracker(hot_count=2, min_hits=8, refresh_interval=8)
+        return HotKeyRouter(ring, replicas=2, tracker=tracker)
+
+    def test_cold_keys_route_to_single_owner(self, router, keys):
+        for key in keys[:50]:
+            assert router.route(key) == router.ring.owner(key)
+        assert router.replicated_routes == 0
+        assert router.total_routes == 50
+
+    def test_hot_key_round_robins_its_replica_set(self, router):
+        hot = 12345
+        for _ in range(20):
+            router.tracker.observe(hot)
+        expected = router.ring.owners(hot, 2)
+        routed = [router.route(hot) for _ in range(8)]
+        # Strict alternation over the two replicas, starting at cursor 0.
+        assert routed == [expected[index % 2] for index in range(8)]
+        assert router.replicated_routes == 8
+
+    def test_hot_routes_stay_inside_the_replica_set(self, router):
+        hot = 999
+        for _ in range(20):
+            router.tracker.observe(hot)
+        allowed = set(router.ring.owners(hot, 2))
+        assert {router.route(hot) for _ in range(16)} <= allowed
+
+    def test_route_text_observes_and_routes(self):
+        ring = HashRing(nodes=range(3))
+        tracker = HotKeyTracker(hot_count=1, min_hits=8, refresh_interval=8)
+        router = HotKeyRouter(ring, replicas=2, tracker=tracker)
+        text = "MOV RAX, RBX"
+        workers = {router.route_text(text) for _ in range(32)}
+        key = shard_key(text)
+        assert key in router.hot_keys
+        assert workers == set(ring.owners(key, 2))
+        assert router.replicated_routes > 0
+
+    def test_single_replica_router_never_replicates(self, keys):
+        router = HotKeyRouter(HashRing(nodes=range(3)), replicas=1)
+        for key in keys[:100]:
+            router.tracker.observe(key)
+            assert router.route(key) == router.ring.owner(key)
+        assert router.replicated_routes == 0
+
+    def test_follows_live_ring_resizes(self):
+        ring = HashRing(nodes=range(2))
+        tracker = HotKeyTracker(hot_count=1, min_hits=4, refresh_interval=4)
+        router = HotKeyRouter(ring, replicas=2, tracker=tracker)
+        hot = 777
+        for _ in range(10):
+            tracker.observe(hot)
+        assert set(ring.owners(hot, 2)) == {0, 1}
+        ring.add_node(2)  # in-place mutation, no router rewiring
+        allowed = set(ring.owners(hot, 2))
+        assert {router.route(hot) for _ in range(8)} <= allowed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotKeyRouter(HashRing(nodes=(0,)), replicas=0)
