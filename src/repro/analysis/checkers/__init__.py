@@ -5,6 +5,7 @@ from repro.analysis.checkers import (  # noqa: F401
     dtype_discipline,
     exception_hygiene,
     lock_discipline,
+    retry_discipline,
     tape_coverage,
 )
 
@@ -13,5 +14,6 @@ __all__ = [
     "dtype_discipline",
     "exception_hygiene",
     "lock_discipline",
+    "retry_discipline",
     "tape_coverage",
 ]

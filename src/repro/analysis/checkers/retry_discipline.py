@@ -1,0 +1,62 @@
+"""RT001: ad-hoc retry loops in ``repro.serve`` must use ``RetryPolicy``.
+
+A ``time.sleep`` inside a ``try`` inside a loop is the classic hand-rolled
+retry: unbounded, unjittered, invisible to stats, and a fleet-wide
+thundering herd when a backend blips.  All retry/backoff in the serving
+stack goes through :class:`repro.serve.resilience.RetryPolicy` and
+:func:`repro.serve.resilience.run_with_retries` — seeded jitter, capped
+delays, a sliding-window budget, and counters in the service snapshot.
+``resilience.py`` itself hosts the one sanctioned loop and is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Finding, register_checker
+
+
+def _is_sleep_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return (
+            func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        )
+    return isinstance(func, ast.Name) and func.id == "sleep"
+
+
+@register_checker
+class RetryDisciplineChecker:
+    rule = "RT001"
+    title = "retries in repro.serve must go through RetryPolicy"
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/serve/" in path and not path.endswith("resilience.py")
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        flagged = set()
+        for loop in ast.walk(context.tree):
+            if not isinstance(loop, (ast.While, ast.For, ast.AsyncFor)):
+                continue
+            for guarded in ast.walk(loop):
+                if not isinstance(guarded, ast.Try):
+                    continue
+                for node in ast.walk(guarded):
+                    if not _is_sleep_call(node):
+                        continue
+                    key = (node.lineno, node.col_offset)
+                    if key in flagged:
+                        continue
+                    flagged.add(key)
+                    yield context.finding(
+                        "RT001",
+                        node.lineno,
+                        "ad-hoc retry loop (sleep inside try inside a loop); "
+                        "use repro.serve.resilience.run_with_retries with a "
+                        "RetryPolicy for seeded, budget-bounded backoff",
+                    )

@@ -89,6 +89,25 @@ the observed latency quantile, first result wins, the loser is
 cancelled), hot-key replication (``ServiceConfig.hot_key_replicas`` —
 :class:`HotKeyRouter` spreads Zipf-head keys read-any across their ring
 replica sets), and a latency-fed autoscaler.
+
+Fault injection and self-healing
+--------------------------------
+
+:mod:`repro.serve.faults` is a deterministic chaos plane: a
+:class:`FaultPlan` (seeded, JSON-serializable, loadable from the
+``REPRO_FAULT_PLAN`` environment variable) selects faults — worker
+crashes, hangs, slow or corrupted replies, queue saturation, checkpoint
+write failures — by content hash, so every chaos run is bit-reproducible.
+:mod:`repro.serve.resilience` is the machinery it validates:
+:class:`RetryPolicy` (capped, seeded exponential backoff behind
+``AsyncOptions.retry_policy``, bounded by a sliding-window retry budget),
+a per-worker :class:`CircuitBreaker` (``ServiceConfig.breaker_policy``)
+whose open workers the hash ring routes around, a respawn governor that
+backs off crash-storming replicas, and a stale prediction cache serving
+``degraded=True`` responses when the backend keeps failing
+(``AsyncOptions.degraded_mode``).  ``GET /readyz`` exposes the aggregate:
+``ready``/``degraded`` answer 200, ``unready`` answers 503 with
+``Retry-After``.
 """
 
 from repro.serve.async_service import (
@@ -108,6 +127,13 @@ from repro.serve.config import (
     AsyncOptions,
     AsyncServiceConfig,
     ServiceConfig,
+)
+from repro.serve.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    load_fault_plan_from_env,
 )
 from repro.serve.flush import (
     FLUSH_POLICIES,
@@ -134,6 +160,17 @@ from repro.serve.registry import (
     ModelReport,
     ModelVariant,
 )
+from repro.serve.resilience import (
+    BreakerPolicy,
+    BreakerRing,
+    CircuitBreaker,
+    RespawnGovernor,
+    RespawnPolicy,
+    RetryBudget,
+    RetryPolicy,
+    StalePredictionCache,
+    run_with_retries,
+)
 from repro.serve.replay import (
     ReplayReport,
     SloPolicy,
@@ -152,6 +189,7 @@ from repro.serve.stats import (
     HedgeStats,
     ModelStats,
     QueueStats,
+    ResilienceStats,
     ServiceSnapshot,
     StatsStruct,
     WorkerStats,
@@ -213,6 +251,21 @@ __all__ = [
     "PoolAutoscaler",
     "ShardedWorkerPool",
     "WorkerCrashError",
+    # Fault injection and self-healing.
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "load_fault_plan_from_env",
+    "RetryPolicy",
+    "RetryBudget",
+    "run_with_retries",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "BreakerRing",
+    "RespawnPolicy",
+    "RespawnGovernor",
+    "StalePredictionCache",
     # Error taxonomy.
     "ReasonCode",
     "ServeError",
@@ -231,6 +284,7 @@ __all__ = [
     "FlushStats",
     "HedgeStats",
     "ModelStats",
+    "ResilienceStats",
     "ServiceSnapshot",
     "latency_percentile",
     # Tail-latency SLO harness.

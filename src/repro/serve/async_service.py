@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.isa.basic_block import BasicBlock
 from repro.serve.config import AsyncOptions, AsyncServiceConfig
+from repro.serve.faults import FaultInjector
 from repro.serve.flush import (
     FlushController,
     HedgeController,
@@ -67,15 +68,21 @@ from repro.serve.queue import (
     RequestExpiredError,
     RequestQueue,
 )
+from repro.serve.resilience import StalePredictionCache, run_with_retries
 from repro.serve.service import PredictionService, ServiceConfig
 from repro.serve.stats import (
     FlushStats,
     HedgeStats,
     QueueStats,
+    ResilienceStats,
     ServiceSnapshot,
     latency_percentile,
 )
-from repro.serve.types import PredictionRequest, ServiceClosedError
+from repro.serve.types import (
+    PredictionRequest,
+    PredictionResponse,
+    ServiceClosedError,
+)
 
 # AsyncServiceConfig moved to repro.serve.config (deprecated in favour of
 # ServiceConfig.async_options / AsyncOptions); re-exported here so the
@@ -137,6 +144,14 @@ class AsyncServiceStats:
     hedges_issued: int = 0
     hedges_won: int = 0
     hedges_cancelled: int = 0
+    #: Backoff retries the dispatcher actually took / submissions that
+    #: still failed after the last attempt.
+    retries: int = 0
+    retries_exhausted: int = 0
+    #: Requests answered from the stale prediction cache (``degraded=True``).
+    degraded_responses: int = 0
+    #: Submissions rejected by an armed queue-saturation fault.
+    injected_queue_rejections: int = 0
 
     @property
     def mean_flush_blocks(self) -> float:
@@ -305,6 +320,24 @@ class AsyncPredictionService:
         )
         self._hedge_lock = threading.Lock()
         self._hedge_calls: set = set()
+        # Self-healing: the sanctioned retry loop around failed flush
+        # submissions, the stale cache backing graceful degradation, and
+        # the event-scoped fault injector (queue saturation), all optional.
+        self._retry_policy = options.retry_policy
+        self._retry_budget = (
+            options.retry_policy.make_budget()
+            if options.retry_policy is not None
+            else None
+        )
+        self._stale_cache = (
+            StalePredictionCache(options.stale_cache_size)
+            if options.degraded_mode
+            else None
+        )
+        fault_plan = getattr(self.service.config, "fault_plan", None)
+        self._fault_injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
         self._closed = False
 
     @property
@@ -427,6 +460,10 @@ class AsyncPredictionService:
             QueueFullError: The queue is full (``reject`` policy) or the
                 wait for space timed out (``block`` policy).
         """
+        if self._fault_injector is not None and self._fault_injector.on_submit():
+            with self._stats_lock:
+                self.stats.injected_queue_rejections += 1
+            raise QueueFullError("injected queue-saturation fault")
         deadline_s = None if deadline_ms is None else deadline_ms / 1e3
         entry = self.queue.put(
             request,
@@ -666,6 +703,10 @@ class AsyncPredictionService:
             hedges_issued = stats.hedges_issued
             hedges_won = stats.hedges_won
             hedges_cancelled = stats.hedges_cancelled
+            retries = stats.retries
+            retries_exhausted = stats.retries_exhausted
+            degraded_responses = stats.degraded_responses
+            injected_queue_rejections = stats.injected_queue_rejections
         with self._hedge_lock:
             hedge_inflight = len(self._hedge_calls)
         hedge = HedgeStats(
@@ -687,6 +728,18 @@ class AsyncPredictionService:
             cancelled_drops=self.queue.cancelled + dispatcher_cancelled,
             expired_drops=self.queue.expired + dispatcher_expired,
         )
+        resilience = ResilienceStats(
+            retries=retries,
+            retries_exhausted=retries_exhausted,
+            retry_budget_denied=(
+                self._retry_budget.denied if self._retry_budget is not None else 0
+            ),
+            degraded_responses=degraded_responses,
+            stale_cache_entries=(
+                len(self._stale_cache) if self._stale_cache is not None else 0
+            ),
+            injected_queue_rejections=injected_queue_rejections,
+        )
         return ServiceSnapshot(
             queue=queue,
             flush=flush,
@@ -694,6 +747,7 @@ class AsyncPredictionService:
             hedge=hedge,
             controller=self.controller.state(),
             autoscale_errors=autoscale_errors,
+            resilience=resilience,
         )
 
     # ------------------------------------------------------------------ #
@@ -844,14 +898,27 @@ class AsyncPredictionService:
                 self.stats.close_flushes += 1
         service_started = time.monotonic()
         try:
-            responses = self.service.submit([entry.request for entry in entries])
+            responses = self._submit_with_retries(entries)
         except Exception as error:
-            for entry in entries:
-                entry.future.set_exception(error)
+            served, failed = self._degraded_responses(entries)
+            done_at = time.monotonic()
             with self._stats_lock:
-                self.stats.request_errors += len(entries)
+                self.stats.degraded_responses += len(served)
+                self.stats.requests_completed += len(served)
+                for entry, _ in served:
+                    self.stats.request_latencies.append(done_at - entry.enqueued_at)
+                self.stats.request_errors += len(failed)
+            for entry, response in served:
+                entry.future.set_result(response)
+            for entry in failed:
+                entry.future.set_exception(error)
             return
         service_s = time.monotonic() - service_started
+        if self._stale_cache is not None:
+            for entry, response in zip(entries, responses):
+                self._stale_cache.record(
+                    entry.request.block_texts, response.predictions
+                )
         # Record latencies *before* resolving the futures: a client (or the
         # hedge monitor) reacting to a result must never observe stats that
         # don't include it yet.
@@ -863,3 +930,77 @@ class AsyncPredictionService:
             self.stats.requests_completed += len(entries)
         for entry, response in zip(entries, responses):
             entry.future.set_result(response)
+
+    # ------------------------------------------------------------------ #
+    # Self-healing.
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _retryable(error: BaseException) -> bool:
+        """Transient failures retry; client errors and closure never do.
+
+        Worker crashes, hang timeouts and fd pressure all surface as
+        ``RuntimeError``/``OSError``/``TimeoutError`` from the sync layer.
+        ``ServiceClosedError`` subclasses ``RuntimeError`` but retrying a
+        closed service can only fail again, so it is excluded explicitly.
+        """
+        if isinstance(error, ServiceClosedError):
+            return False
+        return isinstance(error, (RuntimeError, OSError, TimeoutError))
+
+    def _submit_with_retries(self, entries) -> list:
+        requests = [entry.request for entry in entries]
+        if self._retry_policy is None:
+            return self.service.submit(requests)
+
+        def on_retry(attempt: int, delay_s: float, error: BaseException) -> None:
+            with self._stats_lock:
+                self.stats.retries += 1
+
+        try:
+            return run_with_retries(
+                lambda: self.service.submit(requests),
+                self._retry_policy,
+                budget=self._retry_budget,
+                retryable=self._retryable,
+                on_retry=on_retry,
+                token=entries[0].request.request_id,
+            )
+        except Exception:
+            with self._stats_lock:
+                self.stats.retries_exhausted += 1
+            raise
+
+    def _degraded_responses(self, entries) -> tuple:
+        """Splits a failed batch into stale-servable and truly failed entries.
+
+        Returns ``(served, failed)`` where ``served`` pairs each entry with
+        a ``degraded=True`` response built from the stale prediction cache.
+        Entries already past their deadline are never served stale — the
+        client stopped waiting for an answer, fresh or not.
+        """
+        if self._stale_cache is None:
+            return [], list(entries)
+        now = time.monotonic()
+        served, failed = [], []
+        for entry in entries:
+            if entry.deadline_at is not None and now >= entry.deadline_at:
+                failed.append(entry)
+                continue
+            request = entry.request
+            payload = self._stale_cache.lookup(request.block_texts, request.tasks)
+            if payload is None:
+                failed.append(entry)
+                continue
+            served.append(
+                (
+                    entry,
+                    PredictionResponse(
+                        request_id=request.request_id,
+                        predictions=payload,
+                        num_blocks=request.num_blocks,
+                        seconds=0.0,
+                        degraded=True,
+                    ),
+                )
+            )
+        return served, failed

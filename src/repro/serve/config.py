@@ -23,8 +23,10 @@ from typing import Optional, Tuple
 
 from repro.models.config import default_inference_dtype
 from repro.nn.tensor import SUPPORTED_DTYPES
+from repro.serve.faults import FaultPlan, default_fault_plan
 from repro.serve.flush import FLUSH_POLICIES, default_flush_policy
 from repro.serve.queue import BACKPRESSURE_POLICIES
+from repro.serve.resilience import BreakerPolicy, RespawnPolicy, RetryPolicy
 
 __all__ = [
     "AsyncOptions",
@@ -88,6 +90,18 @@ class AsyncOptions:
             until then).
         hedge_poll_ms: How often the hedge monitor scans in-flight
             requests for deadline overruns.
+        retry_policy: Optional :class:`~repro.serve.resilience.RetryPolicy`
+            applied to failed flush submissions.  ``None`` (default) keeps
+            the historical fail-fast behaviour; a policy makes the
+            dispatcher retry transient backend failures with capped,
+            seeded exponential backoff, bounded by the policy's budget.
+        degraded_mode: Serve stale prediction-cache entries (flagged
+            ``degraded=True``) when the backend keeps failing after
+            retries, instead of erroring the request.  Only requests whose
+            every block (and task) has a last-known-good value degrade;
+            the rest still fail.
+        stale_cache_size: Entry bound of the last-known-good prediction
+            cache backing ``degraded_mode`` (0 disables recording).
     """
 
     max_latency_ms: float = 10.0
@@ -104,6 +118,9 @@ class AsyncOptions:
     hedge_max_ms: Optional[float] = None
     hedge_min_samples: int = 32
     hedge_poll_ms: float = 2.0
+    retry_policy: Optional[RetryPolicy] = None
+    degraded_mode: bool = False
+    stale_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.max_latency_ms < 0:
@@ -145,6 +162,10 @@ class AsyncOptions:
             raise ValueError("hedge_min_samples must be >= 1")
         if self.hedge_poll_ms <= 0:
             raise ValueError("hedge_poll_ms must be positive")
+        if self.retry_policy is not None and not isinstance(self.retry_policy, RetryPolicy):
+            raise ValueError("retry_policy must be a RetryPolicy (or None)")
+        if self.stale_cache_size < 0:
+            raise ValueError("stale_cache_size must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -195,6 +216,23 @@ class ServiceConfig:
         async_options: Queueing/flushing knobs applied when an
             ``AsyncPredictionService`` (or the HTTP front end / model
             registry) is put in front of this service.
+        worker_job_timeout_s: Per-job watchdog of the sharded pool: an
+            in-flight worker job older than this is treated as a crash
+            (the worker is killed and respawned, the job re-queued), so a
+            hung replica cannot stall the batch forever.  ``None``
+            (default) keeps the historical wait-forever behaviour.
+        breaker_policy: Optional per-worker circuit-breaker tuning.
+            ``None`` disables circuit breaking; a
+            :class:`~repro.serve.resilience.BreakerPolicy` makes hash
+            routing walk past workers whose breaker is open.
+        respawn_policy: Respawn rate limits of the sharded pool (always
+            on; the defaults are generous enough that a healthy pool
+            never notices them).
+        fault_plan: Optional deterministic chaos schedule
+            (:class:`~repro.serve.faults.FaultPlan`) shipped to every
+            worker replica and the async front end.  The default honours
+            the ``REPRO_FAULT_PLAN`` environment variable and is normally
+            None.
     """
 
     model_name: str = "granite"
@@ -212,6 +250,10 @@ class ServiceConfig:
     hot_key_count: int = 8
     inference_dtype: str = field(default_factory=default_inference_dtype)
     async_options: AsyncOptions = field(default_factory=AsyncOptions)
+    worker_job_timeout_s: Optional[float] = None
+    breaker_policy: Optional[BreakerPolicy] = None
+    respawn_policy: RespawnPolicy = field(default_factory=RespawnPolicy)
+    fault_plan: Optional[FaultPlan] = field(default_factory=default_fault_plan)
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -251,6 +293,14 @@ class ServiceConfig:
                 f"inference_dtype must be one of {SUPPORTED_DTYPES}, "
                 f"got {self.inference_dtype!r}"
             )
+        if self.worker_job_timeout_s is not None and self.worker_job_timeout_s <= 0:
+            raise ValueError("worker_job_timeout_s must be positive (or None)")
+        if self.breaker_policy is not None and not isinstance(self.breaker_policy, BreakerPolicy):
+            raise ValueError("breaker_policy must be a BreakerPolicy (or None)")
+        if not isinstance(self.respawn_policy, RespawnPolicy):
+            raise ValueError("respawn_policy must be a RespawnPolicy")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ValueError("fault_plan must be a FaultPlan (or None)")
 
 
 @dataclass(frozen=True)

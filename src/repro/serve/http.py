@@ -12,7 +12,13 @@ Routes
 ------
 
 ``GET /healthz``
-    Liveness: uptime and request counters.  Never touches a model.
+    Liveness: uptime and request counters.  Never touches a model, never
+    returns anything but 200 while the process serves at all.
+``GET /readyz``
+    Readiness: aggregates every loaded variant's resilience report
+    (open circuit breakers, respawn backoff).  ``ready`` and ``degraded``
+    answer 200; ``unready`` answers 503 with a ``Retry-After`` header so
+    load balancers drain the instance instead of hammering it.
 ``GET /v1/models``
     The registry listing, filtered to the models the calling tenant may
     use.  Each entry is a serialized
@@ -398,6 +404,7 @@ class PredictionHttpServer:
                 status,
                 {"error": {"code": exc.code.value, "message": str(exc)}},
                 keep_alive,
+                extra_headers={"Retry-After": "1"} if status == 503 else None,
             )
             return keep_alive
         except Exception as exc:  # noqa: BLE001 - counted and answered as 500
@@ -437,6 +444,20 @@ class PredictionHttpServer:
                     "stream_cancelled_chunks": self._stream_cancelled_chunks,
                 },
                 keep_alive,
+            )
+            return keep_alive
+        if request.method == "GET" and request.path == "/readyz":
+            # Keyless like /healthz (probes rarely carry credentials), but
+            # off-loop: the report takes per-service locks.
+            loop = asyncio.get_running_loop()
+            report = await loop.run_in_executor(None, self.registry.readiness)
+            unready = report.get("status") == "unready"
+            await self._write_json(
+                writer,
+                503 if unready else 200,
+                report,
+                keep_alive,
+                extra_headers={"Retry-After": "1"} if unready else None,
             )
             return keep_alive
         if request.method == "GET" and request.path == "/v1/models":
@@ -590,6 +611,7 @@ class PredictionHttpServer:
                 "model": name,
                 "num_blocks": response.num_blocks,
                 "seconds": response.seconds,
+                "degraded": getattr(response, "degraded", False),
                 "predictions": response.predictions,
             },
             keep_alive,
@@ -662,6 +684,7 @@ class PredictionHttpServer:
                             request_id=response.request_id,
                             num_blocks=response.num_blocks,
                             seconds=response.seconds,
+                            degraded=getattr(response, "degraded", False),
                             predictions=response.predictions,
                         )
                     except ServeError as exc:
@@ -701,13 +724,18 @@ class PredictionHttpServer:
         status: int,
         payload: Dict[str, Any],
         keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(_jsonable(payload)).encode("utf-8")
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASON_PHRASES.get(status, 'Unknown')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extras}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + body)

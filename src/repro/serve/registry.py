@@ -303,3 +303,30 @@ class ModelRegistry:
             snapshot=service.snapshot(),
             workers=service.service.worker_stats(),
         )
+
+    def readiness(self) -> Dict[str, object]:
+        """Aggregated readiness over every *loaded* variant.
+
+        Cold variants never block readiness — lazy loading is the
+        registry's normal state, not an outage.  The overall status is
+        ``unready`` if the registry is closed or any loaded variant is
+        unready, ``degraded`` if any is degraded, else ``ready``; the
+        per-variant reports (open breakers, respawn backoff) ride along so
+        a probe failure is diagnosable from the response body alone.
+        """
+        with self._lock:
+            closed = self._closed
+            services = dict(self._services)
+        models: Dict[str, object] = {}
+        overall = "unready" if closed else "ready"
+        for name, service in services.items():
+            # The per-service report takes that service's locks only; the
+            # registry stays responsive while we poll.
+            report = service.service.resilience_report()
+            models[name] = report
+            status = report.get("status", "ready")
+            if status == "unready":
+                overall = "unready"
+            elif status == "degraded" and overall == "ready":
+                overall = "degraded"
+        return {"status": overall, "models": models}

@@ -505,12 +505,35 @@ class ReplayReport:
         over = sum(1 for latency in self.latencies_ms if latency > budget_ms)
         return over / len(self.latencies_ms)
 
+    @property
+    def lost(self) -> int:
+        """Requests that vanished: neither completed, errored nor rejected.
+
+        The zero-lost invariant of the chaos gate — every submitted
+        request must resolve *somehow*, even under injected crashes.
+        """
+        return self.num_requests - self.completed - self.errors - self.rejected
+
+    def availability(self, budget_ms: float) -> float:
+        """Fraction of offered requests answered within ``budget_ms``.
+
+        Unlike :meth:`violation_rate`, the denominator is *every* request
+        the trace offered: an error, a rejection or a lost request counts
+        against availability exactly like a blown deadline does.  NaN when
+        the trace was empty.
+        """
+        if self.num_requests <= 0:
+            return float("nan")
+        within = sum(1 for latency in self.latencies_ms if latency <= budget_ms)
+        return within / self.num_requests
+
     def to_dict(self, include_latencies: bool = False) -> Dict[str, Any]:
         out: Dict[str, Any] = {
             "num_requests": self.num_requests,
             "completed": self.completed,
             "errors": self.errors,
             "rejected": self.rejected,
+            "lost": self.lost,
             "duration_s": self.duration_s,
             "offered_rps": self.offered_rps,
             "speedup": self.speedup,

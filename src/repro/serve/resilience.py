@@ -1,0 +1,596 @@
+"""Self-healing primitives: retries, circuit breaking, respawn backoff.
+
+This module is the sanctioned home of every retry/backoff decision in
+``repro.serve`` (analyzer rule RT001 flags ad-hoc ``time.sleep`` retry
+loops elsewhere in the package):
+
+- :class:`RetryPolicy` — frozen description of capped exponential backoff
+  with *seeded* jitter: the delay for attempt ``n`` of request ``token`` is
+  a pure function of ``(seed, token, n)``, so a replayed chaos run waits
+  the same amount at every step.  :func:`run_with_retries` is the one
+  sanctioned retry loop; :class:`RetryBudget` bounds how many retries the
+  whole service may issue per sliding window so a dying backend cannot be
+  hammered into the ground.
+- :class:`CircuitBreaker` — per-worker closed/open/half-open state machine.
+  Failures (crashes, job timeouts, corrupted replies) trip a worker open;
+  after ``reset_timeout_s`` the breaker admits exactly ``probe_quota``
+  probes (half-open); probe successes close it again.  The breaker never
+  sleeps — callers consult :meth:`CircuitBreaker.allow` at routing time.
+- :class:`BreakerRing` — a :class:`~repro.serve.ring.HashRing` adapter that
+  routes around tripped workers: the owner of a key is the first clockwise
+  replica whose breaker admits traffic, falling back to the true owner when
+  everything is open (so the pool still heals via respawn).
+- :class:`RespawnGovernor` — bounds worker respawns per sliding window with
+  exponential backoff, so a crash storm cannot spin the pool through an
+  endless fork/build/crash cycle.
+- :class:`StalePredictionCache` — bounded LRU of last-known-good
+  predictions keyed by block text, backing graceful degradation: when the
+  pool is unhealthy and the deadline allows, the async front end serves
+  stale values flagged ``degraded=True`` instead of failing.
+
+Timing uses ``time.monotonic`` exclusively (never the wall clock), and the
+clock is injectable everywhere so the state machines are unit-testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.cache import LRUCache
+
+__all__ = [
+    "RetryPolicy",
+    "RetryBudget",
+    "run_with_retries",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "BreakerRing",
+    "RespawnPolicy",
+    "RespawnGovernor",
+    "StalePredictionCache",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+# ---------------------------------------------------------------------------
+# Retries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded, deterministic jitter.
+
+    Attributes:
+        max_attempts: Total attempts including the first (1 disables
+            retries).
+        base_delay_ms: Delay before the first retry.
+        max_delay_ms: Cap on any single delay.
+        multiplier: Exponential growth factor between retries.
+        jitter: Fraction of the delay randomized *downward* (0.5 means the
+            actual delay lands in ``[0.5, 1.0] * capped``).  The jitter is
+            derived from ``crc32(f"{seed}:{token}:{attempt}")``, not an RNG,
+            so identical runs wait identically.
+        seed: Jitter seed.
+        budget: Retries allowed per ``budget_window_s`` sliding window
+            across the whole service (0 disables the budget).
+        budget_window_s: Width of the budget window.
+    """
+
+    max_attempts: int = 3
+    base_delay_ms: float = 2.0
+    max_delay_ms: float = 100.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    budget: int = 64
+    budget_window_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay_ms < 0.0 or self.max_delay_ms < 0.0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1.0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.budget < 0 or self.budget_window_s <= 0.0:
+            raise ValueError("budget must be >= 0 and budget_window_s positive")
+
+    def delay_s(self, attempt: int, token: str = "") -> float:
+        """Deterministic delay (seconds) before retry number ``attempt``."""
+        capped = min(self.base_delay_ms * self.multiplier**attempt, self.max_delay_ms)
+        unit = zlib.crc32(f"{self.seed}:{token}:{attempt}".encode("utf-8")) / 2**32
+        return capped * (1.0 - self.jitter * unit) / 1000.0
+
+    def make_budget(self, clock: Callable[[], float] = time.monotonic) -> Optional["RetryBudget"]:
+        """Builds the runtime budget, or None when the budget is disabled."""
+        if self.budget <= 0:
+            return None
+        return RetryBudget(self.budget, self.budget_window_s, clock=clock)
+
+
+class RetryBudget:
+    """Sliding-window cap on service-wide retries (thread-safe)."""
+
+    def __init__(
+        self,
+        max_retries: int,
+        window_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.max_retries = int(max_retries)
+        self.window_s = float(window_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spent: Deque[float] = deque()  # guarded-by: _lock
+        self.denied = 0  # guarded-by: _lock
+
+    def try_acquire(self) -> bool:
+        """Consumes one retry token; False when the window is exhausted."""
+        now = self._clock()
+        with self._lock:
+            while self._spent and now - self._spent[0] > self.window_s:
+                self._spent.popleft()
+            if len(self._spent) >= self.max_retries:
+                self.denied += 1
+                return False
+            self._spent.append(now)
+            return True
+
+
+def run_with_retries(
+    fn: Callable[[], object],
+    policy: RetryPolicy,
+    budget: Optional[RetryBudget] = None,
+    retryable: Optional[Callable[[BaseException], bool]] = None,
+    on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+    token: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+) -> object:
+    """The sanctioned retry loop: runs ``fn`` under ``policy``.
+
+    Retries only errors ``retryable`` admits (everything, when None), stops
+    when attempts or the budget run out, and re-raises the last error.
+    ``on_retry(attempt, delay_s, error)`` fires before each backoff sleep.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except Exception as error:
+            if retryable is not None and not retryable(error):
+                raise
+            if attempt + 1 >= policy.max_attempts:
+                raise
+            if budget is not None and not budget.try_acquire():
+                raise
+            delay = policy.delay_s(attempt, token)
+            if on_retry is not None:
+                on_retry(attempt, delay, error)
+            sleep(delay)
+            attempt += 1
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaking
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning knobs of the per-worker circuit breaker.
+
+    Attributes:
+        failure_threshold: Consecutive failures that trip a closed breaker.
+        reset_timeout_s: Time an open breaker waits before going half-open.
+        probe_quota: Requests admitted while half-open with no outcome
+            recorded yet (exactly this many ``allow`` calls return True).
+        success_threshold: Probe successes required to close a half-open
+            breaker.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout_s: float = 1.0
+    probe_quota: int = 1
+    success_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.reset_timeout_s <= 0.0:
+            raise ValueError("reset_timeout_s must be positive")
+        if self.probe_quota < 1:
+            raise ValueError("probe_quota must be at least 1")
+        if self.success_threshold < 1:
+            raise ValueError("success_threshold must be at least 1")
+
+
+class _BreakerEntry:
+    """Mutable per-worker breaker state (all access under the owner's lock)."""
+
+    __slots__ = ("state", "failures", "successes", "probes_in_flight", "opened_at")
+
+    def __init__(self) -> None:
+        self.state = BREAKER_CLOSED
+        self.failures = 0
+        self.successes = 0
+        self.probes_in_flight = 0
+        self.opened_at = 0.0
+
+
+class CircuitBreaker:
+    """Per-worker closed/open/half-open breaker (thread-safe).
+
+    Legal transitions, and nothing else:
+
+    - ``closed -> open`` after ``failure_threshold`` consecutive failures
+      (counted as a *trip*);
+    - ``open -> half_open`` once ``reset_timeout_s`` has elapsed (evaluated
+      lazily whenever the state is consulted);
+    - ``half_open -> open`` on a probe failure (another trip);
+    - ``half_open -> closed`` after ``success_threshold`` probe successes
+      (counted as a *recovery*).
+
+    Outcomes that arrive for states they do not apply to (a late success
+    while open, say) are ignored rather than corrupting the machine.
+    """
+
+    def __init__(
+        self,
+        policy: BreakerPolicy = BreakerPolicy(),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: Dict[int, _BreakerEntry] = {}  # guarded-by: _lock
+        self.trips = 0  # guarded-by: _lock
+        self.probes = 0  # guarded-by: _lock
+        self.recoveries = 0  # guarded-by: _lock
+
+    def _entry_locked(self, worker_id: int) -> _BreakerEntry:
+        entry = self._entries.get(worker_id)
+        if entry is None:
+            entry = _BreakerEntry()
+            self._entries[worker_id] = entry
+        return entry
+
+    def _refresh_locked(self, entry: _BreakerEntry) -> None:
+        if entry.state == BREAKER_OPEN:
+            if self._clock() - entry.opened_at >= self.policy.reset_timeout_s:
+                entry.state = BREAKER_HALF_OPEN
+                entry.successes = 0
+                entry.probes_in_flight = 0
+
+    def _trip_locked(self, entry: _BreakerEntry) -> None:
+        entry.state = BREAKER_OPEN
+        entry.opened_at = self._clock()
+        entry.failures = 0
+        entry.successes = 0
+        entry.probes_in_flight = 0
+        self.trips += 1
+
+    def state(self, worker_id: int) -> str:
+        """Current state of the worker's breaker (refreshing open→half-open)."""
+        with self._lock:
+            entry = self._entry_locked(worker_id)
+            self._refresh_locked(entry)
+            return entry.state
+
+    def allow(self, worker_id: int) -> bool:
+        """True when the worker may receive traffic right now.
+
+        Half-open admits exactly ``probe_quota`` calls between recorded
+        outcomes; each admission counts as a probe.
+        """
+        with self._lock:
+            entry = self._entry_locked(worker_id)
+            self._refresh_locked(entry)
+            if entry.state == BREAKER_CLOSED:
+                return True
+            if entry.state == BREAKER_OPEN:
+                return False
+            if entry.probes_in_flight >= self.policy.probe_quota:
+                return False
+            entry.probes_in_flight += 1
+            self.probes += 1
+            return True
+
+    def record_success(self, worker_id: int) -> None:
+        """Feeds a successful outcome into the worker's breaker."""
+        with self._lock:
+            entry = self._entry_locked(worker_id)
+            self._refresh_locked(entry)
+            if entry.state == BREAKER_CLOSED:
+                entry.failures = 0
+            elif entry.state == BREAKER_HALF_OPEN:
+                entry.probes_in_flight = max(0, entry.probes_in_flight - 1)
+                entry.successes += 1
+                if entry.successes >= self.policy.success_threshold:
+                    entry.state = BREAKER_CLOSED
+                    entry.failures = 0
+                    entry.successes = 0
+                    entry.probes_in_flight = 0
+                    self.recoveries += 1
+
+    def record_failure(self, worker_id: int) -> None:
+        """Feeds a failed outcome (crash, timeout, corrupt reply) in."""
+        with self._lock:
+            entry = self._entry_locked(worker_id)
+            self._refresh_locked(entry)
+            if entry.state == BREAKER_CLOSED:
+                entry.failures += 1
+                if entry.failures >= self.policy.failure_threshold:
+                    self._trip_locked(entry)
+            elif entry.state == BREAKER_HALF_OPEN:
+                self._trip_locked(entry)
+
+    def forget(self, worker_id: int) -> None:
+        """Drops state for a retired worker id."""
+        with self._lock:
+            self._entries.pop(worker_id, None)
+
+    def states(self) -> Dict[int, str]:
+        """Snapshot of every tracked worker's state."""
+        with self._lock:
+            for entry in self._entries.values():
+                self._refresh_locked(entry)
+            return {worker_id: entry.state for worker_id, entry in self._entries.items()}
+
+    def open_count(self) -> int:
+        """Number of workers whose breaker is currently open."""
+        return sum(1 for state in self.states().values() if state == BREAKER_OPEN)
+
+    def counters(self) -> Dict[str, int]:
+        """Trip / probe / recovery tallies."""
+        with self._lock:
+            return {"trips": self.trips, "probes": self.probes, "recoveries": self.recoveries}
+
+
+class BreakerRing:
+    """Hash-ring adapter that routes around workers with open breakers.
+
+    Wraps a :class:`~repro.serve.ring.HashRing` (or anything with its
+    ``owner`` / ``owners`` / ``__len__`` surface): the owner of a key
+    becomes the first clockwise replica the breaker admits.  When every
+    replica is refused the true owner is returned — traffic must land
+    somewhere, and the pool's respawn path heals it.
+    """
+
+    def __init__(self, ring, breaker: CircuitBreaker) -> None:
+        self._ring = ring
+        self._breaker = breaker
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def nodes(self):
+        return self._ring.nodes
+
+    def owner(self, key: int) -> int:
+        candidates = self._ring.owners(key, count=len(self._ring))
+        for node in candidates:
+            if self._breaker.allow(node):
+                return node
+        return candidates[0]
+
+    def owners(self, key: int, count: int) -> List[int]:
+        candidates = self._ring.owners(key, count=len(self._ring))
+        allowed = [node for node in candidates if self._breaker.allow(node)]
+        if not allowed:
+            return self._ring.owners(key, count=count)
+        return allowed[: max(1, count)]
+
+    def shares(self):
+        return self._ring.shares()
+
+
+# ---------------------------------------------------------------------------
+# Respawn governance
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RespawnPolicy:
+    """Bounds on worker respawns per sliding window.
+
+    Attributes:
+        max_respawns: Respawns tolerated per worker per ``window_s`` before
+            backoff engages.
+        window_s: Width of the respawn-counting window.
+        backoff_base_s: First backoff duration once the window overflows.
+        backoff_max_s: Cap on the exponential backoff.
+        multiplier: Backoff growth per consecutive overflow.
+    """
+
+    max_respawns: int = 3
+    window_s: float = 5.0
+    backoff_base_s: float = 0.5
+    backoff_max_s: float = 10.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_respawns < 1:
+            raise ValueError("max_respawns must be at least 1")
+        if self.window_s <= 0.0 or self.backoff_base_s <= 0.0 or self.backoff_max_s <= 0.0:
+            raise ValueError("window and backoff durations must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1.0")
+
+
+class _GovernorEntry:
+    """Mutable per-worker respawn bookkeeping (under the owner's lock)."""
+
+    __slots__ = ("respawns", "backoff_until", "consecutive_overflows")
+
+    def __init__(self) -> None:
+        self.respawns: Deque[float] = deque()
+        self.backoff_until = 0.0
+        self.consecutive_overflows = 0
+
+
+class RespawnGovernor:
+    """Per-worker respawn rate limiter with exponential backoff."""
+
+    def __init__(
+        self,
+        policy: RespawnPolicy = RespawnPolicy(),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: Dict[int, _GovernorEntry] = {}  # guarded-by: _lock
+        self.suppressed = 0  # guarded-by: _lock
+
+    def _entry_locked(self, worker_id: int) -> _GovernorEntry:
+        entry = self._entries.get(worker_id)
+        if entry is None:
+            entry = _GovernorEntry()
+            self._entries[worker_id] = entry
+        return entry
+
+    def _prune_locked(self, entry: _GovernorEntry, now: float) -> None:
+        while entry.respawns and now - entry.respawns[0] > self.policy.window_s:
+            entry.respawns.popleft()
+
+    def may_respawn(self, worker_id: int) -> bool:
+        """True when the worker may be respawned right now.
+
+        A False answer means the caller should leave the worker dead until
+        the backoff expires; each refusal is counted in ``suppressed``.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._entry_locked(worker_id)
+            if now < entry.backoff_until:
+                self.suppressed += 1
+                return False
+            self._prune_locked(entry, now)
+            if not entry.respawns:
+                entry.consecutive_overflows = 0
+            if len(entry.respawns) >= self.policy.max_respawns:
+                duration = min(
+                    self.policy.backoff_base_s
+                    * self.policy.multiplier**entry.consecutive_overflows,
+                    self.policy.backoff_max_s,
+                )
+                entry.backoff_until = now + duration
+                entry.consecutive_overflows += 1
+                self.suppressed += 1
+                return False
+            return True
+
+    def record_respawn(self, worker_id: int) -> None:
+        """Counts one actual respawn of the worker."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entry_locked(worker_id)
+            self._prune_locked(entry, now)
+            entry.respawns.append(now)
+
+    def in_backoff(self, worker_id: int) -> bool:
+        """True while the worker's respawn backoff window is active."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(worker_id)
+            return entry is not None and now < entry.backoff_until
+
+    def backoff_workers(self) -> List[int]:
+        """Worker ids currently held in backoff."""
+        now = self._clock()
+        with self._lock:
+            return [
+                worker_id
+                for worker_id, entry in self._entries.items()
+                if now < entry.backoff_until
+            ]
+
+    def forget(self, worker_id: int) -> None:
+        """Drops state for a retired worker id."""
+        with self._lock:
+            self._entries.pop(worker_id, None)
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation
+# ---------------------------------------------------------------------------
+
+
+class StalePredictionCache:
+    """Bounded LRU of last-known-good predictions, keyed by block text.
+
+    Successful flushes record per-block throughputs; when the backing
+    service is failing, the async front end answers from here with
+    ``degraded=True`` instead of erroring — provided *every* block of the
+    request (and every requested task) has a stale value.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._cache: LRUCache[str, Dict[str, float]] = LRUCache(maxsize)  # guarded-by: _lock
+        self._dtype = "float64"  # dtype of the last recorded predictions  # guarded-by: _lock
+        self.served = 0  # guarded-by: _lock
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    def record(self, texts: Sequence[str], predictions: Dict[str, np.ndarray]) -> None:
+        """Stores per-text values from a successful prediction payload."""
+        if not predictions:
+            return
+        with self._lock:
+            for task, values in predictions.items():
+                self._dtype = str(np.asarray(values).dtype)
+                break
+            for index, text in enumerate(texts):
+                entry = dict(self._cache.get(text) or {})
+                for task, values in predictions.items():
+                    entry[task] = float(np.asarray(values)[index])
+                self._cache.put(text, entry)
+
+    def lookup(
+        self, texts: Sequence[str], tasks: Optional[Sequence[str]] = None
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Rebuilds a full predictions payload from stale entries, or None.
+
+        Returns None unless every text has an entry covering every
+        requested task (partial answers would silently change response
+        shape).  ``tasks=None`` uses the tasks of the first entry.
+        """
+        with self._lock:
+            entries = []
+            for text in texts:
+                entry = self._cache.get(text)
+                if entry is None:
+                    return None
+                entries.append(entry)
+            if not entries:
+                return None
+            wanted = tuple(tasks) if tasks is not None else tuple(sorted(entries[0]))
+            if any(task not in entry for entry in entries for task in wanted):
+                return None
+            payload = {
+                task: np.array([entry[task] for entry in entries], dtype=self._dtype)
+                for task in wanted
+            }
+            self.served += 1
+            return payload

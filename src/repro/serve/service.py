@@ -43,6 +43,7 @@ from repro.serve.batching import (
     coalesce_requests_by_router,
 )
 from repro.serve.config import SHARDING_MODES, ServiceConfig
+from repro.serve.resilience import BreakerRing, CircuitBreaker
 from repro.serve.ring import HotKeyRouter
 from repro.serve.stats import CacheStats, ModelStats, WorkerStats
 from repro.serve.types import (
@@ -108,6 +109,17 @@ class PredictionService:
         self._model = model
         self._pool: Optional[ShardedWorkerPool] = None
         self._autoscaler: Optional[PoolAutoscaler] = None
+        # Per-worker circuit breaker (None unless the config enables one).
+        # Shared with the pool, which feeds outcomes in; routing consults
+        # it to walk past open workers.
+        self._breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(self.config.breaker_policy)
+            if getattr(self.config, "breaker_policy", None) is not None
+            else None
+        )
+        # Breaker-aware view of the pool's ring, built lazily with the
+        # pool (None when circuit breaking is off).
+        self._breaker_ring: Optional[BreakerRing] = None  # guarded-by: _submit_lock
         # Hot-key replication router (hash sharding with
         # hot_key_replicas > 1 only), built lazily with the pool.
         self._hot_router: Optional[HotKeyRouter] = None  # guarded-by: _submit_lock
@@ -167,7 +179,7 @@ class PredictionService:
             )
         if self._pool is None:
             self._validate_worker_config()
-            self._pool = ShardedWorkerPool(self.config)
+            self._pool = ShardedWorkerPool(self.config, breaker=self._breaker)
         return self._pool
 
     # ------------------------------------------------------------------ #
@@ -262,18 +274,33 @@ class PredictionService:
             self.scale_workers(target)
         return target
 
+    def _routing_ring_locked(self, pool: ShardedWorkerPool):
+        """The ring routing decisions should consult (breaker-aware if on).
+
+        With circuit breaking enabled the pool's live ring is wrapped in a
+        :class:`~repro.serve.resilience.BreakerRing`, so the owner of a key
+        becomes the first clockwise replica whose breaker admits traffic —
+        blocks route *around* tripped workers instead of piling onto them.
+        Caller holds ``_submit_lock``.
+        """
+        if self._breaker is None:
+            return pool.ring
+        if self._breaker_ring is None:
+            self._breaker_ring = BreakerRing(pool.ring, self._breaker)
+        return self._breaker_ring
+
     def _hot_router_locked(self, pool: ShardedWorkerPool) -> Optional[HotKeyRouter]:
         """The hot-key router, built on first use (``None`` when disabled).
 
-        The router wraps the pool's *live* ring, so resizes need no
-        re-wiring — replica sets follow the ring.  Caller holds
-        ``_submit_lock``.
+        The router wraps the pool's *live* ring (breaker-aware when circuit
+        breaking is on), so resizes need no re-wiring — replica sets follow
+        the ring.  Caller holds ``_submit_lock``.
         """
         if self.config.hot_key_replicas <= 1:
             return None
         if self._hot_router is None:
             self._hot_router = HotKeyRouter(
-                pool.ring,
+                self._routing_ring_locked(pool),
                 replicas=self.config.hot_key_replicas,
                 hot_count=self.config.hot_key_count,
             )
@@ -301,6 +328,13 @@ class PredictionService:
         with self._submit_lock:
             stats = self.stats
             router = self._hot_router
+            pool = self._pool
+            breaker = self._breaker
+            breaker_counts = (
+                breaker.counters()
+                if breaker is not None
+                else {"trips": 0, "probes": 0, "recoveries": 0}
+            )
             return ModelStats(
                 model_name=self.config.model_name,
                 inference_dtype=self.inference_dtype,
@@ -317,8 +351,49 @@ class PredictionService:
                 replicated_routes=(
                     router.replicated_routes if router is not None else 0
                 ),
+                breaker_trips=breaker_counts["trips"],
+                breaker_probes=breaker_counts["probes"],
+                breaker_recoveries=breaker_counts["recoveries"],
+                breaker_open_workers=(
+                    breaker.open_count() if breaker is not None else 0
+                ),
+                job_timeouts=pool.job_timeouts if pool is not None else 0,
+                corrupt_replies=pool.corrupt_replies if pool is not None else 0,
+                respawns_suppressed=(
+                    pool.respawns_suppressed if pool is not None else 0
+                ),
                 cache=cache,
             )
+
+    def resilience_report(self) -> Dict[str, object]:
+        """Readiness detail: breaker and respawn-backoff state.
+
+        ``status`` is ``"ready"`` (all workers healthy), ``"degraded"``
+        (some breaker open or some worker held in respawn backoff — the
+        service still answers, routing around the sick replicas) or
+        ``"unready"`` (closed, or every worker is dead and backed off).
+        """
+        pool = self._pool
+        backoff = pool.respawn_backoff_workers() if pool is not None else []
+        open_workers = self._breaker.open_count() if self._breaker is not None else 0
+        num_workers = self.num_workers
+        if self._closed:
+            status = "unready"
+        elif num_workers > 0 and backoff and len(backoff) >= num_workers:
+            status = "unready"
+        elif open_workers > 0 or backoff:
+            status = "degraded"
+        else:
+            status = "ready"
+        return {
+            "status": status,
+            "num_workers": num_workers,
+            "breaker_open_workers": open_workers,
+            "respawn_backoff_workers": sorted(backoff),
+            "breaker": (
+                self._breaker.counters() if self._breaker is not None else None
+            ),
+        }
 
     def check_health(self) -> int:
         """Respawns any crashed worker; returns how many were respawned.
@@ -438,7 +513,9 @@ class PredictionService:
                     )
                 else:
                     assignments = coalesce_requests_by_ring(
-                        requests, self.config.max_batch_size, pool.ring
+                        requests,
+                        self.config.max_batch_size,
+                        self._routing_ring_locked(pool),
                     )
             else:
                 assignments = [

@@ -24,7 +24,7 @@ New code should use attribute access (``snapshot.flush.wait_p99_ms``).
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, ClassVar, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -37,6 +37,7 @@ __all__ = [
     "FlushStats",
     "HedgeStats",
     "ModelStats",
+    "ResilienceStats",
     "ServiceSnapshot",
     "latency_percentile",
 ]
@@ -155,7 +156,13 @@ class CacheStats(StatsStruct):
 
 @dataclass(frozen=True)
 class WorkerStats(StatsStruct):
-    """One worker replica's identity, ring share and cache counters."""
+    """One worker replica's identity, ring share and cache counters.
+
+    A dead worker held in respawn backoff reports ``alive=False`` with
+    ``respawn_backoff_active=True`` and zeroed cache counters (its process
+    cannot be asked); ``breaker_state`` is the worker's circuit-breaker
+    state (always ``"closed"`` when circuit breaking is disabled).
+    """
 
     worker_id: int
     spawn_count: int
@@ -163,6 +170,9 @@ class WorkerStats(StatsStruct):
     inference_dtype: str
     job_errors: int
     cache: CacheStats
+    alive: bool = True
+    respawn_backoff_active: bool = False
+    breaker_state: str = "closed"
 
 
 @dataclass(frozen=True)
@@ -256,10 +266,45 @@ class ModelStats(StatsStruct):
     hot_keys: int = 0
     #: Blocks routed through a replica set instead of the single ring owner.
     replicated_routes: int = 0
+    #: Circuit-breaker trips (closed/half-open -> open transitions).
+    breaker_trips: int = 0
+    #: Probe requests admitted by half-open breakers.
+    breaker_probes: int = 0
+    #: Half-open -> closed recoveries.
+    breaker_recoveries: int = 0
+    #: Workers whose breaker is open right now.
+    breaker_open_workers: int = 0
+    #: Worker jobs killed by the per-job watchdog (hung replicas).
+    job_timeouts: int = 0
+    #: Worker replies discarded as corrupt (non-finite predictions).
+    corrupt_replies: int = 0
+    #: Respawn attempts refused by the respawn governor (backoff active).
+    respawns_suppressed: int = 0
     #: Cache counters of the in-process replica; ``None`` in worker mode
     #: (each replica reports its own through ``worker_stats()``) and until
     #: the model is first built.
     cache: Optional[CacheStats] = None
+
+
+@dataclass(frozen=True)
+class ResilienceStats(StatsStruct):
+    """Self-healing counters of the async front end.
+
+    ``retries`` counts backoff retries actually taken by the dispatcher;
+    ``retries_exhausted`` counts submissions that still failed after the
+    last attempt; ``retry_budget_denied`` counts retries refused by the
+    sliding-window budget.  ``degraded_responses`` counts requests served
+    from the stale prediction cache (flagged ``degraded=True``), and
+    ``injected_queue_rejections`` counts submissions rejected by an armed
+    queue-saturation fault.
+    """
+
+    retries: int = 0
+    retries_exhausted: int = 0
+    retry_budget_denied: int = 0
+    degraded_responses: int = 0
+    stale_cache_entries: int = 0
+    injected_queue_rejections: int = 0
 
 
 @dataclass(frozen=True)
@@ -281,6 +326,7 @@ class ServiceSnapshot(StatsStruct):
     hedge: HedgeStats
     controller: Dict[str, Any]
     autoscale_errors: int
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     _FLAT_ALIASES: ClassVar[Mapping[str, str]] = {
         "flush_policy": "flush.policy",
@@ -308,6 +354,12 @@ class ServiceSnapshot(StatsStruct):
         "expired_drops": "queue.expired_drops",
         "rejected": "queue.rejected",
         "num_workers": "model.num_workers",
+        "retries": "resilience.retries",
+        "retries_exhausted": "resilience.retries_exhausted",
+        "degraded_responses": "resilience.degraded_responses",
+        "breaker_trips": "model.breaker_trips",
+        "breaker_recoveries": "model.breaker_recoveries",
+        "breaker_open_workers": "model.breaker_open_workers",
     }
 
 
@@ -316,6 +368,9 @@ def worker_stats_from_raw(
     worker_id: int,
     spawn_count: int,
     ring_share: float,
+    alive: bool = True,
+    respawn_backoff_active: bool = False,
+    breaker_state: str = "closed",
 ) -> WorkerStats:
     """Builds a :class:`WorkerStats` from one worker's raw stats reply."""
     return WorkerStats(
@@ -325,6 +380,9 @@ def worker_stats_from_raw(
         inference_dtype=str(raw.get("inference_dtype", "")),
         job_errors=int(raw.get("job_errors", 0)),
         cache=CacheStats.from_model_stats(raw),
+        alive=alive,
+        respawn_backoff_active=respawn_backoff_active,
+        breaker_state=breaker_state,
     )
 
 

@@ -179,9 +179,12 @@ class PredictionResponse:
         num_blocks: Number of blocks predicted.
         seconds: Wall-clock service time of the request (coalescing makes
             this shared across requests of the same submission).
+        degraded: True when the predictions were served from the stale
+            prediction cache because the live pool was unavailable.
     """
 
     request_id: str
     predictions: Dict[str, np.ndarray]
     num_blocks: int
     seconds: float = 0.0
+    degraded: bool = False

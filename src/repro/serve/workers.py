@@ -52,6 +52,8 @@ import numpy as np
 from repro.isa.basic_block import BasicBlock
 from repro.models import create_model
 from repro.models.base import ThroughputModel
+from repro.serve.faults import FaultInjector
+from repro.serve.resilience import CircuitBreaker, RespawnGovernor, RespawnPolicy
 from repro.serve.ring import HashRing
 from repro.serve.stats import WorkerStats, worker_stats_from_raw
 from repro.serve.types import ServiceClosedError
@@ -75,6 +77,10 @@ _POLL_INTERVAL_S = 0.05
 #: Respawn budget per ``run_batches`` call.  A worker that dies
 #: deterministically on some input would otherwise crash-loop forever.
 _MAX_RESPAWNS_PER_CALL = 3
+
+#: Exit code of a worker killed by an injected crash fault (visible in the
+#: parent's process table; any nonzero code is handled the same way).
+_CRASH_EXIT_CODE = 17
 
 
 class WorkerCrashError(RuntimeError):
@@ -144,10 +150,54 @@ def predict_texts(
     return model.predict(blocks)
 
 
-def _worker_main(config, connection) -> None:
-    """Entry point of one worker process: warm model, serve jobs until stop."""
+def _predictions_corrupt(payload: object) -> bool:
+    """True when a predict reply carries any non-finite prediction.
+
+    Only consulted while a fault plan is armed — the parent's defence
+    against the ``corrupt_reply`` fault (and, under chaos, against any
+    real bit-flip the transport might ever produce).
+    """
+    if not isinstance(payload, dict):
+        return False
+    return any(
+        not bool(np.isfinite(np.asarray(values)).all())
+        for values in payload.values()
+    )
+
+
+def _apply_worker_fault(injector: Optional[FaultInjector], block_texts) -> bool:
+    """Executes any worker-side fault due for this predict job.
+
+    A ``crash`` fault exits the process on the spot (the parent sees EOF
+    and respawns); ``hang`` / ``slow_reply`` sleep for the spec's delay
+    before the job proceeds.  Returns True when the reply should be
+    corrupted (``corrupt_reply`` fault).
+    """
+    if injector is None:
+        return False
+    action = injector.worker_fault(block_texts)
+    if action is None:
+        return False
+    kind, delay_s = action
+    if kind == "crash":
+        os._exit(_CRASH_EXIT_CODE)
+    if delay_s > 0.0:
+        time.sleep(delay_s)
+    return kind == "corrupt_reply"
+
+
+def _worker_main(config, connection, incarnation: int = 1) -> None:
+    """Entry point of one worker process: warm model, serve jobs until stop.
+
+    ``incarnation`` is this replica's spawn generation (1 = the original
+    process, 2 = first respawn, ...); the fault injector uses it so a
+    replica respawned after an injected crash does not re-fault on the
+    same keys.
+    """
     model = build_model(config)
     parse_cache = LRUCache(PARSE_CACHE_SIZE)
+    fault_plan = getattr(config, "fault_plan", None)
+    injector = None if fault_plan is None else FaultInjector(fault_plan, incarnation)
     job_errors = 0
     while True:
         try:
@@ -158,7 +208,10 @@ def _worker_main(config, connection) -> None:
             return
         try:
             if kind == "predict":
+                corrupt = _apply_worker_fault(injector, payload)
                 result = predict_texts(model, payload, parse_cache)
+                if corrupt:
+                    result = injector.corrupt(result)
             elif kind == "stats":
                 result = dict(model.cache_stats())
                 result["parse_hits"] = parse_cache.hits
@@ -197,7 +250,7 @@ class _WorkerHandle:
         parent_end, child_end = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_worker_main,
-            args=(self._config, child_end),
+            args=(self._config, child_end, self.spawn_count + 1),
             name=f"repro-serve-worker-{self.worker_id}",
             daemon=True,
         )
@@ -241,10 +294,34 @@ class ShardedWorkerPool:
     partition) a deterministic function of the worker count alone.
     """
 
-    def __init__(self, config, num_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        config,
+        num_workers: Optional[int] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
         self._config = config
         self._context = _worker_context()
         self._job_ids = itertools.count()
+        #: Optional per-worker circuit breaker (owned by the service);
+        #: crashes / timeouts / corrupt replies feed failures in, ok
+        #: predict replies feed successes.
+        self._breaker = breaker
+        #: Respawn rate limiter — bounds health-check respawns per window
+        #: so a crash-storming worker cannot spin the pool.
+        self._governor = RespawnGovernor(
+            getattr(config, "respawn_policy", None) or RespawnPolicy()
+        )
+        #: Per-job watchdog: an in-flight job older than this is treated as
+        #: a crash (hung replica).  None = wait forever (historical).
+        self._job_timeout_s = getattr(config, "worker_job_timeout_s", None)
+        #: Validate predict replies for finiteness only when a fault plan
+        #: is armed — normal serving never pays the scan.
+        self._validate_replies = getattr(config, "fault_plan", None) is not None
+        #: Jobs killed by the per-job watchdog.
+        self.job_timeouts = 0
+        #: Predict replies discarded as corrupt (non-finite values).
+        self.corrupt_replies = 0
         count = config.num_workers if num_workers is None else num_workers
         if count < 1:
             raise ValueError("a worker pool needs at least one worker")
@@ -302,6 +379,9 @@ class ShardedWorkerPool:
                 worker = self._workers.pop()
                 self._retire_locked(worker)
                 self.ring.remove_node(worker.worker_id)
+                self._governor.forget(worker.worker_id)
+                if self._breaker is not None:
+                    self._breaker.forget(worker.worker_id)
                 self._record_resize("remove", worker.worker_id)
             while len(self._workers) < count:
                 worker_id = len(self._workers)
@@ -334,20 +414,40 @@ class ShardedWorkerPool:
     # Health.
     # ------------------------------------------------------------------ #
     def ensure_healthy(self) -> int:
-        """Respawns any dead worker; returns how many were respawned.
+        """Respawns dead workers the respawn governor admits; returns count.
 
         Taken under the jobs lock so an out-of-band monitoring thread can
         never replace a connection a concurrent submission is waiting on.
+        A worker that has exhausted its respawn window stays dead until
+        its backoff expires (``respawns_suppressed`` counts the refusals),
+        so a crash-storming replica cannot spin the pool through an
+        endless fork/build/crash cycle.
         """
         with self._jobs_lock:
             self._check_open_locked()
             respawned = 0
             for worker in self._workers:
                 if not worker.alive():
+                    if not self._governor.may_respawn(worker.worker_id):
+                        continue
                     worker.spawn()
+                    self._governor.record_respawn(worker.worker_id)
                     respawned += 1
             self.respawns += respawned
             return respawned
+
+    @property
+    def respawns_suppressed(self) -> int:
+        """Respawn attempts refused by the governor's backoff."""
+        return self._governor.suppressed
+
+    def respawn_backoff_workers(self) -> List[int]:
+        """Worker ids currently held in respawn backoff."""
+        return self._governor.backoff_workers()
+
+    def respawn_backoff_active(self) -> bool:
+        """True while any worker is held in respawn backoff."""
+        return bool(self._governor.backoff_workers())
 
     def ping(self) -> List[int]:
         """Round-trips every worker, returning their PIDs.
@@ -371,22 +471,44 @@ class ShardedWorkerPool:
         worker pairing — happens under the jobs lock, so a concurrent
         ``scale_to`` (e.g. the autoscale monitor) can never mispair stats
         with a half-applied resize.
+
+        Dead workers are *not* round-tripped (asking them would force the
+        respawn the governor may be suppressing); they report a
+        placeholder entry with ``alive=False`` and zeroed cache counters
+        instead.
         """
         with self._jobs_lock:
             self._check_open_locked()
-            results = self._run_jobs_locked(
-                [(index, "stats", None) for index in range(len(self._workers))]
-            )
-            shares = self.ring.shares()
-            return [
-                worker_stats_from_raw(
-                    result,
-                    worker_id=worker.worker_id,
-                    spawn_count=worker.spawn_count,
-                    ring_share=shares.get(worker.worker_id, 0.0),
-                )
-                for worker, result in zip(self._workers, results)
+            alive_indexes = [
+                index for index, worker in enumerate(self._workers) if worker.alive()
             ]
+            results = self._run_jobs_locked(
+                [(index, "stats", None) for index in alive_indexes]
+            )
+            raw_by_index = dict(zip(alive_indexes, results))
+            shares = self.ring.shares()
+            entries = []
+            for index, worker in enumerate(self._workers):
+                raw = raw_by_index.get(index)
+                state = (
+                    self._breaker.state(worker.worker_id)
+                    if self._breaker is not None
+                    else "closed"
+                )
+                entries.append(
+                    worker_stats_from_raw(
+                        raw if raw is not None else {},
+                        worker_id=worker.worker_id,
+                        spawn_count=worker.spawn_count,
+                        ring_share=shares.get(worker.worker_id, 0.0),
+                        alive=raw is not None,
+                        respawn_backoff_active=self._governor.in_backoff(
+                            worker.worker_id
+                        ),
+                        breaker_state=state,
+                    )
+                )
+            return entries
 
     # ------------------------------------------------------------------ #
     # Work.
@@ -419,11 +541,12 @@ class ShardedWorkerPool:
 
     def _run_jobs_locked(self, jobs: Sequence[Tuple[int, str, object]]) -> List[object]:
         results: List[object] = [None] * len(jobs)
-        # Per-worker queues of (job_id, job_index, kind, payload).  Workers
+        # Per-worker queues of (job_id, job_index, kind, payload); in-flight
+        # entries grow a ``sent_at`` timestamp for the job watchdog.  Workers
         # answer in submission order, so the head of ``in_flight`` is always
         # the reply expected next from that worker.
         waiting: Dict[int, List[Tuple[int, int, str, object]]] = {}
-        in_flight: Dict[int, List[Tuple[int, int, str, object]]] = {}
+        in_flight: Dict[int, List[Tuple[int, int, str, object, float]]] = {}
         for job_index, (worker_index, kind, payload) in enumerate(jobs):
             if not 0 <= worker_index < self.num_workers:
                 raise IndexError(f"no such worker: {worker_index}")
@@ -433,35 +556,84 @@ class ShardedWorkerPool:
             )
             in_flight.setdefault(worker_index, [])
         respawn_budget = _MAX_RESPAWNS_PER_CALL * self.num_workers
+        # Corrupt replies are re-queued for recomputation; bound that the
+        # same way respawns are so a deterministically-corrupting worker
+        # cannot loop forever.
+        requeue_budget = _MAX_RESPAWNS_PER_CALL * self.num_workers
         first_error: Optional[str] = None
 
         def handle_crash(worker_index: int) -> None:
             nonlocal respawn_budget
+            worker = self._workers[worker_index]
+            if self._breaker is not None:
+                self._breaker.record_failure(worker.worker_id)
             if respawn_budget <= 0:
                 raise WorkerCrashError(
                     f"worker {worker_index} crashed repeatedly; giving up "
                     f"after {self.respawns} respawns"
                 )
             respawn_budget -= 1
-            self._workers[worker_index].spawn()
+            worker.spawn()
             self.respawns += 1
+            self._governor.record_respawn(worker.worker_id)
             # Everything sent but unanswered died with the process; put it
             # back at the front so the replacement recomputes it first.
-            waiting[worker_index][:0] = in_flight[worker_index]
+            waiting[worker_index][:0] = [
+                entry[:4] for entry in in_flight[worker_index]
+            ]
             in_flight[worker_index].clear()
 
         def handle_reply(worker_index: int, reply) -> None:
-            nonlocal first_error
+            nonlocal first_error, requeue_budget
             status, job_id, payload = reply
             if job_id != in_flight[worker_index][0][0]:
                 return  # stale reply from before a respawn; discard
-            _, job_index, _, _ = in_flight[worker_index].pop(0)
+            entry = in_flight[worker_index].pop(0)
+            _, job_index, kind, job_payload, _ = entry
+            worker_id = self._workers[worker_index].worker_id
             if status == "ok":
+                if (
+                    kind == "predict"
+                    and self._validate_replies
+                    and _predictions_corrupt(payload)
+                ):
+                    self.corrupt_replies += 1
+                    if self._breaker is not None:
+                        self._breaker.record_failure(worker_id)
+                    if requeue_budget > 0:
+                        requeue_budget -= 1
+                        waiting[worker_index].insert(0, entry[:4])
+                    else:
+                        self.job_errors += 1
+                        if first_error is None:
+                            first_error = (
+                                f"worker {worker_id} kept returning corrupt "
+                                f"(non-finite) predictions"
+                            )
+                    return
                 results[job_index] = payload
+                if kind == "predict" and self._breaker is not None:
+                    self._breaker.record_success(worker_id)
             else:
                 self.job_errors += 1
                 if first_error is None:
                     first_error = payload
+
+        def sweep_job_timeouts() -> None:
+            if self._job_timeout_s is None:
+                return
+            now = time.monotonic()
+            for worker_index, flight in in_flight.items():
+                if not flight or now - flight[0][4] <= self._job_timeout_s:
+                    continue
+                # The head job has been in flight too long: the replica is
+                # hung (or injected to hang).  Kill it and let the crash
+                # path respawn and resubmit.
+                self.job_timeouts += 1
+                worker = self._workers[worker_index]
+                if worker.process is not None and worker.process.is_alive():
+                    worker.process.terminate()
+                handle_crash(worker_index)
 
         while any(waiting.values()) or any(in_flight.values()):
             for worker_index in waiting:
@@ -475,7 +647,7 @@ class ShardedWorkerPool:
                         self._workers[worker_index].connection.send(
                             (job[2], job[0], job[3])
                         )
-                        in_flight[worker_index].append(job)
+                        in_flight[worker_index].append(job + (time.monotonic(),))
                     except (BrokenPipeError, OSError):
                         waiting[worker_index].insert(0, job)
                         handle_crash(worker_index)
@@ -492,16 +664,21 @@ class ShardedWorkerPool:
             ready = multiprocessing.connection.wait(
                 list(connection_owner), timeout=_POLL_INTERVAL_S
             )
+            sweep_job_timeouts()
             if not ready:
                 # No replies within the poll window; sweep for silent deaths
                 # (a SIGKILLed worker's pipe usually reports EOF via wait,
                 # but be defensive).
                 for connection, worker_index in connection_owner.items():
+                    if self._workers[worker_index].connection is not connection:
+                        continue  # already respawned by the watchdog
                     if not self._workers[worker_index].alive():
                         handle_crash(worker_index)
                 continue
             for connection in ready:
                 worker_index = connection_owner[connection]
+                if self._workers[worker_index].connection is not connection:
+                    continue  # worker was respawned by the watchdog
                 try:
                     reply = connection.recv()
                 except (EOFError, BrokenPipeError, OSError):

@@ -1,0 +1,21 @@
+"""RT001 bad fixture: hand-rolled sleep-in-try retry loops."""
+
+import time
+
+
+def fetch_with_retries(client, attempts=5):
+    for attempt in range(attempts):
+        try:
+            return client.fetch()
+        except ConnectionError:
+            time.sleep(2**attempt)
+    raise RuntimeError("gave up")
+
+
+def poll_until_ready(backend):
+    while True:
+        try:
+            if backend.ready():
+                return True
+        except OSError:
+            time.sleep(0.1)

@@ -1,0 +1,22 @@
+"""RT001 good fixture: retries routed through the sanctioned policy."""
+
+import time
+
+from repro.serve.resilience import RetryPolicy, run_with_retries
+
+
+def fetch_with_retries(client):
+    policy = RetryPolicy(max_attempts=5, seed=7)
+    return run_with_retries(
+        client.fetch,
+        policy,
+        retryable=lambda error: isinstance(error, ConnectionError),
+        token="fetch",
+    )
+
+
+def plain_pacing(items):
+    # A sleep in a loop without a try is pacing, not a retry.
+    for item in items:
+        item.emit()
+        time.sleep(0.01)
